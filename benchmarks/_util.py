@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's figures or theorem-level
+quantities.  Since pytest captures stdout, the regenerated artefact is
+also written to ``benchmarks/results/<name>.txt`` so that a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the full set of
+reproduced figures/tables on disk (run with ``-s`` to also see them
+inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Print the artefact and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

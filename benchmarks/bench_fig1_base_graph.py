@@ -1,0 +1,45 @@
+"""Figure 1 — the base graph H (ell=2, alpha=1, k=3).
+
+Regenerates the figure as structured text: the clique A, the three code
+cliques C_1..C_3, and v_1's connections to Code \\ Code_1 for the
+code-mapping C(1) (the paper's example "2, 3, 1").
+"""
+
+from repro.codes import code_mapping_for_parameters
+from repro.gadgets import GadgetParameters, build_base_graph
+from repro.graphs import format_node, render_figure
+
+from benchmarks._util import publish
+
+
+def test_bench_fig1_base_graph(benchmark):
+    params = GadgetParameters(ell=2, alpha=1, t=2)
+    code = code_mapping_for_parameters(params.ell, params.alpha)
+
+    graph, layout = benchmark(build_base_graph, params, code)
+
+    # Structural assertions straight from the figure caption.
+    assert graph.num_nodes == 12  # k + (l+a)^2 = 3 + 9
+    assert graph.is_clique(layout.a_nodes)
+    for clique_nodes in layout.code_cliques:
+        assert graph.is_clique(clique_nodes)
+    # v_1 is connected to all of Code except Code_1.
+    v1 = layout.a_node(0)
+    own = set(layout.code_set(0))
+    for node in layout.all_code_nodes():
+        assert graph.has_edge(v1, node) == (node not in own)
+
+    word = code.codeword(0)
+    figure = render_figure(
+        "Figure 1: base graph H (ell=2, alpha=1, k=3)",
+        graph,
+        layout.groups(),
+        notes=[
+            f"code-mapping of index 1: C(1) = {tuple(s + 1 for s in word)} "
+            "(paper's example uses \"2, 3, 1\"; any fixed RS mapping works)",
+            "v_1 is connected to all of Code except "
+            + ", ".join(format_node(v) for v in layout.code_set(0)),
+            "paper: |V_H| = k + (l+a)^2 = 12 nodes — matches",
+        ],
+    )
+    publish("fig1_base_graph", figure)

@@ -1,0 +1,47 @@
+"""Figure 2 — the wiring between C_h^i and C_h^j (complete bipartite minus
+the natural perfect matching), at the figure's l + a = 3.
+"""
+
+from repro.framework import cut_size, pairwise_cut_sizes
+from repro.gadgets import GadgetParameters, LinearConstruction
+from repro.analysis import render_table
+
+from benchmarks._util import publish
+
+
+def test_bench_fig2_intercopy_wiring(benchmark):
+    params = GadgetParameters(ell=2, alpha=1, t=2)
+    construction = benchmark(LinearConstruction, params)
+
+    q = params.q
+    rows = []
+    for h in range(q):
+        for r in range(q):
+            u = construction.layouts[0].code_node(h, r)
+            partners = sorted(
+                s
+                for s in range(q)
+                if construction.graph.has_edge(
+                    u, construction.layouts[1].code_node(h, s)
+                )
+            )
+            # Figure 2: sigma^i_(h,r) connects to all of C^j_h except r.
+            assert partners == [s for s in range(q) if s != r]
+            rows.append(
+                [f"sigma^1_({h},{r})", ", ".join(f"sigma^2_({h},{s})" for s in partners)]
+            )
+
+    per_pair_per_h = q * (q - 1)
+    total_cut = cut_size(construction.graph, construction.partition())
+    table = render_table(
+        ["left node", "connected to (copy 2, same h)"],
+        rows,
+        title="Figure 2: inter-copy wiring C_h^1 <-> C_h^2 (l+a = 3)",
+    )
+    table += (
+        f"\n\nedges per (pair, h): q(q-1) = {per_pair_per_h}"
+        f"\ntotal cut edges: {total_cut} "
+        f"(= C(t,2) * q^2(q-1) = {construction.expected_cut_size()})"
+    )
+    assert total_cut == construction.expected_cut_size()
+    publish("fig2_intercopy_wiring", table)

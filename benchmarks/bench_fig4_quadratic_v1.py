@@ -1,0 +1,40 @@
+"""Figure 4 — the quadratic construction's V^1 = V^(1,1) ∪ V^(1,2):
+two base-graph copies owned by player 1, one in each copy of G.
+"""
+
+from repro.gadgets import GadgetParameters, QuadraticConstruction
+from repro.graphs import render_figure
+
+from benchmarks._util import publish
+
+
+def test_bench_fig4_quadratic_v1(benchmark):
+    params = GadgetParameters(ell=2, alpha=1, t=2)
+    construction = benchmark(QuadraticConstruction, params)
+
+    v1_nodes = construction.player_nodes(0)
+    subgraph = construction.graph.subgraph(v1_nodes)
+
+    # V^1 holds two topologically identical copies of H...
+    half = len(v1_nodes) // 2
+    assert subgraph.num_nodes == 2 * params.base_graph_nodes
+    # ...with no fixed edges between the copies (input edges come later).
+    for u, v in subgraph.edges():
+        assert u[2] == v[2]  # same copy index b
+
+    groups = {
+        label: nodes
+        for label, nodes in construction.groups().items()
+        if "(0," in label
+    }
+    figure = render_figure(
+        "Figure 4: the graph induced by V^1 (two copies of H)",
+        subgraph,
+        groups,
+        notes=[
+            "A^(1,1) and A^(1,2) carry fixed weight ell = 2 per node",
+            "no fixed edges between copy 1 and copy 2; the input string x^1 "
+            "adds edges inside A^(1,1) x A^(1,2) (Figure 6)",
+        ],
+    )
+    publish("fig4_quadratic_v1", figure)

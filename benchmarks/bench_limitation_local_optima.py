@@ -1,0 +1,77 @@
+"""The framework's limitation (Section 1) — made executable.
+
+With t players, exchanging local optima costs O(t log n) bits and yields
+a (1/t)-approximation, so no t-party reduction can prove hardness at or
+below 1/t.  The bench runs the protocol on real family instances and
+charts achieved ratio vs the 1/t floor vs the paper's target (1/2 + eps).
+"""
+
+import random
+
+from repro.commcc import pairwise_disjoint_inputs, uniquely_intersecting_inputs
+from repro.framework import run_local_optima_exchange
+from repro.gadgets import GadgetParameters, LinearMaxISFamily
+from repro.analysis import render_table
+
+from benchmarks._util import publish
+
+SWEEP = [
+    GadgetParameters(ell=3, alpha=1, t=2),
+    GadgetParameters(ell=4, alpha=1, t=3),
+    GadgetParameters(ell=5, alpha=1, t=4),
+]
+
+
+def test_bench_limitation_local_optima(benchmark):
+    def measure():
+        rows = []
+        for params in SWEEP:
+            family = LinearMaxISFamily(params)
+            rng = random.Random(17)
+            for intersecting in (True, False):
+                gen = (
+                    uniquely_intersecting_inputs
+                    if intersecting
+                    else pairwise_disjoint_inputs
+                )
+                inputs = gen(params.k, params.t, rng=rng)
+                report = run_local_optima_exchange(family, inputs)
+                rows.append((params, intersecting, report))
+        return rows
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for params, intersecting, report in measured:
+        assert report.achieved_ratio >= report.guaranteed_ratio - 1e-9
+        rows.append(
+            [
+                params.t,
+                "inter" if intersecting else "disj",
+                report.optimum_weight,
+                report.best_local_weight,
+                round(report.achieved_ratio, 4),
+                round(report.guaranteed_ratio, 4),
+                report.cost_bits,
+            ]
+        )
+
+    table = render_table(
+        [
+            "t",
+            "side",
+            "global OPT",
+            "best local OPT",
+            "achieved ratio",
+            "1/t floor",
+            "cost (bits)",
+        ],
+        rows,
+        title="Limitation: local-optima exchange achieves a 1/t-approximation",
+    )
+    table += (
+        "\n\npaper: the two-party framework cannot reach 1/2; with t players "
+        "the floor is 1/t, which is why Theorem 1 needs t = Theta(1/eps) "
+        "players to certify hardness at 1/2 + eps."
+    )
+    publish("limitation_local_optima", table)

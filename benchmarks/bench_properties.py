@@ -1,0 +1,49 @@
+"""Properties 1-3 (Section 4.1) — paper bound vs measured, per parameter set."""
+
+from repro.core import verify_property1, verify_property2, verify_property3
+from repro.gadgets import GadgetParameters, LinearConstruction
+from repro.analysis import render_table
+
+from benchmarks._util import publish
+
+PARAMS = [
+    GadgetParameters(ell=2, alpha=1, t=2),
+    GadgetParameters(ell=2, alpha=1, t=3),
+    GadgetParameters(ell=3, alpha=1, t=2),
+    GadgetParameters(ell=4, alpha=1, t=3),
+    GadgetParameters(ell=2, alpha=2, t=2, k=8),
+]
+
+
+def test_bench_properties(benchmark):
+    rows = []
+    constructions = {params: LinearConstruction(params) for params in PARAMS}
+
+    def run_all():
+        checks = []
+        for params, construction in constructions.items():
+            checks.append((params, verify_property1(construction)))
+            checks.append((params, verify_property2(construction)))
+            checks.append((params, verify_property3(construction, num_random_sets=5)))
+        return checks
+
+    checks = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for params, check in checks:
+        rows.append(
+            [
+                f"l={params.ell},a={params.alpha},t={params.t}",
+                check.name,
+                check.measured,
+                f"{check.direction} {check.bound}",
+                check.holds,
+            ]
+        )
+        assert check.holds, check
+
+    table = render_table(
+        ["parameters", "property", "measured", "paper bound", "holds"],
+        rows,
+        title="Properties 1-3: structure of the linear construction",
+    )
+    publish("properties_1_2_3", table)

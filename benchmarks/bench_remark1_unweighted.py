@@ -1,0 +1,84 @@
+"""Remark 1 — the unweighted conversion preserves the gap at a log-factor
+blow-up in nodes.
+"""
+
+import random
+
+from repro.commcc import pairwise_disjoint_inputs, uniquely_intersecting_inputs
+from repro.gadgets import GadgetParameters, LinearConstruction, UnweightedExpansion
+from repro.maxis import max_weight_independent_set
+from repro.analysis import render_table
+
+from benchmarks._util import publish
+
+PARAMS = [
+    GadgetParameters(ell=2, alpha=1, t=2),
+    GadgetParameters(ell=3, alpha=1, t=2),
+    GadgetParameters(ell=4, alpha=1, t=3),
+]
+
+
+def test_bench_remark1_unweighted(benchmark):
+    def measure():
+        rows = []
+        for params in PARAMS:
+            construction = LinearConstruction(params)
+            rng = random.Random(13)
+            per_side = {}
+            blow_up = None
+            for intersecting in (True, False):
+                gen = (
+                    uniquely_intersecting_inputs
+                    if intersecting
+                    else pairwise_disjoint_inputs
+                )
+                weighted = construction.apply_inputs(
+                    gen(params.k, params.t, rng=rng)
+                )
+                expansion = UnweightedExpansion(weighted)
+                blow_up = expansion.blow_up_factor
+                per_side[intersecting] = (
+                    max_weight_independent_set(weighted).weight,
+                    max_weight_independent_set(expansion.graph).weight,
+                    expansion.graph.num_nodes,
+                )
+            rows.append((params, per_side, blow_up))
+        return rows
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for params, per_side, blow_up in measured:
+        for intersecting, (weighted_opt, unweighted_opt, n_unweighted) in per_side.items():
+            assert weighted_opt == unweighted_opt
+            rows.append(
+                [
+                    f"l={params.ell},t={params.t}",
+                    "intersecting" if intersecting else "disjoint",
+                    params.linear_nodes,
+                    n_unweighted,
+                    round(blow_up, 2),
+                    weighted_opt,
+                    unweighted_opt,
+                ]
+            )
+
+    table = render_table(
+        [
+            "params",
+            "promise side",
+            "n weighted",
+            "n unweighted",
+            "blow-up",
+            "weighted OPT",
+            "unweighted OPT (size)",
+        ],
+        rows,
+        title="Remark 1: unweighted conversion preserves the optimum exactly",
+    )
+    table += (
+        "\n\npaper: n grows from Theta(k) to Theta(k log k) (heavy nodes "
+        "become l-replica independent sets), costing one log factor in the "
+        "round bound; the optimum is preserved exactly, as measured."
+    )
+    publish("remark1_unweighted", table)

@@ -1,0 +1,109 @@
+"""Theorem 1 / Claims 3-5 — the (1/2 + eps) linear family.
+
+Sweeps the number of players t at the smallest meaningful ell and shows
+the measured gap ratio descending toward 1/2 — the paper's hardness
+amplification (Section 4.2.2), plus every claimed inequality verified
+exactly.
+"""
+
+from repro.core import LinearLowerBoundExperiment, verify_all_linear
+from repro.gadgets import GadgetParameters, smallest_meaningful_linear_parameters
+from repro.analysis import linear_gap_ratio_asymptotic, render_table
+
+from benchmarks._util import publish
+
+TS = [2, 3, 4, 5, 6, 7, 8]
+
+
+def test_bench_theorem1_linear_gap(benchmark):
+    def run_sweep():
+        out = {}
+        for t in TS:
+            params = smallest_meaningful_linear_parameters(t)
+            out[t] = (
+                params,
+                LinearLowerBoundExperiment(params).run(num_samples=3),
+            )
+        return out
+
+    reports = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for t, (params, report) in reports.items():
+        gap = report.gap
+        assert gap.claims_hold, (t, gap)
+        rows.append(
+            [
+                t,
+                f"l={params.ell},a={params.alpha},k={params.k}",
+                report.num_nodes,
+                gap.high_threshold,
+                gap.low_threshold,
+                round(gap.claimed_ratio, 4),
+                round(gap.measured_ratio, 4),
+                round(linear_gap_ratio_asymptotic(t), 4),
+            ]
+        )
+
+    measured = [row[6] for row in rows]
+    assert measured == sorted(measured, reverse=True)  # amplification toward 1/2
+
+    table = render_table(
+        [
+            "t",
+            "params",
+            "n",
+            "high t(2l+a)",
+            "low (t+1)l+at^2",
+            "claimed ratio",
+            "measured ratio",
+            "asymptotic (t+2)/2t",
+        ],
+        rows,
+        title="Theorem 1: hardness amplification with t players (gap -> 1/2)",
+    )
+    table += (
+        "\n\npaper: for any eps > 0 pick t = 2/eps; the family is a "
+        "(1/2 + eps)-approximate MaxIS family"
+    )
+    publish("theorem1_linear_gap", table)
+
+
+def test_bench_theorem1_all_claims(benchmark):
+    """All of Properties 1-3 and Claims 3-5 at one meaningful parameter set."""
+    params = GadgetParameters(ell=4, alpha=1, t=3)
+    checks = benchmark.pedantic(
+        lambda: verify_all_linear(params, num_samples=3), rounds=1, iterations=1
+    )
+    rows = [
+        [check.name, check.measured, f"{check.direction} {check.bound}", check.holds]
+        for check in checks
+    ]
+    for check in checks:
+        assert check.holds, check
+    table = render_table(
+        ["statement", "measured", "paper bound", "holds"],
+        rows,
+        title=f"Section 4 statements at l=4, a=1, t=3 (n={params.linear_nodes})",
+    )
+    publish("theorem1_all_claims", table)
+
+
+def test_bench_theorem1_trend_chart(benchmark):
+    """Render the amplification trend as a chart with the 1/2 target."""
+    from repro.analysis import trend_chart
+
+    def run_sweep():
+        points = []
+        for t in TS:
+            params = smallest_meaningful_linear_parameters(t)
+            report = LinearLowerBoundExperiment(params).run(num_samples=2)
+            points.append((f"t={t}", report.gap.measured_ratio))
+        return points
+
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    chart = trend_chart(points, target=0.5, target_label="limit 1/2")
+    publish(
+        "theorem1_trend_chart",
+        "Theorem 1: measured gap ratio vs the 1/2 limit\n\n" + chart,
+    )

@@ -1,0 +1,96 @@
+"""Theorem 2's round lower bound: the k^2-length strings buy a near-
+quadratic bound with the same cut.
+"""
+
+from repro.framework import (
+    RoundLowerBound,
+    bachrach_quadratic_rounds,
+    cut_size,
+    theorem2_asymptotic_rounds,
+    universal_upper_bound_rounds,
+)
+from repro.gadgets import GadgetParameters, QuadraticConstruction
+from repro.analysis import render_table
+
+from benchmarks._util import publish
+
+SWEEP = [
+    GadgetParameters(ell=2, alpha=1, t=2),
+    GadgetParameters(ell=3, alpha=1, t=2),
+    GadgetParameters(ell=2, alpha=1, t=3),
+    GadgetParameters(ell=4, alpha=1, t=3),
+]
+
+
+def test_bench_theorem2_round_bound(benchmark):
+    def measure():
+        out = []
+        for params in SWEEP:
+            construction = QuadraticConstruction(params)
+            cut = cut_size(construction.graph, construction.partition())
+            bound = RoundLowerBound(
+                k=params.k,
+                t=params.t,
+                cut=cut,
+                num_nodes=construction.graph.num_nodes,
+                input_length=params.k ** 2,
+            )
+            linear_bound = RoundLowerBound(
+                k=params.k,
+                t=params.t,
+                cut=cut,
+                num_nodes=construction.graph.num_nodes,
+                input_length=params.k,
+            )
+            out.append((params, cut, bound, linear_bound))
+        return out
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for params, cut, bound, linear_bound in measured:
+        rows.append(
+            [
+                params.t,
+                params.k,
+                bound.num_nodes,
+                cut,
+                round(linear_bound.value, 6),
+                round(bound.value, 6),
+                round(bound.value / linear_bound.value, 1),
+            ]
+        )
+        # The quadratic input length multiplies the bound by exactly k.
+        assert abs(bound.value / linear_bound.value - params.k) < 1e-9
+
+    table = render_table(
+        [
+            "t",
+            "k",
+            "n",
+            "cut",
+            "round LB with |x|=k",
+            "round LB with |x|=k^2",
+            "gain (=k)",
+        ],
+        rows,
+        title="Theorem 2 via Corollary 1: k^2-bit strings on a Theta(k)-node graph",
+    )
+
+    asym_rows = []
+    for exponent in (10, 14, 18):
+        n = 2.0 ** exponent
+        asym_rows.append(
+            [
+                f"2^{exponent}",
+                f"{theorem2_asymptotic_rounds(n):.3e}",
+                f"{bachrach_quadratic_rounds(n):.3e}",
+                f"{universal_upper_bound_rounds(n):.3e}",
+            ]
+        )
+    table += "\n\n" + render_table(
+        ["n", "this paper n^2/log^3 n", "Bachrach n^2/log^7 n", "universal O(n^2)"],
+        asym_rows,
+        title="Asymptotics: the bound is nearly tight against the O(n^2) ceiling",
+    )
+    publish("theorem2_round_bound", table)

@@ -1,0 +1,64 @@
+"""The O(n^2) universal upper bound — 'any problem can be solved in
+O(n^2) rounds in the CONGEST model'.
+
+Full-information collection solves MaxIS *exactly* on the simulator; the
+bench measures rounds against the O(n^2) ceiling on the gadget instances
+Theorem 2 is nearly tight against.
+"""
+
+import random
+
+from repro.commcc import uniquely_intersecting_inputs
+from repro.congest import CongestNetwork, FullGraphCollection
+from repro.gadgets import GadgetParameters, LinearConstruction
+from repro.maxis import max_independent_set_weight
+from repro.analysis import render_table
+
+from benchmarks._util import publish
+
+PARAMS = [
+    GadgetParameters(ell=2, alpha=1, t=2),
+    GadgetParameters(ell=2, alpha=1, t=3),
+]
+
+
+def test_bench_universal_upper_bound(benchmark):
+    def measure():
+        rows = []
+        for params in PARAMS:
+            construction = LinearConstruction(params)
+            inputs = uniquely_intersecting_inputs(
+                params.k, params.t, rng=random.Random(19)
+            )
+            graph = construction.apply_inputs(inputs)
+            network = CongestNetwork(
+                graph,
+                lambda: FullGraphCollection(evaluate=max_independent_set_weight),
+                bandwidth_multiplier=3,
+            )
+            rounds = network.run_until_quiescent()
+            outputs = set(network.outputs().values())
+            rows.append((params, graph, rounds, outputs, network.total_bits))
+        return rows
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for params, graph, rounds, outputs, bits in measured:
+        assert len(outputs) == 1  # everyone agrees
+        opt = outputs.pop()
+        assert opt == max_independent_set_weight(graph)
+        n = graph.num_nodes
+        assert rounds <= n * n
+        rows.append([f"l={params.ell},t={params.t}", n, rounds, n * n, opt, bits])
+
+    table = render_table(
+        ["params", "n", "rounds used", "O(n^2) ceiling", "exact OPT (all nodes)", "total bits"],
+        rows,
+        title="Universal upper bound: full-information MaxIS in O(n^2) rounds",
+    )
+    table += (
+        "\n\nevery node collects the whole graph and solves MaxIS locally; "
+        "Theorem 2's Omega(n^2 / log^3 n) is nearly tight against this."
+    )
+    publish("universal_upper_bound", table)

@@ -1,0 +1,61 @@
+"""Vertex cover through the family lens — the duality, measured.
+
+Per instance, min-weight VC = W_x − max-weight IS, so Claims 3 and 5
+dualise exactly; but the *absolute* cover weights overlap across the
+promise because W_x moves with the inputs.  The bench shows both facts,
+the executable version of why MVC hardness needed its own argument in
+the prior work.
+"""
+
+from repro.core import measure_dual_claims
+from repro.gadgets import GadgetParameters
+from repro.analysis import render_table
+
+from benchmarks._util import publish
+
+PARAMS = [
+    GadgetParameters(ell=3, alpha=1, t=2),
+    GadgetParameters(ell=4, alpha=1, t=3),
+]
+
+
+def test_bench_vertex_cover_duality(benchmark):
+    def measure():
+        return [
+            (params, measure_dual_claims(params, num_samples=3, seed=9))
+            for params in PARAMS
+        ]
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for params, m in measured:
+        assert m.holds, (params, m)
+        for side, data in (
+            ("intersecting", m.intersecting_rows),
+            ("disjoint", m.disjoint_rows),
+        ):
+            for total, cover, bound in data:
+                relation = "<=" if side == "intersecting" else ">="
+                rows.append(
+                    [
+                        f"l={params.ell},t={params.t}",
+                        side,
+                        total,
+                        cover,
+                        f"{relation} {bound}",
+                    ]
+                )
+
+    table = render_table(
+        ["params", "promise side", "W_x", "min VC", "dual bound"],
+        rows,
+        title="Dual Claims 3/5: exact vertex cover per instance",
+    )
+    overlap = all(m.absolute_covers_overlap for _, m in measured)
+    table += (
+        f"\n\nabsolute cover weights overlap across the promise: {overlap} — "
+        "the MaxIS gap does not transfer to a VC gap for free, matching the "
+        "paper's remark that MVC hardness needs its own construction."
+    )
+    publish("vertex_cover_duality", table)

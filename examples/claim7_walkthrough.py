@@ -1,0 +1,84 @@
+"""Claim 7's case analysis, step by step on a concrete instance.
+
+The quadratic upper bound's hardest case assumes every player holds two
+heavy nodes.  The proof groups players into equivalence classes by
+their first-copy index, splits the node set into three groups, and
+bounds each (Propositions 1-3).  This example constructs such an
+independent set on a sampled pairwise-disjoint instance and prints the
+whole decomposition.
+
+Usage::
+
+    python examples/claim7_walkthrough.py
+"""
+
+import random
+
+from repro.commcc import pairwise_disjoint_inputs
+from repro.gadgets import (
+    GadgetParameters,
+    QuadraticConstruction,
+    analyze_claim7_case2,
+    build_case2_independent_set,
+)
+
+
+def main() -> None:
+    params = GadgetParameters(ell=2, alpha=1, t=3)
+    construction = QuadraticConstruction(params)
+    print(
+        f"Quadratic construction F at l={params.ell}, a={params.alpha}, "
+        f"t={params.t}: {construction.graph.num_nodes} nodes\n"
+    )
+
+    breakdown = None
+    for seed in range(50):
+        inputs = pairwise_disjoint_inputs(
+            params.k ** 2, params.t, rng=random.Random(seed)
+        )
+        graph = construction.apply_inputs(inputs)
+        independent_set = build_case2_independent_set(construction, graph, inputs)
+        if independent_set is not None:
+            breakdown = analyze_claim7_case2(construction, graph, independent_set)
+            break
+    if breakdown is None:
+        raise SystemExit("no case-2 instance found (unexpected)")
+
+    print("Case 2 applies: every player holds one heavy node per copy.")
+    for player, (m1, m2) in enumerate(breakdown.pairs):
+        print(f"  player {player}: chose (m1, m2) = ({m1}, {m2})")
+    print(
+        "\nPairwise disjointness makes all pairs distinct: "
+        f"{len(set(breakdown.pairs))} distinct pairs for t = {params.t}."
+    )
+
+    print(f"\nEquivalence classes by m1 (r = {breakdown.r}):")
+    for index, cls in enumerate(breakdown.classes):
+        values = {breakdown.pairs[p][0] for p in cls}
+        print(f"  Q_{index + 1} = players {cls} (m1 = {values.pop()})")
+
+    names = [
+        "Prop 1  (class representatives, copy 1)",
+        "Prop 2  (non-representatives, copy 1)",
+        "Prop 3  (every player, copy 2)",
+    ]
+    print("\nThe three-group decomposition:")
+    for name, weight, bound in zip(
+        names, breakdown.group_weights, breakdown.group_bounds
+    ):
+        status = "ok" if weight <= bound else "VIOLATED"
+        print(f"  {name}: measured {weight} <= {bound}  [{status}]")
+
+    print(
+        f"\nTotal: {breakdown.total_weight} <= "
+        f"3(t+1)l + 3at^3 = {breakdown.claim_bound}  "
+        f"[{'ok' if breakdown.claim_holds else 'VIOLATED'}]"
+    )
+    print(
+        "\nNote how Proposition 2 tends to be tight while 1 and 3 carry the "
+        "slack — the reason Claim 7's final constant is loose at small scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

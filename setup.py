@@ -1,0 +1,20 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Metadata lives in ``pyproject.toml``; this file lets ``pip install -e .``
+fall back to the legacy editable path when PEP 517 editable builds are
+unavailable (offline environments without ``wheel``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Executable reproduction of 'Beyond Alice and Bob: Improved "
+        "Inapproximability for Maximum Independent Set in CONGEST' (PODC 2020)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+)

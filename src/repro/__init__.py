@@ -1,0 +1,89 @@
+"""repro — an executable reproduction of "Beyond Alice and Bob:
+Improved Inapproximability for Maximum Independent Set in CONGEST"
+(Efron, Grossman, Khoury — PODC 2020).
+
+The package builds every object the paper's proofs manipulate:
+
+* :mod:`repro.graphs` — weighted graphs, matching, rendering;
+* :mod:`repro.codes` — finite fields, Reed–Solomon, code-mappings;
+* :mod:`repro.commcc` — the multi-party shared-blackboard model and the
+  promise pairwise disjointness problem;
+* :mod:`repro.congest` — a synchronous CONGEST simulator with bandwidth
+  accounting, plus standard distributed algorithms;
+* :mod:`repro.gadgets` — the lower-bound constructions of Sections 4-5;
+* :mod:`repro.framework` — families of lower bound graphs, the
+  simulation argument, and the round-bound calculator;
+* :mod:`repro.maxis` — exact and approximate MaxIS solvers;
+* :mod:`repro.core` — end-to-end experiment pipelines for Theorems 1-2.
+
+Quickstart::
+
+    from repro import GadgetParameters, LinearLowerBoundExperiment
+
+    params = GadgetParameters(ell=4, alpha=1, t=3)
+    report = LinearLowerBoundExperiment(params).run(num_samples=3)
+    assert report.gap.claims_hold
+"""
+
+from .commcc import (
+    BitString,
+    pairwise_disjoint_inputs,
+    promise_pairwise_disjointness,
+    uniquely_intersecting_inputs,
+)
+from .core import (
+    ClaimCheck,
+    ExperimentReport,
+    GapMeasurement,
+    LinearLowerBoundExperiment,
+    QuadraticLowerBoundExperiment,
+    verify_all_linear,
+    verify_all_quadratic,
+)
+from .framework import (
+    GapPredicate,
+    LowerBoundFamily,
+    RoundLowerBound,
+    simulate_congest_via_players,
+)
+from .gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    LinearMaxISFamily,
+    QuadraticConstruction,
+    QuadraticMaxISFamily,
+    UnweightedExpansion,
+    figure_parameters,
+)
+from .graphs import WeightedGraph
+from .maxis import max_weight_independent_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitString",
+    "ClaimCheck",
+    "ExperimentReport",
+    "GadgetParameters",
+    "GapMeasurement",
+    "GapPredicate",
+    "LinearConstruction",
+    "LinearLowerBoundExperiment",
+    "LinearMaxISFamily",
+    "LowerBoundFamily",
+    "QuadraticConstruction",
+    "QuadraticLowerBoundExperiment",
+    "QuadraticMaxISFamily",
+    "RoundLowerBound",
+    "UnweightedExpansion",
+    "WeightedGraph",
+    "__version__",
+    "figure_parameters",
+    "max_weight_independent_set",
+    "pairwise_disjoint_inputs",
+    "promise_pairwise_disjointness",
+    "simulate_congest_via_players",
+    "uniquely_intersecting_inputs",
+    "verify_all_linear",
+    "verify_all_quadratic",
+]

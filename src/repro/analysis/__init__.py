@@ -1,0 +1,49 @@
+"""Asymptotic formulas and report formatting."""
+
+from .charts import horizontal_bar_chart, sparkline, trend_chart
+from .instance_counts import (
+    base_graph_edge_count,
+    instance_summary,
+    linear_cut_count,
+    linear_edge_count,
+    quadratic_cut_count,
+    quadratic_edge_count,
+    quadratic_input_edge_count,
+    unweighted_node_count,
+)
+from .asymptotics import (
+    approximation_limit,
+    linear_gap_asymptotic,
+    linear_gap_ratio_asymptotic,
+    paper_alpha,
+    paper_ell,
+    quadratic_gap_asymptotic,
+    quadratic_gap_ratio_asymptotic,
+    summary_for_epsilon,
+)
+from .tables import format_cell, render_key_values, render_table
+
+__all__ = [
+    "approximation_limit",
+    "base_graph_edge_count",
+    "instance_summary",
+    "linear_cut_count",
+    "linear_edge_count",
+    "quadratic_cut_count",
+    "quadratic_edge_count",
+    "quadratic_input_edge_count",
+    "unweighted_node_count",
+    "format_cell",
+    "horizontal_bar_chart",
+    "linear_gap_asymptotic",
+    "linear_gap_ratio_asymptotic",
+    "paper_alpha",
+    "paper_ell",
+    "quadratic_gap_asymptotic",
+    "quadratic_gap_ratio_asymptotic",
+    "render_key_values",
+    "render_table",
+    "sparkline",
+    "trend_chart",
+    "summary_for_epsilon",
+]

@@ -1,0 +1,97 @@
+"""The paper's asymptotic parameter and gap formulas.
+
+These are the quantities the proofs use "for k large enough"; the
+executable experiments use exact small parameters instead, and benches
+print both side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+
+def paper_ell(k: float) -> float:
+    """``ell = log k - log k / log log k`` (base 2, as throughout)."""
+    _check_k(k)
+    return math.log2(k) - paper_alpha(k)
+
+
+def paper_alpha(k: float) -> float:
+    """``alpha = log k / log log k``."""
+    _check_k(k)
+    return math.log2(k) / math.log2(math.log2(k))
+
+
+def _check_k(k: float) -> None:
+    # log log k must be positive and != 0, i.e. k > 2.
+    if k <= 2 or math.log2(math.log2(k)) <= 0:
+        raise ValueError(f"the asymptotic formulas need k > 2 with log log k > 0, got {k}")
+
+
+def linear_gap_asymptotic(k: float, t: int) -> Tuple[float, float]:
+    """Lemma 2's asymptotic thresholds: ``(2 t log k, (t + 2) log k)``.
+
+    Returns ``(high, low)``: the intersecting-side witness weight
+    ``2 t log k`` and the disjoint-side ceiling ``(t + 2) log k``.
+    """
+    _check_k(k)
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    log_k = math.log2(k)
+    return 2 * t * log_k, (t + 2) * log_k
+
+
+def quadratic_gap_asymptotic(k: float, t: int) -> Tuple[float, float]:
+    """Lemma 3's asymptotic thresholds: ``(4 (t-1) log k, 3 (t+2) log k)``."""
+    _check_k(k)
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    log_k = math.log2(k)
+    return 4 * (t - 1) * log_k, 3 * (t + 2) * log_k
+
+
+def linear_gap_ratio_asymptotic(t: int) -> float:
+    """``(t + 2) / (2 t)`` — tends to 1/2 as t grows."""
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    return (t + 2) / (2 * t)
+
+
+def quadratic_gap_ratio_asymptotic(t: int) -> float:
+    """``3 (t + 2) / (4 (t - 1))`` — tends to 3/4 as t grows."""
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    return 3 * (t + 2) / (4 * (t - 1))
+
+
+def approximation_limit(t: int) -> float:
+    """The framework's floor for ``t`` players: ``1 / t``.
+
+    No ``t``-party reduction can show hardness at or below a
+    ``(1/t)``-approximation (the local-optima exchange protocol).
+    """
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    return 1.0 / t
+
+
+def summary_for_epsilon(epsilon: float) -> Dict[str, float]:
+    """Headline numbers for a target epsilon: players and ratios.
+
+    Collected in one place for the report benches.
+    """
+    from ..gadgets.parameters import t_for_epsilon_linear, t_for_epsilon_quadratic
+
+    t_linear = t_for_epsilon_linear(epsilon)
+    result: Dict[str, float] = {
+        "epsilon": epsilon,
+        "t_linear": t_linear,
+        "linear_ratio": linear_gap_ratio_asymptotic(t_linear),
+        "linear_limit": approximation_limit(t_linear),
+    }
+    if epsilon < 0.25:
+        t_quadratic = t_for_epsilon_quadratic(epsilon)
+        result["t_quadratic"] = t_quadratic
+        result["quadratic_ratio"] = quadratic_gap_ratio_asymptotic(t_quadratic)
+    return result

@@ -1,0 +1,94 @@
+"""ASCII charts for trend visualisation in benches and examples.
+
+No plotting dependency is available offline, so ratio trends (gap → 1/2,
+gap → 3/4) render as deterministic text bars — good enough to *see* the
+convergence in a terminal or a diff.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_BAR = "#"
+
+
+def horizontal_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    value_format: str = "{:.4g}",
+) -> str:
+    """Render labelled horizontal bars, scaled to ``width`` characters."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels for {len(values)} values"
+        )
+    if not labels:
+        return "(empty chart)"
+    if any(value < 0 for value in values):
+        raise ValueError("bar charts need non-negative values")
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = round(width * min(value, top) / top)
+        bar = _BAR * filled
+        rendered = value_format.format(value)
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {rendered}")
+    return "\n".join(lines)
+
+
+def trend_chart(
+    points: Sequence[Tuple[str, float]],
+    target: Optional[float] = None,
+    target_label: str = "target",
+    width: int = 40,
+) -> str:
+    """Bar chart of a descending/ascending trend with a target rule.
+
+    Used by the gap benches: each point is ``(label, ratio)`` and the
+    target is the limit (1/2 or 3/4); the target renders as its own
+    marked row so convergence is visible at a glance.
+    """
+    labels = [label for label, _ in points]
+    values = [value for _, value in points]
+    all_values = values + ([target] if target is not None else [])
+    top = max(all_values) if all_values else 1.0
+    chart = horizontal_bar_chart(labels, values, width=width, max_value=top)
+    if target is not None:
+        label_width = max(
+            [len(label) for label in labels] + [len(target_label)]
+        )
+        filled = round(width * target / top) if top else 0
+        marker = ("=" * filled).ljust(width)
+        chart = (
+            "\n".join(
+                line if not labels or True else line for line in chart.splitlines()
+            )
+            + f"\n{target_label.ljust(label_width)} |{marker}| {target:.4g}"
+        )
+        # Re-align original rows to the (possibly wider) label column.
+        rows = []
+        for line, label in zip(chart.splitlines(), labels + [target_label]):
+            bar_part = line.split("|", 1)[1]
+            rows.append(f"{label.ljust(label_width)} |{bar_part}")
+        chart = "\n".join(rows)
+    return chart
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line sparkline (eight levels) for quick trend glances."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[3] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[index])
+    return "".join(out)

@@ -1,0 +1,96 @@
+"""Closed-form size formulas for the constructions.
+
+Every count here is cross-checked against measured graphs in the test
+suite, so the formulas double as executable documentation of the
+constructions' shapes:
+
+Base graph ``H`` (one copy):
+    nodes:  ``k + q^2``                       (clique A + code gadget)
+    edges:  ``C(k,2) + q * C(q,2) + k * q * (q - 1)``
+            (clique A; q code cliques; each v_m to Code minus Code_m)
+
+Linear construction ``G`` (t copies + Figure-2 wiring):
+    nodes:  ``t * (k + q^2)``
+    edges:  ``t * E_H + C(t,2) * q^2 * (q - 1)``
+    cut:    ``C(t,2) * q^2 * (q - 1)``
+
+Quadratic construction ``F`` (two copies of ``G``; input edges extra):
+    nodes:  ``2 t (k + q^2)``
+    fixed edges: ``2 * E_G``
+    cut:    ``2 * cut(G)``
+    input edges: ``sum_i #zero-bits(x^i)`` (inside ``A^(i,1) x A^(i,2)``)
+
+Unweighted conversion (Remark 1) of a linear instance:
+    nodes:  ``t * q^2 + (ell - 1) * #heavy + t * k``
+            where heavy nodes are the ``x^i_m = 1`` positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..gadgets.parameters import GadgetParameters
+
+
+def base_graph_edge_count(params: GadgetParameters) -> int:
+    """``|E_H|`` — see module docstring."""
+    k, q = params.k, params.q
+    return k * (k - 1) // 2 + q * (q * (q - 1) // 2) + k * q * (q - 1)
+
+
+def linear_edge_count(params: GadgetParameters) -> int:
+    """``|E_G|`` = t copies of H plus the inter-copy wiring."""
+    t = params.t
+    return t * base_graph_edge_count(params) + linear_cut_count(params)
+
+
+def linear_cut_count(params: GadgetParameters) -> int:
+    """``|cut(G)|`` = C(t,2) * q^2 (q-1) — the measured Theta(t^2 log^3 k)."""
+    t, q = params.t, params.q
+    return (t * (t - 1) // 2) * q * q * (q - 1)
+
+
+def quadratic_edge_count(params: GadgetParameters) -> int:
+    """Fixed edges of ``F`` (before input edges): two copies of ``G``."""
+    return 2 * linear_edge_count(params)
+
+
+def quadratic_cut_count(params: GadgetParameters) -> int:
+    """``|cut(F)|`` — twice the linear cut (one wiring per copy of G)."""
+    return 2 * linear_cut_count(params)
+
+
+def quadratic_input_edge_count(num_zero_bits_per_player: Dict[int, int]) -> int:
+    """Input edges of ``F_x``: one per zero bit, inside each player's pair."""
+    return sum(num_zero_bits_per_player.values())
+
+
+def unweighted_node_count(params: GadgetParameters, num_heavy: int) -> int:
+    """Nodes of the Remark 1 expansion of a linear instance.
+
+    ``num_heavy`` is the number of weight-``ell`` clique nodes (the set
+    bits across all players' strings); each contributes ``ell - 1``
+    extra replicas.
+    """
+    return params.linear_nodes + (params.ell - 1) * num_heavy
+
+
+def instance_summary(params: GadgetParameters) -> Dict[str, int]:
+    """All closed-form counts for one parameter set, in one mapping."""
+    return {
+        "k": params.k,
+        "q": params.q,
+        "t": params.t,
+        "base_nodes": params.base_graph_nodes,
+        "base_edges": base_graph_edge_count(params),
+        "linear_nodes": params.linear_nodes,
+        "linear_edges": linear_edge_count(params),
+        "linear_cut": linear_cut_count(params),
+        "quadratic_nodes": params.quadratic_nodes,
+        "quadratic_fixed_edges": quadratic_edge_count(params),
+        "quadratic_cut": quadratic_cut_count(params),
+        "linear_high_threshold": params.linear_high_threshold(),
+        "linear_low_threshold": params.linear_low_threshold(),
+        "quadratic_high_threshold": params.quadratic_high_threshold(),
+        "quadratic_low_threshold": params.quadratic_low_threshold(),
+    }

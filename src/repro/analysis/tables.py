@@ -1,0 +1,63 @@
+"""Plain-text tables for the benchmark harness.
+
+Every bench regenerates a paper figure or theorem-level quantity as
+rows; this module renders them deterministically (stable widths, no
+locale effects) so bench output is diff-able across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_cell(value: Cell, float_digits: int = 4) -> str:
+    """Render one cell: floats get fixed significant digits."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{float_digits}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 4,
+) -> str:
+    """Render an aligned text table with a header rule."""
+    rendered_rows: List[List[str]] = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_key_values(pairs: Sequence[Sequence[Cell]], indent: str = "  ") -> str:
+    """Render label/value pairs, one per line, aligned."""
+    rendered = [(format_cell(k), format_cell(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in rendered), default=0)
+    return "\n".join(f"{indent}{k.ljust(width)}  {v}" for k, v in rendered)

@@ -1,0 +1,369 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``       closed-form sizes/thresholds for a parameter set
+``figures``    regenerate the paper's construction figures as text
+``claims``     verify every Property/Claim at a parameter set
+``theorem1``   run the Theorem 1 sweep (gap -> 1/2)
+``theorem2``   run the Theorem 2 sweep (gap -> 3/4)
+``simulate``   run the Theorem 5 player simulation end to end
+``protocols``  measure disjointness protocols against the Theorem 3 floor
+``export``     write DOT/JSON snapshots of the constructions
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    instance_summary,
+    linear_gap_ratio_asymptotic,
+    quadratic_gap_ratio_asymptotic,
+    render_key_values,
+    render_table,
+)
+from .commcc import pairwise_disjoint_inputs, uniquely_intersecting_inputs
+from .congest import FullGraphCollection
+from .core import (
+    LinearLowerBoundExperiment,
+    QuadraticLowerBoundExperiment,
+    verify_all_linear,
+    verify_all_quadratic,
+)
+from .core.serialize import claim_checks_to_json, report_to_json
+from .framework import simulate_congest_via_players
+from .gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    LinearMaxISFamily,
+    QuadraticConstruction,
+    smallest_meaningful_linear_parameters,
+)
+from .graphs import render_figure
+from .maxis import max_independent_set_weight
+
+
+def _add_parameter_args(parser: argparse.ArgumentParser, default_t: int = 2) -> None:
+    parser.add_argument("--ell", type=int, default=2, help="code distance l")
+    parser.add_argument("--alpha", type=int, default=1, help="message length a")
+    parser.add_argument("--t", type=int, default=default_t, help="number of players")
+    parser.add_argument(
+        "--k", type=int, default=None, help="indices (default (l+a)^a)"
+    )
+
+
+def _params(args: argparse.Namespace) -> GadgetParameters:
+    return GadgetParameters(ell=args.ell, alpha=args.alpha, t=args.t, k=args.k)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    summary = instance_summary(_params(args))
+    print(render_key_values(sorted(summary.items()), indent=""))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    linear = LinearConstruction(GadgetParameters(ell=2, alpha=1, t=args.t))
+    print(
+        render_figure(
+            f"Linear construction G (ell=2, alpha=1, t={args.t})",
+            linear.graph,
+            linear.groups(),
+        )
+    )
+    print()
+    quadratic = QuadraticConstruction(GadgetParameters(ell=2, alpha=1, t=args.t))
+    print(
+        render_figure(
+            f"Quadratic construction F (ell=2, alpha=1, t={args.t})",
+            quadratic.graph,
+            quadratic.groups(),
+        )
+    )
+    return 0
+
+
+def cmd_claims(args: argparse.Namespace) -> int:
+    params = _params(args)
+    checks = verify_all_linear(params, num_samples=args.samples)
+    if args.quadratic:
+        checks += verify_all_quadratic(params, num_samples=max(1, args.samples // 2))
+    if args.json:
+        print(claim_checks_to_json(checks))
+    else:
+        rows = [
+            [c.name, c.measured, f"{c.direction} {c.bound}", c.holds, c.detail]
+            for c in checks
+        ]
+        print(
+            render_table(
+                ["statement", "measured", "paper bound", "holds", "detail"],
+                rows,
+                title=f"Verification at {params!r}",
+            )
+        )
+    return 0 if all(check.holds for check in checks) else 1
+
+
+def cmd_theorem1(args: argparse.Namespace) -> int:
+    rows = []
+    exit_code = 0
+    for t in range(2, args.max_t + 1):
+        params = smallest_meaningful_linear_parameters(t)
+        report = LinearLowerBoundExperiment(params, seed=args.seed).run(
+            num_samples=args.samples
+        )
+        if args.json:
+            print(report_to_json(report))
+        if not report.gap.claims_hold:
+            exit_code = 1
+        rows.append(
+            [
+                t,
+                params.ell,
+                report.num_nodes,
+                report.cut,
+                round(report.gap.measured_ratio, 4),
+                round(linear_gap_ratio_asymptotic(t), 4),
+                report.gap.claims_hold,
+            ]
+        )
+    if not args.json:
+        print(
+            render_table(
+                ["t", "ell", "n", "cut", "measured ratio", "asymptotic", "claims hold"],
+                rows,
+                title="Theorem 1: the gap descends toward 1/2",
+            )
+        )
+    return exit_code
+
+
+def cmd_theorem2(args: argparse.Namespace) -> int:
+    rows = []
+    exit_code = 0
+    for ell, t in [(2, 2), (3, 2), (2, 3), (2, 4)]:
+        if t > args.max_t:
+            continue
+        params = GadgetParameters(ell=ell, alpha=1, t=t)
+        report = QuadraticLowerBoundExperiment(params, seed=args.seed).run(
+            num_samples=max(1, args.samples // 2)
+        )
+        if args.json:
+            print(report_to_json(report))
+        if not report.gap.claims_hold:
+            exit_code = 1
+        rows.append(
+            [
+                t,
+                ell,
+                report.num_nodes,
+                round(report.gap.measured_ratio, 4),
+                round(quadratic_gap_ratio_asymptotic(t), 4),
+                report.gap.claims_hold,
+            ]
+        )
+    if not args.json:
+        print(
+            render_table(
+                ["t", "ell", "n", "measured ratio", "asymptotic", "claims hold"],
+                rows,
+                title="Theorem 2: the gap descends toward 3/4",
+            )
+        )
+    return exit_code
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    params = GadgetParameters(ell=2, alpha=1, t=2)
+    family = LinearMaxISFamily(params, warmup=True)
+    low = family.gap.low_threshold
+    rng = random.Random(args.seed)
+    exit_code = 0
+    for intersecting in (True, False):
+        gen = (
+            uniquely_intersecting_inputs if intersecting else pairwise_disjoint_inputs
+        )
+        inputs = gen(params.k, params.t, rng=rng)
+        report = simulate_congest_via_players(
+            family,
+            inputs,
+            lambda: FullGraphCollection(
+                evaluate=lambda graph: max_independent_set_weight(graph) <= low
+            ),
+        )
+        side = "intersecting" if intersecting else "disjoint"
+        print(
+            f"{side:>12}: rounds={report.rounds} cut={report.cut_edges} "
+            f"bits={report.blackboard_bits} <= {report.analytic_bit_bound} "
+            f"decision={report.predicate_output} f(x)={report.function_value}"
+        )
+        if not report.is_consistent:
+            exit_code = 1
+    return exit_code
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    from .commcc import (
+        CandidateIndexProtocol,
+        FullRevealProtocol,
+        RunningIntersectionProtocol,
+        pairwise_disjointness_cc_lower_bound,
+        promise_inputs,
+        verified_disjointness_bound,
+    )
+
+    k, t = args.k, args.t
+    protocols = {
+        "full-reveal": FullRevealProtocol(),
+        "running-intersection": RunningIntersectionProtocol(),
+        "candidate-index": CandidateIndexProtocol(),
+    }
+    rows = []
+    for name, protocol in protocols.items():
+        worst = 0
+        for seed in range(args.trials):
+            for intersecting in (True, False):
+                inputs = promise_inputs(
+                    k, t, intersecting, rng=random.Random(seed)
+                )
+                worst = max(worst, protocol.run(inputs).cost_bits)
+        rows.append([name, worst])
+    print(
+        render_table(
+            ["protocol", "worst measured cost (bits)"],
+            rows,
+            title=f"Promise pairwise disjointness, k={k}, t={t}",
+        )
+    )
+    floor = pairwise_disjointness_cc_lower_bound(k, t)
+    print(f"\nTheorem 3 floor: {floor:.1f} bits")
+    if k <= 12 and t == 2:
+        print(
+            f"fooling-set bound (deterministic, verified): "
+            f"{verified_disjointness_bound(k):.0f} bits"
+        )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .graphs import graph_to_json, to_dot
+
+    out = pathlib.Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    params = _params(args)
+    linear = LinearConstruction(params)
+    quadratic = QuadraticConstruction(params)
+    files = {
+        "linear.dot": to_dot(linear.graph, groups=linear.groups(), name="G"),
+        "quadratic.dot": to_dot(
+            quadratic.graph, groups=quadratic.groups(), name="F"
+        ),
+        "linear_fixed.json": graph_to_json(linear.graph, indent=2),
+    }
+    for filename, content in files.items():
+        path = out / filename
+        path.write_text(content + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .core import run_reproduction_suite
+
+    suite = run_reproduction_suite(
+        max_t=args.max_t, num_samples=args.samples, seed=args.seed
+    )
+    if args.json:
+        print(suite.to_json())
+    else:
+        print(suite.render())
+    return 0 if suite.all_claims_hold else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Executable reproduction of 'Beyond Alice and Bob' (PODC 2020)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="closed-form instance sizes")
+    _add_parameter_args(info)
+    info.set_defaults(func=cmd_info)
+
+    figures = subparsers.add_parser("figures", help="render the constructions")
+    figures.add_argument("--t", type=int, default=2)
+    figures.set_defaults(func=cmd_figures)
+
+    claims = subparsers.add_parser("claims", help="verify properties and claims")
+    _add_parameter_args(claims)
+    claims.add_argument("--samples", type=int, default=3)
+    claims.add_argument("--quadratic", action="store_true")
+    claims.add_argument("--json", action="store_true")
+    claims.set_defaults(func=cmd_claims)
+
+    theorem1 = subparsers.add_parser("theorem1", help="run the Theorem 1 sweep")
+    theorem1.add_argument("--max-t", type=int, default=4)
+    theorem1.add_argument("--samples", type=int, default=2)
+    theorem1.add_argument("--seed", type=int, default=0)
+    theorem1.add_argument("--json", action="store_true")
+    theorem1.set_defaults(func=cmd_theorem1)
+
+    theorem2 = subparsers.add_parser("theorem2", help="run the Theorem 2 sweep")
+    theorem2.add_argument("--max-t", type=int, default=3)
+    theorem2.add_argument("--samples", type=int, default=2)
+    theorem2.add_argument("--seed", type=int, default=0)
+    theorem2.add_argument("--json", action="store_true")
+    theorem2.set_defaults(func=cmd_theorem2)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the Theorem 5 player simulation"
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=cmd_simulate)
+
+    protocols = subparsers.add_parser(
+        "protocols", help="measure disjointness protocols vs the CC floor"
+    )
+    protocols.add_argument("--k", type=int, default=64)
+    protocols.add_argument("--t", type=int, default=3)
+    protocols.add_argument("--trials", type=int, default=3)
+    protocols.set_defaults(func=cmd_protocols)
+
+    export = subparsers.add_parser(
+        "export", help="write DOT/JSON snapshots of the constructions"
+    )
+    _add_parameter_args(export)
+    export.add_argument("--output", default="repro_export")
+    export.set_defaults(func=cmd_export)
+
+    report = subparsers.add_parser(
+        "report", help="run the full reproduction suite"
+    )
+    report.add_argument("--max-t", type=int, default=4)
+    report.add_argument("--samples", type=int, default=2)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--json", action="store_true")
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

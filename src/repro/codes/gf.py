@@ -1,0 +1,322 @@
+"""Finite field arithmetic GF(p) and GF(p^m).
+
+Theorem 4 of the paper (existence of code-mappings with distance
+``d = M - L``) is realised by Reed–Solomon codes, which need a finite
+field whose size is at least the code length.  The gadget alphabet is
+``Sigma = {1, ..., l + alpha}``, and ``l + alpha`` is not always prime,
+so we support extension fields GF(p^m) as well as prime fields.
+
+Field elements are exposed to callers as integers ``0 .. q-1`` through a
+fixed bijection; all arithmetic goes through the field object.  This
+keeps codewords as plain integer tuples, which is what the gadget layer
+consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+def is_prime(n: int) -> bool:
+    """Return whether ``n`` is prime (trial division; fine for our sizes)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime ``>= n``."""
+    candidate = max(n, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def factor_prime_power(n: int) -> Optional[Tuple[int, int]]:
+    """Return ``(p, m)`` with ``n == p ** m`` and ``p`` prime, else ``None``."""
+    if n < 2:
+        return None
+    for p in range(2, n + 1):
+        if p * p > n:
+            break
+        if n % p:
+            continue
+        if not is_prime(p):
+            continue
+        m = 0
+        rest = n
+        while rest % p == 0:
+            rest //= p
+            m += 1
+        return (p, m) if rest == 1 else None
+    return (n, 1) if is_prime(n) else None
+
+
+def is_prime_power(n: int) -> bool:
+    """Return whether ``n`` is a prime power ``p^m`` with ``m >= 1``."""
+    return factor_prime_power(n) is not None
+
+
+class FieldElementError(ValueError):
+    """Raised for out-of-range element encodings or division by zero."""
+
+
+class FiniteField:
+    """Abstract interface for a finite field of order ``q``.
+
+    Elements are encoded as integers ``0 .. q-1``; ``0`` encodes the
+    additive identity and ``1`` the multiplicative identity.
+    """
+
+    order: int
+
+    def check(self, a: int) -> int:
+        """Validate an element encoding and return it."""
+        if not isinstance(a, int) or not 0 <= a < self.order:
+            raise FieldElementError(
+                f"{a!r} is not a valid element of a field of order {self.order}"
+            )
+        return a
+
+    def add(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def neg(self, a: int) -> int:
+        raise NotImplementedError
+
+    def mul(self, a: int, b: int) -> int:
+        raise NotImplementedError
+
+    def inv(self, a: int) -> int:
+        raise NotImplementedError
+
+    def sub(self, a: int, b: int) -> int:
+        """Return ``a - b``."""
+        return self.add(a, self.neg(b))
+
+    def div(self, a: int, b: int) -> int:
+        """Return ``a / b``; raises on ``b == 0``."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """Return ``a ** exponent`` by square-and-multiply."""
+        if exponent < 0:
+            return self.pow(self.inv(a), -exponent)
+        self.check(a)
+        result = 1
+        base = a
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def elements(self) -> Iterator[int]:
+        """Iterate over all element encodings."""
+        return iter(range(self.order))
+
+    def sum(self, values: Sequence[int]) -> int:
+        """Sum a sequence of elements."""
+        total = 0
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(order={self.order})"
+
+
+class PrimeField(FiniteField):
+    """GF(p) — integers modulo a prime ``p``."""
+
+    def __init__(self, p: int) -> None:
+        if not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.order = p
+
+    def add(self, a: int, b: int) -> int:
+        return (self.check(a) + self.check(b)) % self.order
+
+    def neg(self, a: int) -> int:
+        return (-self.check(a)) % self.order
+
+    def mul(self, a: int, b: int) -> int:
+        return (self.check(a) * self.check(b)) % self.order
+
+    def inv(self, a: int) -> int:
+        if self.check(a) == 0:
+            raise FieldElementError("division by zero")
+        return pow(a, self.order - 2, self.order)
+
+
+def _poly_mod(coeffs: List[int], modulus: Sequence[int], base: "PrimeField") -> List[int]:
+    """Reduce a coefficient list modulo a monic polynomial over GF(p)."""
+    degree = len(modulus) - 1
+    coeffs = list(coeffs)
+    while len(coeffs) > degree:
+        lead = coeffs[-1]
+        if lead:
+            shift = len(coeffs) - 1 - degree
+            for i, m in enumerate(modulus):
+                coeffs[shift + i] = base.sub(coeffs[shift + i], base.mul(lead, m))
+        coeffs.pop()
+    while len(coeffs) < degree:
+        coeffs.append(0)
+    return coeffs
+
+
+def _is_irreducible(modulus: Sequence[int], base: "PrimeField") -> bool:
+    """Check irreducibility by exhaustive root/factor search (small p, m)."""
+    p = base.order
+    degree = len(modulus) - 1
+    if degree == 1:
+        return True
+    # No roots (covers degree 2 and 3 fully).
+    for x in range(p):
+        value = 0
+        power = 1
+        for coefficient in modulus:
+            value = base.add(value, base.mul(coefficient, power))
+            power = base.mul(power, x)
+        if value == 0:
+            return False
+    if degree <= 3:
+        return True
+    # General case: try all monic factors of degree 2 .. degree // 2.
+    for factor_degree in range(2, degree // 2 + 1):
+        for tail in itertools.product(range(p), repeat=factor_degree):
+            factor = list(tail) + [1]
+            if _poly_divides(factor, modulus, base):
+                return False
+    return True
+
+
+def _poly_divides(divisor: Sequence[int], dividend: Sequence[int], base: "PrimeField") -> bool:
+    """Return whether ``divisor`` divides ``dividend`` over GF(p)."""
+    remainder = list(dividend)
+    divisor_degree = len(divisor) - 1
+    lead_inverse = base.inv(divisor[-1])
+    while len(remainder) - 1 >= divisor_degree:
+        lead = remainder[-1]
+        if lead:
+            scale = base.mul(lead, lead_inverse)
+            shift = len(remainder) - len(divisor)
+            for i, coefficient in enumerate(divisor):
+                remainder[shift + i] = base.sub(
+                    remainder[shift + i], base.mul(scale, coefficient)
+                )
+        remainder.pop()
+        while remainder and remainder[-1] == 0 and len(remainder) - 1 >= divisor_degree:
+            if any(remainder):
+                break
+            remainder.pop()
+    return not any(remainder)
+
+
+def find_irreducible_polynomial(p: int, m: int) -> List[int]:
+    """Return a monic irreducible polynomial of degree ``m`` over GF(p).
+
+    Coefficients are returned lowest-degree first, with the leading
+    (degree ``m``) coefficient equal to 1.
+    """
+    base = PrimeField(p)
+    if m == 1:
+        return [0, 1]
+    for tail in itertools.product(range(p), repeat=m):
+        candidate = list(tail) + [1]
+        if candidate[0] == 0:
+            continue  # reducible: divisible by x
+        if _is_irreducible(candidate, base):
+            return candidate
+    raise RuntimeError(f"no irreducible polynomial of degree {m} over GF({p})")
+
+
+class ExtensionField(FiniteField):
+    """GF(p^m) as polynomials over GF(p) modulo an irreducible polynomial.
+
+    Elements are encoded as integers via base-``p`` digits: the encoding
+    ``a`` represents the polynomial with coefficient ``(a // p^i) % p``
+    on ``x^i``.  This makes ``0`` the zero element and ``1`` the one
+    element, as required by :class:`FiniteField`.
+    """
+
+    def __init__(self, p: int, m: int, modulus: Optional[Sequence[int]] = None) -> None:
+        if m < 1:
+            raise ValueError(f"extension degree must be >= 1, got {m}")
+        self.p = p
+        self.m = m
+        self.base = PrimeField(p)
+        self.order = p ** m
+        if modulus is None:
+            modulus = find_irreducible_polynomial(p, m)
+        modulus = list(modulus)
+        if len(modulus) != m + 1 or modulus[-1] != 1:
+            raise ValueError("modulus must be monic of degree m")
+        if not _is_irreducible(modulus, self.base):
+            raise ValueError("modulus polynomial is reducible")
+        self.modulus = modulus
+
+    def _to_coeffs(self, a: int) -> List[int]:
+        self.check(a)
+        coeffs = []
+        for _ in range(self.m):
+            coeffs.append(a % self.p)
+            a //= self.p
+        return coeffs
+
+    def _from_coeffs(self, coeffs: Sequence[int]) -> int:
+        value = 0
+        for coefficient in reversed(list(coeffs)):
+            value = value * self.p + coefficient
+        return value
+
+    def add(self, a: int, b: int) -> int:
+        ca, cb = self._to_coeffs(a), self._to_coeffs(b)
+        return self._from_coeffs(
+            [self.base.add(x, y) for x, y in zip(ca, cb)]
+        )
+
+    def neg(self, a: int) -> int:
+        return self._from_coeffs([self.base.neg(x) for x in self._to_coeffs(a)])
+
+    def mul(self, a: int, b: int) -> int:
+        ca, cb = self._to_coeffs(a), self._to_coeffs(b)
+        product = [0] * (2 * self.m - 1)
+        for i, x in enumerate(ca):
+            if not x:
+                continue
+            for j, y in enumerate(cb):
+                if y:
+                    product[i + j] = self.base.add(product[i + j], self.base.mul(x, y))
+        return self._from_coeffs(_poly_mod(product, self.modulus, self.base))
+
+    def inv(self, a: int) -> int:
+        if self.check(a) == 0:
+            raise FieldElementError("division by zero")
+        # a^(q-2) == a^{-1} in GF(q).
+        return self.pow(a, self.order - 2)
+
+
+def field_of_order(q: int) -> FiniteField:
+    """Return GF(q) for a prime power ``q``.
+
+    Raises :class:`ValueError` when ``q`` is not a prime power.
+    """
+    factored = factor_prime_power(q)
+    if factored is None:
+        raise ValueError(f"{q} is not a prime power; no field of that order exists")
+    p, m = factored
+    if m == 1:
+        return PrimeField(p)
+    return ExtensionField(p, m)

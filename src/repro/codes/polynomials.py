@@ -1,0 +1,157 @@
+"""Polynomial arithmetic and linear algebra over finite fields.
+
+Supports Reed–Solomon encoding (polynomial evaluation), interpolation,
+and the Berlekamp–Welch decoder (Gaussian elimination).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .gf import FiniteField
+
+
+def poly_trim(coeffs: Sequence[int]) -> List[int]:
+    """Drop trailing zero coefficients (the zero polynomial becomes [])."""
+    coeffs = list(coeffs)
+    while coeffs and coeffs[-1] == 0:
+        coeffs.pop()
+    return coeffs
+
+
+def poly_degree(coeffs: Sequence[int]) -> int:
+    """Return the degree (``-1`` for the zero polynomial)."""
+    return len(poly_trim(coeffs)) - 1
+
+
+def poly_eval(field: FiniteField, coeffs: Sequence[int], x: int) -> int:
+    """Evaluate a polynomial at ``x`` (Horner's rule)."""
+    result = 0
+    for coefficient in reversed(list(coeffs)):
+        result = field.add(field.mul(result, x), coefficient)
+    return result
+
+
+def poly_add(field: FiniteField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Return ``a + b``."""
+    length = max(len(a), len(b))
+    out = []
+    for i in range(length):
+        x = a[i] if i < len(a) else 0
+        y = b[i] if i < len(b) else 0
+        out.append(field.add(x, y))
+    return poly_trim(out)
+
+
+def poly_scale(field: FiniteField, a: Sequence[int], scalar: int) -> List[int]:
+    """Return ``scalar * a``."""
+    return poly_trim([field.mul(coefficient, scalar) for coefficient in a])
+
+
+def poly_mul(field: FiniteField, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Return ``a * b``."""
+    a, b = poly_trim(a), poly_trim(b)
+    if not a or not b:
+        return []
+    product = [0] * (len(a) + len(b) - 1)
+    for i, x in enumerate(a):
+        if not x:
+            continue
+        for j, y in enumerate(b):
+            if y:
+                product[i + j] = field.add(product[i + j], field.mul(x, y))
+    return poly_trim(product)
+
+
+def poly_divmod(
+    field: FiniteField, dividend: Sequence[int], divisor: Sequence[int]
+) -> tuple:
+    """Return ``(quotient, remainder)`` of polynomial division."""
+    divisor = poly_trim(divisor)
+    if not divisor:
+        raise ZeroDivisionError("polynomial division by zero")
+    remainder = list(poly_trim(dividend))
+    quotient = [0] * max(0, len(remainder) - len(divisor) + 1)
+    lead_inverse = field.inv(divisor[-1])
+    while len(remainder) >= len(divisor):
+        scale = field.mul(remainder[-1], lead_inverse)
+        shift = len(remainder) - len(divisor)
+        if scale:
+            quotient[shift] = scale
+            for i, coefficient in enumerate(divisor):
+                remainder[shift + i] = field.sub(
+                    remainder[shift + i], field.mul(scale, coefficient)
+                )
+        remainder.pop()
+    return poly_trim(quotient), poly_trim(remainder)
+
+
+def lagrange_interpolate(
+    field: FiniteField, xs: Sequence[int], ys: Sequence[int]
+) -> List[int]:
+    """Return the unique polynomial of degree < len(xs) through the points."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must be distinct")
+    result: List[int] = []
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        if yi == 0:
+            continue
+        basis: List[int] = [1]
+        denominator = 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            basis = poly_mul(field, basis, [field.neg(xj), 1])
+            denominator = field.mul(denominator, field.sub(xi, xj))
+        scale = field.mul(yi, field.inv(denominator))
+        result = poly_add(field, result, poly_scale(field, basis, scale))
+    return result
+
+
+def solve_linear_system(
+    field: FiniteField, matrix: Sequence[Sequence[int]], rhs: Sequence[int]
+) -> Optional[List[int]]:
+    """Solve ``A x = b`` over the field by Gaussian elimination.
+
+    Returns one solution (free variables set to 0), or ``None`` when the
+    system is inconsistent.
+    """
+    rows = [list(row) + [value] for row, value in zip(matrix, rhs)]
+    if len(rows) != len(rhs):
+        raise ValueError("matrix and rhs dimensions disagree")
+    num_rows = len(rows)
+    num_cols = len(matrix[0]) if num_rows else 0
+    pivot_columns: List[int] = []
+    row_index = 0
+    for col in range(num_cols):
+        pivot = None
+        for r in range(row_index, num_rows):
+            if rows[r][col] != 0:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        rows[row_index], rows[pivot] = rows[pivot], rows[row_index]
+        inverse = field.inv(rows[row_index][col])
+        rows[row_index] = [field.mul(value, inverse) for value in rows[row_index]]
+        for r in range(num_rows):
+            if r != row_index and rows[r][col] != 0:
+                factor = rows[r][col]
+                rows[r] = [
+                    field.sub(value, field.mul(factor, pivot_value))
+                    for value, pivot_value in zip(rows[r], rows[row_index])
+                ]
+        pivot_columns.append(col)
+        row_index += 1
+        if row_index == num_rows:
+            break
+    # Inconsistency check: a zero row with nonzero rhs.
+    for r in range(row_index, num_rows):
+        if all(value == 0 for value in rows[r][:-1]) and rows[r][-1] != 0:
+            return None
+    solution = [0] * num_cols
+    for r, col in enumerate(pivot_columns):
+        solution[col] = rows[r][-1]
+    return solution

@@ -1,0 +1,162 @@
+"""Reed–Solomon codes over GF(q).
+
+This realises Theorem 4 of the paper: for an alphabet of size ``q`` there
+is a code-mapping with parameters ``(L, M, d, Sigma)`` where
+``L <= M <= q`` and ``d = M - L``.  Reed–Solomon actually guarantees
+distance ``M - L + 1`` (polynomials of degree < L agreeing on >= L points
+are equal), which dominates the required ``M - L``.
+
+Decoding is not needed by the reduction, but we implement Berlekamp–Welch
+unique decoding anyway: it gives the test suite a strong, independent
+certificate that the code really has the claimed distance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .gf import FiniteField, field_of_order
+from .polynomials import (
+    lagrange_interpolate,
+    poly_divmod,
+    poly_eval,
+    poly_trim,
+    solve_linear_system,
+)
+
+
+class ReedSolomonCode:
+    """RS code with message length ``L`` and block length ``M`` over GF(q).
+
+    Messages and codewords are tuples of integers in ``0 .. q-1``
+    (the field's canonical element encoding).
+    """
+
+    def __init__(self, field: FiniteField, message_length: int, block_length: int) -> None:
+        if not 1 <= message_length <= block_length:
+            raise ValueError(
+                f"need 1 <= L <= M, got L={message_length}, M={block_length}"
+            )
+        if block_length > field.order:
+            raise ValueError(
+                f"block length {block_length} exceeds field order {field.order}"
+            )
+        self.field = field
+        self.message_length = message_length
+        self.block_length = block_length
+        self.evaluation_points = list(range(block_length))
+
+    @classmethod
+    def over_order(cls, q: int, message_length: int, block_length: int) -> "ReedSolomonCode":
+        """Construct an RS code over GF(q) for a prime power ``q``."""
+        return cls(field_of_order(q), message_length, block_length)
+
+    @property
+    def minimum_distance(self) -> int:
+        """The exact minimum distance ``M - L + 1`` (MDS)."""
+        return self.block_length - self.message_length + 1
+
+    @property
+    def max_correctable_errors(self) -> int:
+        """Unique decoding radius ``floor((d - 1) / 2)``."""
+        return (self.minimum_distance - 1) // 2
+
+    def encode(self, message: Sequence[int]) -> Tuple[int, ...]:
+        """Encode a message as evaluations of its polynomial.
+
+        The message symbols are the coefficients of a polynomial of
+        degree < L; the codeword is its evaluation at ``M`` fixed points.
+        """
+        if len(message) != self.message_length:
+            raise ValueError(
+                f"message length must be {self.message_length}, got {len(message)}"
+            )
+        for symbol in message:
+            self.field.check(symbol)
+        return tuple(
+            poly_eval(self.field, message, x) for x in self.evaluation_points
+        )
+
+    def decode(self, received: Sequence[int]) -> Optional[Tuple[int, ...]]:
+        """Berlekamp–Welch unique decoding.
+
+        Returns the message whose codeword is within the unique-decoding
+        radius of ``received``, or ``None`` when no such message exists.
+        """
+        if len(received) != self.block_length:
+            raise ValueError(
+                f"received word length must be {self.block_length}, got {len(received)}"
+            )
+        for symbol in received:
+            self.field.check(symbol)
+        for num_errors in range(self.max_correctable_errors + 1):
+            message = self._decode_with_error_count(received, num_errors)
+            if message is not None:
+                return message
+        return None
+
+    def _decode_with_error_count(
+        self, received: Sequence[int], num_errors: int
+    ) -> Optional[Tuple[int, ...]]:
+        """Solve the Berlekamp–Welch system for a fixed error count.
+
+        Finds ``E`` (monic, degree ``e``) and ``Q`` (degree <= e + L - 1)
+        with ``Q(x_i) = y_i * E(x_i)`` for all points, then checks that
+        ``Q / E`` is the message polynomial.
+        """
+        field = self.field
+        q_degree = num_errors + self.message_length - 1
+        num_unknowns = (q_degree + 1) + num_errors  # Q coeffs + non-monic E coeffs
+        matrix: List[List[int]] = []
+        rhs: List[int] = []
+        for x, y in zip(self.evaluation_points, received):
+            row = []
+            power = 1
+            for _ in range(q_degree + 1):  # Q coefficients
+                row.append(power)
+                power = field.mul(power, x)
+            power = 1
+            for _ in range(num_errors):  # E coefficients (degree < e)
+                row.append(field.neg(field.mul(y, power)))
+                power = field.mul(power, x)
+            # Monic leading term of E moves to the right-hand side.
+            lead = field.pow(x, num_errors)
+            rhs.append(field.mul(y, lead))
+            matrix.append(row)
+        if not matrix:
+            return None
+        solution = solve_linear_system(field, matrix, rhs)
+        if solution is None:
+            return None
+        q_poly = poly_trim(solution[: q_degree + 1])
+        e_poly = poly_trim(solution[q_degree + 1:] + [1])
+        quotient, remainder = poly_divmod(field, q_poly, e_poly)
+        if remainder:
+            return None
+        if len(quotient) > self.message_length:
+            return None
+        message = list(quotient) + [0] * (self.message_length - len(quotient))
+        codeword = self.encode(message)
+        disagreement = sum(1 for a, b in zip(codeword, received) if a != b)
+        if disagreement > self.max_correctable_errors:
+            return None
+        return tuple(message)
+
+    def interpolate_message(self, points: Sequence[Tuple[int, int]]) -> Tuple[int, ...]:
+        """Recover the message from ``L`` error-free (index, symbol) pairs."""
+        if len(points) < self.message_length:
+            raise ValueError("need at least L points to interpolate")
+        xs = [self.evaluation_points[i] for i, _ in points[: self.message_length]]
+        ys = [symbol for _, symbol in points[: self.message_length]]
+        coeffs = lagrange_interpolate(self.field, xs, ys)
+        coeffs = list(coeffs) + [0] * (self.message_length - len(coeffs))
+        if len(coeffs) > self.message_length:
+            raise ValueError("points are not consistent with any codeword")
+        return tuple(coeffs)
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Return ``|{i : a_i != b_i}|`` (Definition 3's distance)."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return sum(1 for x, y in zip(a, b) if x != y)

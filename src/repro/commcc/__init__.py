@@ -1,0 +1,112 @@
+"""Multi-party communication complexity substrate (shared blackboard)."""
+
+from .bitstring import BitString, all_pairwise_disjoint, common_intersection
+from .bounds import (
+    candidate_index_upper_bound,
+    full_reveal_upper_bound,
+    local_optima_exchange_cost,
+    pairwise_disjointness_cc_lower_bound,
+    two_party_disjointness_cc_lower_bound,
+)
+from .functions import (
+    PromiseCase,
+    PromiseViolationError,
+    classify_promise_case,
+    multiparty_set_disjointness,
+    promise_pairwise_disjointness,
+    two_party_disjointness,
+    unique_intersection_index,
+)
+from .inputs import (
+    all_promise_inputs,
+    flat_to_index_pair,
+    index_pair_to_flat,
+    pairwise_disjoint_inputs,
+    promise_inputs,
+    uniquely_intersecting_inputs,
+)
+from .model import (
+    Blackboard,
+    BlackboardEntry,
+    PlayerView,
+    Protocol,
+    ProtocolResult,
+    bits_needed,
+    decode_integer,
+    encode_integer,
+)
+from .fooling import (
+    disjointness_fooling_set,
+    fooling_set_bound,
+    greedy_fooling_set,
+    is_fooling_set,
+    verified_disjointness_bound,
+)
+from .profiles import (
+    num_possible_profiles,
+    pairwise_intersection_profile,
+    promise_profiles,
+    realizable_profiles,
+    witness_for_profile,
+)
+from .randomized import (
+    ProtocolSuccessEstimate,
+    RandomizedProtocol,
+    SampledIndexProtocol,
+    estimate_protocol_success,
+)
+from .protocols import (
+    CandidateIndexProtocol,
+    FullRevealProtocol,
+    RunningIntersectionProtocol,
+    replay_candidate_index_output,
+)
+
+__all__ = [
+    "BitString",
+    "Blackboard",
+    "BlackboardEntry",
+    "CandidateIndexProtocol",
+    "FullRevealProtocol",
+    "PlayerView",
+    "PromiseCase",
+    "PromiseViolationError",
+    "Protocol",
+    "ProtocolResult",
+    "ProtocolSuccessEstimate",
+    "RandomizedProtocol",
+    "RunningIntersectionProtocol",
+    "SampledIndexProtocol",
+    "estimate_protocol_success",
+    "all_pairwise_disjoint",
+    "all_promise_inputs",
+    "bits_needed",
+    "candidate_index_upper_bound",
+    "classify_promise_case",
+    "common_intersection",
+    "decode_integer",
+    "disjointness_fooling_set",
+    "encode_integer",
+    "flat_to_index_pair",
+    "fooling_set_bound",
+    "greedy_fooling_set",
+    "full_reveal_upper_bound",
+    "index_pair_to_flat",
+    "is_fooling_set",
+    "local_optima_exchange_cost",
+    "multiparty_set_disjointness",
+    "num_possible_profiles",
+    "pairwise_disjoint_inputs",
+    "pairwise_intersection_profile",
+    "pairwise_disjointness_cc_lower_bound",
+    "promise_inputs",
+    "promise_profiles",
+    "promise_pairwise_disjointness",
+    "realizable_profiles",
+    "replay_candidate_index_output",
+    "two_party_disjointness",
+    "two_party_disjointness_cc_lower_bound",
+    "unique_intersection_index",
+    "verified_disjointness_bound",
+    "witness_for_profile",
+]

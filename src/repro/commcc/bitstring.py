@@ -1,0 +1,169 @@
+"""Fixed-length bit strings — the players' inputs ``x^i in {0,1}^k``.
+
+Backed by a Python integer bitmask, so intersection/disjointness tests on
+the large strings of the quadratic construction (length ``k^2``) are
+single machine-word-per-limb operations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+class BitString:
+    """An immutable bit string of fixed length ``k``.
+
+    Bit ``i`` (0-based) corresponds to the paper's index ``i+1 in [k]``.
+    """
+
+    __slots__ = ("length", "mask")
+
+    def __init__(self, length: int, mask: int = 0) -> None:
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        if mask < 0 or mask >> length:
+            raise ValueError(f"mask {mask:#x} does not fit in {length} bits")
+        self.length = length
+        self.mask = mask
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, length: int, indices: Iterable[int]) -> "BitString":
+        """Build from the set of 1-positions."""
+        mask = 0
+        for index in indices:
+            if not 0 <= index < length:
+                raise ValueError(f"index {index} out of range [0, {length})")
+            mask |= 1 << index
+        return cls(length, mask)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[int]) -> "BitString":
+        """Build from an explicit 0/1 sequence (index 0 first)."""
+        mask = 0
+        for i, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise ValueError(f"bit {bit!r} at position {i} is not 0 or 1")
+            mask |= bit << i
+        return cls(len(bits), mask)
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitString":
+        """The all-zero string."""
+        return cls(length, 0)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitString":
+        """The all-one string."""
+        return cls(length, (1 << length) - 1)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of range [0, {self.length})")
+        return (self.mask >> index) & 1
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self.length):
+            yield (self.mask >> i) & 1
+
+    def indices(self) -> List[int]:
+        """Return the sorted positions of 1 bits."""
+        out = []
+        mask = self.mask
+        index = 0
+        while mask:
+            if mask & 1:
+                out.append(index)
+            mask >>= 1
+            index += 1
+        return out
+
+    def popcount(self) -> int:
+        """Number of 1 bits."""
+        return bin(self.mask).count("1")
+
+    def intersects(self, other: "BitString") -> bool:
+        """Return whether some index is 1 in both strings."""
+        self._check_compatible(other)
+        return bool(self.mask & other.mask)
+
+    def is_disjoint_from(self, other: "BitString") -> bool:
+        """Paper's disjointness: ``sum_j x_j y_j == 0``."""
+        return not self.intersects(other)
+
+    def _check_compatible(self, other: "BitString") -> None:
+        if self.length != other.length:
+            raise ValueError(
+                f"length mismatch: {self.length} vs {other.length}"
+            )
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+
+    def __and__(self, other: "BitString") -> "BitString":
+        self._check_compatible(other)
+        return BitString(self.length, self.mask & other.mask)
+
+    def __or__(self, other: "BitString") -> "BitString":
+        self._check_compatible(other)
+        return BitString(self.length, self.mask | other.mask)
+
+    def __xor__(self, other: "BitString") -> "BitString":
+        self._check_compatible(other)
+        return BitString(self.length, self.mask ^ other.mask)
+
+    def __invert__(self) -> "BitString":
+        return BitString(self.length, self.mask ^ ((1 << self.length) - 1))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitString):
+            return NotImplemented
+        return self.length == other.length and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash((self.length, self.mask))
+
+    def to_bits(self) -> str:
+        """Render as '0'/'1' characters, index 0 first."""
+        return "".join(str((self.mask >> i) & 1) for i in range(self.length))
+
+    def __repr__(self) -> str:
+        if self.length <= 32:
+            return f"BitString('{self.to_bits()}')"
+        return f"BitString(length={self.length}, popcount={self.popcount()})"
+
+
+def all_pairwise_disjoint(strings: Sequence[BitString]) -> bool:
+    """Return whether the strings are pairwise disjoint.
+
+    Checked in a single pass by accumulating the union: strings are
+    pairwise disjoint iff no index is covered twice.
+    """
+    union = 0
+    for string in strings:
+        if union & string.mask:
+            return False
+        union |= string.mask
+    return True
+
+
+def common_intersection(strings: Sequence[BitString]) -> BitString:
+    """Return the AND of all strings (requires at least one)."""
+    if not strings:
+        raise ValueError("need at least one string")
+    mask = strings[0].mask
+    for string in strings[1:]:
+        string._check_compatible(strings[0])
+        mask &= string.mask
+    return BitString(strings[0].length, mask)

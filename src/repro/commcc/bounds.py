@@ -1,0 +1,69 @@
+"""Communication complexity bounds consumed by the reduction.
+
+Theorem 3 (Chakrabarti–Khot–Sun): the promise pairwise disjointness
+function has shared-blackboard communication complexity
+``Omega(k / (t log t))``.  The reduction framework consumes this as a
+number; asymptotic constants are exposed explicitly so benches can show
+which side of the inequality each measured protocol sits on.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check_kt(k: int, t: int) -> None:
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+
+
+def pairwise_disjointness_cc_lower_bound(k: int, t: int, constant: float = 1.0) -> float:
+    """Theorem 3: ``CC_f(k, t) = Omega(k / (t log t))``.
+
+    Returns ``constant * k / (t * log2(t))``; ``log2(2) = 1`` so the
+    two-party case degenerates to the familiar ``Omega(k)``.
+    """
+    _check_kt(k, t)
+    log_t = max(1.0, math.log2(t))
+    return constant * k / (t * log_t)
+
+
+def two_party_disjointness_cc_lower_bound(k: int, constant: float = 1.0) -> float:
+    """Kalyanasundaram–Schnitger / Razborov: two-party disjointness is Omega(k)."""
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    return constant * k
+
+
+def full_reveal_upper_bound(k: int, t: int) -> int:
+    """Cost of the trivial protocol: every player reveals everything."""
+    _check_kt(k, t)
+    return t * k
+
+
+def candidate_index_upper_bound(k: int, t: int) -> int:
+    """Worst-case cost of the promise-exploiting protocol.
+
+    ``k`` (player 1's reveal) + 1 + ceil(log2 k) (candidate announce)
+    + ``t - 2`` single-bit confirmations.
+    """
+    _check_kt(k, t)
+    log_k = max(1, math.ceil(math.log2(k))) if k > 1 else 1
+    return k + 1 + log_k + (t - 2)
+
+
+def local_optima_exchange_cost(t: int, max_weight: int) -> int:
+    """Cost of the (1/t)-approximation limitation protocol.
+
+    Each of the ``t`` players writes its local optimum value, an integer
+    below ``max_weight + 1`` — ``t * ceil(log2(max_weight + 1))`` bits.
+    This is the intro's argument for why *no* lower bound below a
+    ``(1/t)``-approximation can come out of a ``t``-player reduction.
+    """
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    if max_weight < 1:
+        raise ValueError(f"need max_weight >= 1, got {max_weight}")
+    return t * max(1, math.ceil(math.log2(max_weight + 1)))

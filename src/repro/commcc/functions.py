@@ -1,0 +1,96 @@
+"""The Boolean functions the reductions target.
+
+Implements two-party set disjointness, multi-party set disjointness, and
+the paper's promise pairwise disjointness function (Definition 2), with a
+promise classifier and explicit promise-violation errors.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+from .bitstring import BitString, all_pairwise_disjoint, common_intersection
+
+
+class PromiseViolationError(ValueError):
+    """Raised when inputs are outside a promise problem's promise."""
+
+
+class PromiseCase(enum.Enum):
+    """How a tuple of strings relates to Definition 2's promise."""
+
+    UNIQUELY_INTERSECTING = "uniquely_intersecting"
+    PAIRWISE_DISJOINT = "pairwise_disjoint"
+    OUTSIDE_PROMISE = "outside_promise"
+
+
+def two_party_disjointness(x: BitString, y: BitString) -> bool:
+    """Classic set disjointness: TRUE iff ``x`` and ``y`` are disjoint."""
+    return x.is_disjoint_from(y)
+
+
+def multiparty_set_disjointness(strings: Sequence[BitString]) -> bool:
+    """t-party set disjointness: TRUE iff no index is 1 in *all* strings.
+
+    (The "non-intersecting case" here admits arbitrary pairwise
+    intersections — exactly the sub-case explosion the paper avoids by
+    moving to the promise version.)
+    """
+    if len(strings) < 2:
+        raise ValueError(f"need at least 2 players, got {len(strings)}")
+    return common_intersection(list(strings)).mask == 0
+
+
+def classify_promise_case(strings: Sequence[BitString]) -> PromiseCase:
+    """Classify a tuple of strings against Definition 2's promise.
+
+    * ``UNIQUELY_INTERSECTING`` — some index ``m`` has ``x^i_m = 1`` for
+      every ``i``.
+    * ``PAIRWISE_DISJOINT`` — every pair of strings is disjoint.
+    * ``OUTSIDE_PROMISE`` — neither.
+
+    With ``t >= 2`` players the first two cases are mutually exclusive
+    unless all strings are... they cannot both hold: a common index is a
+    pairwise intersection.  (For the degenerate empty-strings tuple the
+    classifier returns ``PAIRWISE_DISJOINT``.)
+    """
+    if len(strings) < 2:
+        raise ValueError(f"need at least 2 players, got {len(strings)}")
+    if common_intersection(list(strings)).mask != 0:
+        return PromiseCase.UNIQUELY_INTERSECTING
+    if all_pairwise_disjoint(strings):
+        return PromiseCase.PAIRWISE_DISJOINT
+    return PromiseCase.OUTSIDE_PROMISE
+
+
+def promise_pairwise_disjointness(strings: Sequence[BitString]) -> bool:
+    """Definition 2: TRUE if pairwise disjoint, FALSE if uniquely intersecting.
+
+    Raises :class:`PromiseViolationError` for inputs outside the promise.
+    """
+    case = classify_promise_case(strings)
+    if case is PromiseCase.OUTSIDE_PROMISE:
+        raise PromiseViolationError(
+            "inputs are neither uniquely intersecting nor pairwise disjoint"
+        )
+    return case is PromiseCase.PAIRWISE_DISJOINT
+
+
+def unique_intersection_index(strings: Sequence[BitString]) -> Optional[int]:
+    """Return the common index ``m`` in the intersecting case, else ``None``.
+
+    Raises :class:`PromiseViolationError` if more than one common index
+    exists (which would contradict "uniquely" under the promise when the
+    remaining bits are pairwise disjoint — but we accept any inputs and
+    only require the *common* intersection to be a singleton).
+    """
+    intersection = common_intersection(list(strings))
+    indices = intersection.indices()
+    if not indices:
+        return None
+    if len(indices) > 1:
+        raise PromiseViolationError(
+            f"strings intersect on {len(indices)} common indices, expected <= 1"
+        )
+    return indices[0]

@@ -1,0 +1,121 @@
+"""Promise-respecting input generators for the disjointness problems.
+
+The lower-bound families are only defined relative to Definition 2's
+promise, so tests and benches need samplers for both promise sides:
+
+* *uniquely intersecting* — a common index ``m`` set in every string;
+* *pairwise disjoint* — every index owned by at most one player.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .bitstring import BitString
+from .functions import PromiseCase, classify_promise_case
+
+
+def pairwise_disjoint_inputs(
+    k: int,
+    t: int,
+    rng: Optional[random.Random] = None,
+    density: float = 0.5,
+) -> List[BitString]:
+    """Sample pairwise disjoint strings ``x^1 .. x^t in {0,1}^k``.
+
+    Each index is independently left empty (probability ``1 - density``)
+    or assigned to a uniformly random single player.
+    """
+    _check_kt(k, t)
+    if not 0 <= density <= 1:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = rng or random.Random()
+    masks = [0] * t
+    for index in range(k):
+        if rng.random() < density:
+            masks[rng.randrange(t)] |= 1 << index
+    return [BitString(k, mask) for mask in masks]
+
+
+def uniquely_intersecting_inputs(
+    k: int,
+    t: int,
+    rng: Optional[random.Random] = None,
+    density: float = 0.5,
+    common_index: Optional[int] = None,
+) -> List[BitString]:
+    """Sample uniquely intersecting strings.
+
+    A common index ``m`` (random unless given) is set in every string;
+    all remaining indices are pairwise disjoint as in
+    :func:`pairwise_disjoint_inputs`.  This keeps the *common*
+    intersection a singleton, the canonical hard-direction instance.
+    """
+    _check_kt(k, t)
+    rng = rng or random.Random()
+    if common_index is None:
+        common_index = rng.randrange(k)
+    if not 0 <= common_index < k:
+        raise ValueError(f"common index {common_index} out of range [0, {k})")
+    strings = pairwise_disjoint_inputs(k, t, rng=rng, density=density)
+    masks = [s.mask & ~(1 << common_index) for s in strings]
+    masks = [mask | (1 << common_index) for mask in masks]
+    return [BitString(k, mask) for mask in masks]
+
+
+def promise_inputs(
+    k: int,
+    t: int,
+    intersecting: bool,
+    rng: Optional[random.Random] = None,
+    density: float = 0.5,
+) -> List[BitString]:
+    """Sample from the requested promise side."""
+    if intersecting:
+        return uniquely_intersecting_inputs(k, t, rng=rng, density=density)
+    return pairwise_disjoint_inputs(k, t, rng=rng, density=density)
+
+
+def all_promise_inputs(k: int, t: int) -> Iterator[Tuple[List[BitString], bool]]:
+    """Exhaustively enumerate every promise-respecting input tuple.
+
+    Yields ``(strings, is_pairwise_disjoint)`` pairs.  Exponential in
+    ``k * t`` — only for tiny ``k`` (exhaustive family verification).
+    """
+    _check_kt(k, t)
+    space = range(1 << k)
+    for masks in itertools.product(space, repeat=t):
+        strings = [BitString(k, mask) for mask in masks]
+        case = classify_promise_case(strings)
+        if case is PromiseCase.PAIRWISE_DISJOINT:
+            yield strings, True
+        elif case is PromiseCase.UNIQUELY_INTERSECTING:
+            yield strings, False
+
+
+def index_pair_to_flat(m1: int, m2: int, k: int) -> int:
+    """Flatten the quadratic construction's pair index ``(m1, m2)``.
+
+    Section 5 indexes the ``k^2`` positions of each string by pairs
+    ``(m1, m2) in [k] x [k]``; we fix the row-major order
+    ``flat = m1 * k + m2`` (0-based).
+    """
+    if not (0 <= m1 < k and 0 <= m2 < k):
+        raise ValueError(f"pair ({m1}, {m2}) out of range [0, {k})^2")
+    return m1 * k + m2
+
+
+def flat_to_index_pair(flat: int, k: int) -> Tuple[int, int]:
+    """Inverse of :func:`index_pair_to_flat`."""
+    if not 0 <= flat < k * k:
+        raise ValueError(f"flat index {flat} out of range [0, {k * k})")
+    return divmod(flat, k)
+
+
+def _check_kt(k: int, t: int) -> None:
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    if t < 2:
+        raise ValueError(f"need t >= 2 players, got {t}")

@@ -1,0 +1,90 @@
+"""Pairwise intersection profiles — "The Challenge" made concrete.
+
+The paper explains why reductions to plain multi-party set-disjointness
+break down: in the non-intersecting case, *which pairs* of strings
+intersect still varies, and the target graph quantity depends on that
+whole pattern.  The number of patterns explodes with ``t``, so a
+reduction would have to handle them all.
+
+This module computes the pattern — the *pairwise intersection profile*
+— and counts how many distinct profiles are realisable, quantifying the
+explosion the promise version eliminates (under the promise, exactly
+two profiles survive: all-disjoint, and all-pairs-sharing-one-index).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .bitstring import BitString
+
+Profile = FrozenSet[Tuple[int, int]]
+
+
+def pairwise_intersection_profile(strings: Sequence[BitString]) -> Profile:
+    """The set of player pairs whose strings intersect."""
+    if len(strings) < 2:
+        raise ValueError(f"need at least 2 players, got {len(strings)}")
+    pairs = set()
+    for i, j in itertools.combinations(range(len(strings)), 2):
+        if strings[i].intersects(strings[j]):
+            pairs.add((i, j))
+    return frozenset(pairs)
+
+
+def num_possible_profiles(t: int) -> int:
+    """``2^C(t,2)`` — every pair pattern is realisable for ``k >= C(t,2)``."""
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    return 2 ** (t * (t - 1) // 2)
+
+
+def realizable_profiles(k: int, t: int) -> Set[Profile]:
+    """Enumerate profiles realisable by strings in ``{0,1}^k``.
+
+    Exhaustive over all ``2^(k t)`` tuples — tiny ``k, t`` only.  For
+    ``k >= C(t, 2)`` this reaches all ``2^C(t,2)`` profiles (give each
+    intersecting pair its own private index).
+    """
+    if k * t > 16:
+        raise ValueError(f"enumeration is 2^(k*t) = 2^{k * t}; limit is k*t <= 16")
+    profiles: Set[Profile] = set()
+    for masks in itertools.product(range(1 << k), repeat=t):
+        strings = [BitString(k, mask) for mask in masks]
+        profiles.add(pairwise_intersection_profile(strings))
+    return profiles
+
+
+def witness_for_profile(profile: Profile, t: int) -> List[BitString]:
+    """Construct strings realising a given profile.
+
+    Dedicates index ``p`` to the ``p``-th pair in a fixed ordering:
+    both of that pair's players set it, nobody else does.  String
+    length is ``C(t, 2)`` (or 1 when ``t = 2`` and the profile is
+    empty).
+    """
+    all_pairs = list(itertools.combinations(range(t), 2))
+    for pair in profile:
+        if pair not in all_pairs:
+            raise ValueError(f"profile contains invalid pair {pair!r}")
+    k = max(1, len(all_pairs))
+    masks = [0] * t
+    for index, pair in enumerate(all_pairs):
+        if pair in profile:
+            masks[pair[0]] |= 1 << index
+            masks[pair[1]] |= 1 << index
+    return [BitString(k, mask) for mask in masks]
+
+
+def promise_profiles(t: int) -> Tuple[Profile, Profile]:
+    """The only two profiles surviving Definition 2's promise.
+
+    Pairwise disjoint: the empty profile.  Uniquely intersecting: the
+    complete profile (every pair shares the common index).
+    """
+    if t < 2:
+        raise ValueError(f"need t >= 2, got {t}")
+    empty: Profile = frozenset()
+    complete: Profile = frozenset(itertools.combinations(range(t), 2))
+    return empty, complete

@@ -1,0 +1,57 @@
+"""Synchronous CONGEST model simulator and bundled algorithms."""
+
+from .algorithms import (
+    BFSTree,
+    ConvergecastAggregate,
+    DeltaPlusOneColoring,
+    FloodBroadcast,
+    FullGraphCollection,
+    GreedyWeightedIS,
+    LeaderElection,
+    LubyMIS,
+    MaximalMatching,
+    TriangleDetection,
+    has_triangle_through,
+    is_maximal_matching,
+    is_proper_coloring,
+    matching_from_outputs,
+)
+from .message import Message, NodeId, integer_bits, payload_size_bits
+from .trace import ExecutionTrace, RoundTraceEntry
+from .network import (
+    BandwidthExceededError,
+    BroadcastOnlyViolationError,
+    CongestNetwork,
+    NodeAlgorithm,
+    NodeContext,
+    RoundStats,
+)
+
+__all__ = [
+    "BFSTree",
+    "BandwidthExceededError",
+    "BroadcastOnlyViolationError",
+    "CongestNetwork",
+    "ExecutionTrace",
+    "ConvergecastAggregate",
+    "DeltaPlusOneColoring",
+    "FloodBroadcast",
+    "FullGraphCollection",
+    "GreedyWeightedIS",
+    "LeaderElection",
+    "LubyMIS",
+    "MaximalMatching",
+    "Message",
+    "NodeAlgorithm",
+    "NodeContext",
+    "NodeId",
+    "RoundStats",
+    "RoundTraceEntry",
+    "TriangleDetection",
+    "has_triangle_through",
+    "integer_bits",
+    "is_maximal_matching",
+    "is_proper_coloring",
+    "matching_from_outputs",
+    "payload_size_bits",
+]

@@ -1,0 +1,29 @@
+"""Distributed algorithms running on the CONGEST simulator."""
+
+from .bfs import BFSTree
+from .broadcast import FloodBroadcast
+from .collect import FullGraphCollection
+from .coloring import DeltaPlusOneColoring, is_proper_coloring
+from .convergecast import ConvergecastAggregate
+from .greedy_is import GreedyWeightedIS
+from .leader import LeaderElection
+from .luby import LubyMIS
+from .matching import MaximalMatching, is_maximal_matching, matching_from_outputs
+from .triangle import TriangleDetection, has_triangle_through
+
+__all__ = [
+    "BFSTree",
+    "ConvergecastAggregate",
+    "DeltaPlusOneColoring",
+    "FloodBroadcast",
+    "FullGraphCollection",
+    "GreedyWeightedIS",
+    "LeaderElection",
+    "LubyMIS",
+    "MaximalMatching",
+    "TriangleDetection",
+    "has_triangle_through",
+    "is_maximal_matching",
+    "is_proper_coloring",
+    "matching_from_outputs",
+]

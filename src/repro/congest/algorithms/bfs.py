@@ -1,0 +1,44 @@
+"""Distributed BFS tree construction.
+
+The root floods distance announcements; each node adopts the first
+announcement it hears as its parent pointer.  Takes ``diameter`` rounds;
+each node outputs ``(distance, parent)`` at quiescence (the root's
+parent is ``None``).  Also the standard subroutine for the constant-
+diameter observation in the paper: the gadget graphs have diameter
+O(1), which BFS certifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..message import Message, NodeId
+from ..network import NodeAlgorithm, NodeContext
+
+
+class BFSTree(NodeAlgorithm):
+    """BFS from ``root``; every node instance gets the same root id."""
+
+    def __init__(self, root: NodeId) -> None:
+        self._root = root
+        self._distance: Optional[int] = None
+        self._parent: Optional[NodeId] = None
+
+    def initialize(self, ctx: NodeContext) -> None:
+        if ctx.node_id == self._root:
+            self._distance = 0
+            # A distance fits in O(log n) bits.
+            ctx.broadcast(0, size_bits=ctx.id_bits)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        if self._distance is not None or not inbox:
+            return
+        best = min(inbox, key=lambda m: (m.payload, repr(m.sender)))
+        self._distance = best.payload + 1
+        self._parent = best.sender
+        for neighbor in ctx.neighbors:
+            if neighbor != self._parent:
+                ctx.send(neighbor, self._distance, size_bits=ctx.id_bits)
+
+    def finalize(self, ctx: NodeContext) -> None:
+        ctx.halt((self._distance, self._parent))

@@ -1,0 +1,39 @@
+"""Flood a value from a source to every node."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..message import Message, NodeId
+from ..network import NodeAlgorithm, NodeContext
+
+
+class FloodBroadcast(NodeAlgorithm):
+    """The source floods ``value``; everyone outputs it at quiescence.
+
+    ``value`` must fit in ``O(log n)`` bits (it is charged ``id_bits``).
+    Takes eccentricity-of-source rounds.
+    """
+
+    def __init__(self, source: NodeId, value: Optional[int] = None) -> None:
+        self._source = source
+        self._value = value
+        self._received: Optional[int] = None
+
+    def initialize(self, ctx: NodeContext) -> None:
+        if ctx.node_id == self._source:
+            if self._value is None:
+                raise ValueError("the source node needs a value to broadcast")
+            self._received = self._value
+            ctx.broadcast(self._value, size_bits=ctx.id_bits)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        if self._received is not None or not inbox:
+            return
+        self._received = inbox[0].payload
+        for neighbor in ctx.neighbors:
+            if neighbor != inbox[0].sender:
+                ctx.send(neighbor, self._received, size_bits=ctx.id_bits)
+
+    def finalize(self, ctx: NodeContext) -> None:
+        ctx.halt(self._received)

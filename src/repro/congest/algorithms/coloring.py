@@ -1,0 +1,82 @@
+"""Distributed (Delta + 1)-coloring by iterated independent sets.
+
+The classic reduction: repeatedly compute a Luby-style independent set
+among the still-uncolored nodes; members take the smallest color not
+used by an already-colored neighbor and retire.  Each node ends with a
+color in ``0 .. Delta`` such that no edge is monochromatic.
+
+Included as substrate: coloring is the other canonical local symmetry-
+breaking problem next to MIS, and rounds out the simulator's algorithm
+library for the upper-bound side of the paper's landscape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+from ..message import Message, NodeId
+from ..network import NodeAlgorithm, NodeContext
+
+_DRAW, _DECIDE, _RETIRE = 0, 1, 2
+
+
+class DeltaPlusOneColoring(NodeAlgorithm):
+    """One node's coloring state machine (three rounds per phase).
+
+    Message accounting: values and colors are ``O(log n)`` bits (colors
+    never exceed ``Delta < n``).  Output: the node's color.
+    """
+
+    def __init__(self) -> None:
+        self._my_value: Optional[int] = None
+        self._color: Optional[int] = None
+        self._taken_colors: Set[int] = set()
+        self._pending_color: Optional[int] = None
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self._draw_and_announce(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        phase = (ctx.round_number - 1) % 3
+        if phase == _DRAW:
+            self._decide(ctx, inbox)
+        elif phase == _DECIDE:
+            self._absorb_colors(ctx, inbox)
+        else:
+            if not ctx.halted:
+                self._draw_and_announce(ctx)
+
+    def _draw_and_announce(self, ctx: NodeContext) -> None:
+        self._my_value = ctx.rng.getrandbits(ctx.id_bits)
+        ctx.broadcast(("val", self._my_value), size_bits=2 + ctx.id_bits)
+
+    def _decide(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        my_key = (self._my_value, repr(ctx.node_id))
+        wins = all(
+            (message.payload[1], repr(message.sender)) < my_key
+            for message in inbox
+            if message.payload[0] == "val"
+        )
+        if wins:
+            color = 0
+            while color in self._taken_colors:
+                color += 1
+            self._pending_color = color
+            ctx.broadcast(("col", color), size_bits=2 + ctx.id_bits)
+
+    def _absorb_colors(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            tag, color = message.payload
+            if tag == "col":
+                self._taken_colors.add(color)
+        if self._pending_color is not None:
+            self._color = self._pending_color
+            ctx.halt(self._color)
+
+
+def is_proper_coloring(graph, colors) -> bool:
+    """Centralized check: no edge is monochromatic, everyone colored."""
+    for node in graph.nodes():
+        if colors.get(node) is None:
+            return False
+    return all(colors[u] != colors[v] for u, v in graph.edges())

@@ -1,0 +1,100 @@
+"""Convergecast: aggregate a value over a BFS tree toward a root.
+
+The standard O(diameter)-round primitive underlying distributed
+termination detection and global function computation: a BFS tree is
+grown from the root, and each node folds its children's aggregates into
+its own, re-sending upward whenever its aggregate changes.  At
+quiescence the root's aggregate is the global fold; the root outputs
+``(True, aggregate)`` and every other node ``(False, local aggregate)``.
+
+``combine`` must be associative and commutative (sum, min, max, ...);
+values and partial aggregates must fit in ``O(log n)`` bits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..message import Message, NodeId
+from ..network import NodeAlgorithm, NodeContext
+
+Combine = Callable[[object, object], object]
+
+
+class ConvergecastAggregate(NodeAlgorithm):
+    """Aggregate ``value_of(ctx)`` over all nodes, at ``root``.
+
+    Parameters
+    ----------
+    root:
+        The aggregation target.
+    value_of:
+        Extracts this node's contribution from its context (default:
+        the node's weight).
+    combine:
+        Associative, commutative fold (default: addition).
+    """
+
+    def __init__(
+        self,
+        root: NodeId,
+        value_of: Optional[Callable[[NodeContext], object]] = None,
+        combine: Combine = lambda a, b: a + b,
+    ) -> None:
+        self._root = root
+        self._value_of = value_of or (lambda ctx: ctx.weight)
+        self._combine = combine
+        self._distance: Optional[int] = None
+        self._parent: Optional[NodeId] = None
+        self._child_values: Dict[NodeId, object] = {}
+        self._last_sent: object = _UNSET
+
+    def initialize(self, ctx: NodeContext) -> None:
+        if ctx.node_id == self._root:
+            self._distance = 0
+            ctx.broadcast(("d", 0), size_bits=2 + ctx.id_bits)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        for message in inbox:
+            tag = message.payload[0]
+            if tag == "d" and self._distance is None:
+                self._distance = message.payload[1] + 1
+                self._parent = message.sender
+                for neighbor in ctx.neighbors:
+                    if neighbor != self._parent:
+                        ctx.send(
+                            neighbor,
+                            ("d", self._distance),
+                            size_bits=2 + ctx.id_bits,
+                        )
+            elif tag == "v":
+                self._child_values[message.sender] = message.payload[1]
+        self._push_aggregate(ctx)
+
+    def _aggregate(self, ctx: NodeContext) -> object:
+        value = self._value_of(ctx)
+        for child_value in self._child_values.values():
+            value = self._combine(value, child_value)
+        return value
+
+    def _push_aggregate(self, ctx: NodeContext) -> None:
+        if self._parent is None:
+            return  # the root (or not yet attached) never pushes upward
+        if self._distance is None:
+            return
+        aggregate = self._aggregate(ctx)
+        if aggregate != self._last_sent:
+            self._last_sent = aggregate
+            ctx.send(self._parent, ("v", aggregate), size_bits=2 + 2 * ctx.id_bits)
+
+    def finalize(self, ctx: NodeContext) -> None:
+        is_root = ctx.node_id == self._root
+        ctx.halt((is_root, self._aggregate(ctx)))
+
+
+class _Unset:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unset>"
+
+
+_UNSET = _Unset()

@@ -1,0 +1,44 @@
+"""Leader election by max-id flooding.
+
+Every node floods the largest id key it has seen; after ``diameter``
+rounds of silence the network is quiescent and every node knows the
+global maximum.  Output: ``True`` for the leader, ``False`` otherwise.
+Ids are compared by ``repr`` (a fixed total order on the structured
+tuple ids used by the gadget graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..message import Message, NodeId
+from ..network import NodeAlgorithm, NodeContext
+
+
+class LeaderElection(NodeAlgorithm):
+    """One node's flooding state."""
+
+    def __init__(self) -> None:
+        self._best: Optional[NodeId] = None
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self._best = ctx.node_id
+        ctx.broadcast(ctx.node_id, size_bits=ctx.id_bits)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        improved = False
+        for message in inbox:
+            candidate = message.payload
+            if repr(candidate) > repr(self._best):
+                self._best = candidate
+                improved = True
+        if improved:
+            ctx.broadcast(self._best, size_bits=ctx.id_bits)
+
+    def finalize(self, ctx: NodeContext) -> None:
+        ctx.halt(self._best == ctx.node_id)
+
+    @property
+    def known_leader(self) -> Optional[NodeId]:
+        """The best id this node has seen so far."""
+        return self._best

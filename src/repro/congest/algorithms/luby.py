@@ -1,0 +1,76 @@
+"""Luby's randomized maximal independent set in CONGEST.
+
+Each phase takes three rounds:
+
+* *draw* — every undecided node broadcasts a random ``O(log n)``-bit
+  value;
+* *decide* — a node whose (value, id) is a strict local maximum among
+  its undecided neighbors joins the MIS and announces it;
+* *retire* — neighbors of new MIS members announce their exit and halt.
+
+Ties are broken by node id, which travels for free: the receiver sees
+``message.sender``.  Expected ``O(log n)`` phases; each node outputs
+``True`` iff it joined the MIS.  Every send is a broadcast, so the
+algorithm also runs unchanged in the CONGEST-Broadcast model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..message import Message
+from ..network import NodeAlgorithm, NodeContext
+
+_DRAW, _DECIDE, _RETIRE = 0, 1, 2
+
+
+class LubyMIS(NodeAlgorithm):
+    """One node's Luby state machine."""
+
+    def __init__(self) -> None:
+        self._my_value: Optional[int] = None
+        self._joined = False
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self._draw_and_announce(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        phase = (ctx.round_number - 1) % 3
+        if phase == _DRAW:
+            # Inbox: undecided neighbors' values drawn this phase.
+            self._decide(ctx, inbox)
+        elif phase == _DECIDE:
+            # Inbox: "in" announcements from new MIS members.
+            self._retire_if_dominated(ctx, inbox)
+        else:
+            # Inbox: "out" announcements from retiring neighbors (only
+            # informational — halted nodes simply stop sending values).
+            if not ctx.halted:
+                self._draw_and_announce(ctx)
+
+    def _draw_and_announce(self, ctx: NodeContext) -> None:
+        self._my_value = ctx.rng.getrandbits(ctx.id_bits)
+        # 2-bit tag + an O(log n)-bit value.
+        ctx.broadcast(("val", self._my_value), size_bits=2 + ctx.id_bits)
+
+    def _decide(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        my_key = (self._my_value, repr(ctx.node_id))
+        wins = True
+        for message in inbox:
+            tag, value = message.payload
+            if tag != "val":
+                raise AssertionError(f"unexpected payload {message.payload!r}")
+            if (value, repr(message.sender)) > my_key:
+                wins = False
+        # A node whose undecided neighbors have all retired wins trivially.
+        if wins:
+            self._joined = True
+            ctx.broadcast(("in",), size_bits=2)
+
+    def _retire_if_dominated(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        if self._joined:
+            ctx.halt(True)
+            return
+        if any(message.payload[0] == "in" for message in inbox):
+            ctx.broadcast(("out",), size_bits=2)
+            ctx.halt(False)

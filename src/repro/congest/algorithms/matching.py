@@ -1,0 +1,119 @@
+"""Distributed maximal matching (and the 2-approximate vertex cover).
+
+A synchronous "locally dominant edge" scheme: every active node points
+at its best incident edge (keyed by the endpoint pair's random draw);
+an edge whose two endpoints point at each other is locally dominant and
+joins the matching; matched nodes retire.  Mirrors the structure of
+Luby's MIS run on the line graph, in expectation ``O(log n)`` phases.
+
+Each node outputs its matched partner (or ``None``); taking both
+endpoints of every matched edge yields the classic 2-approximate
+minimum vertex cover, which is the upper-bound foil to the vertex-cover
+hardness discussed in the paper's framework-limitation remarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from ..message import Message, NodeId
+from ..network import NodeAlgorithm, NodeContext
+
+_DRAW, _PROPOSE, _RESOLVE = 0, 1, 2
+
+
+class MaximalMatching(NodeAlgorithm):
+    """One node's matching state machine (three rounds per phase)."""
+
+    def __init__(self) -> None:
+        self._active_neighbors: Set[NodeId] = set()
+        self._values: Dict[NodeId, int] = {}
+        self._my_value: int = 0
+        self._proposed_to: Optional[NodeId] = None
+        self._partner: Optional[NodeId] = None
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self._active_neighbors = set(ctx.neighbors)
+        self._draw(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        phase = (ctx.round_number - 1) % 3
+        if phase == _DRAW:
+            self._propose(ctx, inbox)
+        elif phase == _PROPOSE:
+            self._resolve(ctx, inbox)
+        else:
+            for message in inbox:
+                if message.payload[0] == "out":
+                    self._active_neighbors.discard(message.sender)
+            if not ctx.halted:
+                if not self._active_neighbors:
+                    ctx.halt(None)  # isolated among actives: unmatched
+                else:
+                    self._draw(ctx)
+
+    def _draw(self, ctx: NodeContext) -> None:
+        if not self._active_neighbors:
+            ctx.halt(None)
+            return
+        self._my_value = ctx.rng.getrandbits(ctx.id_bits)
+        for neighbor in self._active_neighbors:
+            ctx.send(neighbor, ("val", self._my_value), size_bits=2 + ctx.id_bits)
+
+    def _propose(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        self._values = {
+            message.sender: message.payload[1]
+            for message in inbox
+            if message.payload[0] == "val"
+        }
+        if not self._values:
+            return
+        # Point at the incident edge with the largest (edge-key) value,
+        # where the edge key symmetrises both endpoints' draws.
+        def edge_key(neighbor: NodeId):
+            pair = sorted(
+                [(self._my_value, repr(ctx.node_id)), (self._values[neighbor], repr(neighbor))]
+            )
+            return (pair[1], pair[0])
+
+        self._proposed_to = max(self._values, key=edge_key)
+        ctx.send(self._proposed_to, ("prop",), size_bits=2)
+
+    def _resolve(self, ctx: NodeContext, inbox: Sequence[Message]) -> None:
+        proposers = {
+            message.sender for message in inbox if message.payload[0] == "prop"
+        }
+        if self._proposed_to is not None and self._proposed_to in proposers:
+            # Mutual proposal: the edge is locally dominant.
+            self._partner = self._proposed_to
+            for neighbor in self._active_neighbors:
+                if neighbor != self._partner:
+                    ctx.send(neighbor, ("out",), size_bits=2)
+            ctx.halt(self._partner)
+        self._proposed_to = None
+
+
+def matching_from_outputs(outputs: Dict[NodeId, object]) -> Set[frozenset]:
+    """Collect the matched edges from the per-node outputs."""
+    edges = set()
+    for node, partner in outputs.items():
+        if partner is not None:
+            edges.add(frozenset((node, partner)))
+    return edges
+
+
+def is_maximal_matching(graph, edges: Set[frozenset]) -> bool:
+    """Centralized check: a matching that no edge can extend."""
+    used: Set = set()
+    for edge in edges:
+        u, v = tuple(edge)
+        if not graph.has_edge(u, v):
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    for u, v in graph.edges():
+        if u not in used and v not in used:
+            return False
+    return True

@@ -1,0 +1,77 @@
+"""Messages in the CONGEST model.
+
+Each message travels along one edge in one round and carries a payload
+whose declared size must fit the per-edge bandwidth of ``O(log n)``
+bits.  Payloads are ordinary Python objects for convenience; honesty
+about their size is enforced by :func:`payload_size_bits`, which charges
+a conservative bit cost for the standard payload shapes the bundled
+algorithms use (integers, tuples of integers, short tagged tuples).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Tuple
+
+Payload = object
+NodeId = Hashable
+
+
+class Message:
+    """One directed message: ``sender -> receiver`` with a sized payload."""
+
+    __slots__ = ("sender", "receiver", "payload", "size_bits")
+
+    def __init__(
+        self, sender: NodeId, receiver: NodeId, payload: Payload, size_bits: int
+    ) -> None:
+        if size_bits < 1:
+            raise ValueError(f"message size must be >= 1 bit, got {size_bits}")
+        self.sender = sender
+        self.receiver = receiver
+        self.payload = payload
+        self.size_bits = size_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.sender!r} -> {self.receiver!r}, "
+            f"{self.size_bits} bits, payload={self.payload!r})"
+        )
+
+
+def integer_bits(value: int) -> int:
+    """Bits to encode a non-negative integer (at least 1)."""
+    if value < 0:
+        raise ValueError(f"cannot size a negative integer: {value}")
+    return max(1, value.bit_length())
+
+
+def payload_size_bits(payload: Payload, id_bits: int) -> int:
+    """Conservative size in bits of a standard payload.
+
+    * ``int`` — its bit length;
+    * ``str`` tag — 8 bits per character;
+    * ``tuple``/``list``/``frozenset`` — sum of parts plus 2 framing bits
+      per part;
+    * ``None``/``bool`` — 1 bit;
+    * node-id-shaped values (hashables used as ids) — ``id_bits``.
+
+    This is an accounting convention, not a wire format: it only needs
+    to be consistent and Ω(actual information) so that round/bit counts
+    are meaningful.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return integer_bits(payload)
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return max(1, 8 * len(payload))
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        total = 0
+        for part in payload:
+            total += 2 + payload_size_bits(part, id_bits)
+        return max(1, total)
+    # Anything else is treated as a node identifier.
+    return id_bits

@@ -1,0 +1,137 @@
+"""Round-by-round execution traces for the CONGEST simulator.
+
+Wraps a network run and records, per round: message counts, bits, which
+nodes halted, and (optionally) a per-edge traffic matrix.  The renderer
+produces the kind of execution table one puts in a systems paper's
+appendix; tests use it to pin algorithm behaviour round by round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.tables import render_table
+from .message import NodeId
+from .network import CongestNetwork
+
+
+class RoundTraceEntry:
+    """Everything observed in one round."""
+
+    __slots__ = ("round_number", "messages", "bits", "newly_halted", "edge_traffic")
+
+    def __init__(
+        self,
+        round_number: int,
+        messages: int,
+        bits: int,
+        newly_halted: List[NodeId],
+        edge_traffic: Dict[Tuple[NodeId, NodeId], int],
+    ) -> None:
+        self.round_number = round_number
+        self.messages = messages
+        self.bits = bits
+        self.newly_halted = newly_halted
+        self.edge_traffic = edge_traffic
+
+    def __repr__(self) -> str:
+        return (
+            f"RoundTraceEntry(round={self.round_number}, "
+            f"messages={self.messages}, bits={self.bits}, "
+            f"halted={len(self.newly_halted)})"
+        )
+
+
+class ExecutionTrace:
+    """Drive a network to completion while recording per-round entries."""
+
+    def __init__(self, network: CongestNetwork, record_edges: bool = False) -> None:
+        self.network = network
+        self.record_edges = record_edges
+        self.entries: List[RoundTraceEntry] = []
+        if record_edges:
+            network.message_log_enabled = True
+
+    def run(self, max_rounds: int = 100_000, quiescent: bool = False) -> int:
+        """Execute to halt/quiescence, tracing each round."""
+        network = self.network
+        if not network._initialized:
+            network._initialize()
+        halted: Set[NodeId] = {
+            node for node, ctx in network.contexts.items() if ctx.halted
+        }
+        while network.rounds_executed < max_rounds:
+            if network.all_halted() and not network._outgoing:
+                break
+            if quiescent and network.rounds_executed and not network._outgoing:
+                break
+            stats = network.run_round()
+            now_halted = {
+                node for node, ctx in network.contexts.items() if ctx.halted
+            }
+            edge_traffic: Dict[Tuple[NodeId, NodeId], int] = {}
+            if self.record_edges:
+                for round_number, message in network.message_log:
+                    if round_number == stats.round_number:
+                        key = (message.sender, message.receiver)
+                        edge_traffic[key] = (
+                            edge_traffic.get(key, 0) + message.size_bits
+                        )
+            self.entries.append(
+                RoundTraceEntry(
+                    round_number=stats.round_number,
+                    messages=stats.messages,
+                    bits=stats.bits,
+                    newly_halted=sorted(now_halted - halted, key=repr),
+                    edge_traffic=edge_traffic,
+                )
+            )
+            halted = now_halted
+        else:
+            raise RuntimeError(f"no termination within {max_rounds} rounds")
+        if quiescent:
+            for node, algorithm in network.algorithms.items():
+                ctx = network.contexts[node]
+                if not ctx.halted:
+                    algorithm.finalize(ctx)
+        return network.rounds_executed
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        return sum(entry.bits for entry in self.entries)
+
+    @property
+    def peak_round_bits(self) -> int:
+        """The busiest round's bit volume (0 for an empty trace)."""
+        return max((entry.bits for entry in self.entries), default=0)
+
+    def halt_round_of(self, node: NodeId) -> Optional[int]:
+        """The round in which ``node`` halted, or ``None``."""
+        for entry in self.entries:
+            if node in entry.newly_halted:
+                return entry.round_number
+        return None
+
+    def render(self, max_rows: int = 50) -> str:
+        """Render the trace as an aligned table."""
+        rows = [
+            [
+                entry.round_number,
+                entry.messages,
+                entry.bits,
+                len(entry.newly_halted),
+            ]
+            for entry in self.entries[:max_rows]
+        ]
+        table = render_table(
+            ["round", "messages", "bits", "newly halted"],
+            rows,
+            title=f"Execution trace ({len(self.entries)} rounds)",
+        )
+        if len(self.entries) > max_rows:
+            table += f"\n... {len(self.entries) - max_rows} more rounds"
+        return table

@@ -1,0 +1,67 @@
+"""Top-level experiment pipelines and claim verifiers."""
+
+from .claims import (
+    ClaimCheck,
+    verify_all_linear,
+    verify_all_quadratic,
+    verify_claim1,
+    verify_claim2,
+    verify_claim3,
+    verify_claim4,
+    verify_claim5,
+    verify_claim6,
+    verify_claim7,
+    verify_property1,
+    verify_property2,
+    verify_property3,
+)
+from .experiments import (
+    ExperimentReport,
+    GapMeasurement,
+    LinearLowerBoundExperiment,
+    QuadraticLowerBoundExperiment,
+)
+from .suite import SuiteResult, run_reproduction_suite
+from .vertex_cover_view import DualClaimMeasurement, measure_dual_claims
+from .serialize import (
+    claim_check_to_dict,
+    claim_checks_to_json,
+    gap_from_dict,
+    gap_to_dict,
+    parameters_from_dict,
+    parameters_to_dict,
+    report_to_dict,
+    report_to_json,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "DualClaimMeasurement",
+    "ExperimentReport",
+    "GapMeasurement",
+    "LinearLowerBoundExperiment",
+    "QuadraticLowerBoundExperiment",
+    "SuiteResult",
+    "claim_check_to_dict",
+    "claim_checks_to_json",
+    "gap_from_dict",
+    "measure_dual_claims",
+    "gap_to_dict",
+    "parameters_from_dict",
+    "parameters_to_dict",
+    "report_to_dict",
+    "report_to_json",
+    "run_reproduction_suite",
+    "verify_all_linear",
+    "verify_all_quadratic",
+    "verify_claim1",
+    "verify_claim2",
+    "verify_claim3",
+    "verify_claim4",
+    "verify_claim5",
+    "verify_claim6",
+    "verify_claim7",
+    "verify_property1",
+    "verify_property2",
+    "verify_property3",
+]

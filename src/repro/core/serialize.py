@@ -1,0 +1,103 @@
+"""JSON-friendly serialization of experiment outputs.
+
+Reports and claim checks flatten to plain dictionaries so downstream
+tooling (plotting, CI dashboards, paper tables) can consume the
+reproduction's numbers without importing the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from ..gadgets import GadgetParameters
+from .claims import ClaimCheck
+from .experiments import ExperimentReport, GapMeasurement
+
+
+def parameters_to_dict(params: GadgetParameters) -> Dict[str, int]:
+    """Flatten a parameter set."""
+    return {
+        "ell": params.ell,
+        "alpha": params.alpha,
+        "t": params.t,
+        "k": params.k,
+        "q": params.q,
+    }
+
+
+def parameters_from_dict(data: Dict[str, int]) -> GadgetParameters:
+    """Inverse of :func:`parameters_to_dict` (``q`` is derived, ignored)."""
+    return GadgetParameters(
+        ell=data["ell"], alpha=data["alpha"], t=data["t"], k=data.get("k")
+    )
+
+
+def gap_to_dict(gap: GapMeasurement) -> Dict[str, object]:
+    """Flatten a gap measurement."""
+    return {
+        "intersecting_optima": list(gap.intersecting_optima),
+        "disjoint_optima": list(gap.disjoint_optima),
+        "high_threshold": gap.high_threshold,
+        "low_threshold": gap.low_threshold,
+        "measured_ratio": gap.measured_ratio,
+        "claimed_ratio": gap.claimed_ratio,
+        "claims_hold": gap.claims_hold,
+    }
+
+
+def gap_from_dict(data: Dict[str, object]) -> GapMeasurement:
+    """Rebuild a gap measurement (derived fields recomputed)."""
+    return GapMeasurement(
+        intersecting_optima=list(data["intersecting_optima"]),
+        disjoint_optima=list(data["disjoint_optima"]),
+        high_threshold=data["high_threshold"],
+        low_threshold=data["low_threshold"],
+    )
+
+
+def claim_check_to_dict(check: ClaimCheck) -> Dict[str, object]:
+    """Flatten a claim check."""
+    return {
+        "name": check.name,
+        "holds": check.holds,
+        "measured": check.measured,
+        "bound": check.bound,
+        "direction": check.direction,
+        "detail": check.detail,
+    }
+
+
+def report_to_dict(report: ExperimentReport) -> Dict[str, object]:
+    """Flatten a full experiment report."""
+    return {
+        "name": report.name,
+        "parameters": parameters_to_dict(report.params),
+        "num_nodes": report.num_nodes,
+        "num_edges": report.num_edges,
+        "cut": report.cut,
+        "expected_cut": report.expected_cut,
+        "gap": gap_to_dict(report.gap),
+        "round_bound": {
+            "k": report.round_bound.k,
+            "t": report.round_bound.t,
+            "cut": report.round_bound.cut,
+            "num_nodes": report.round_bound.num_nodes,
+            "input_length": report.round_bound.input_length,
+            "value": report.round_bound.value,
+        },
+    }
+
+
+def report_to_json(report: ExperimentReport, indent: int = 2) -> str:
+    """Serialize a report to a JSON document."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def claim_checks_to_json(checks: Sequence[ClaimCheck], indent: int = 2) -> str:
+    """Serialize a batch of claim checks to a JSON array."""
+    return json.dumps(
+        [claim_check_to_dict(check) for check in checks],
+        indent=indent,
+        sort_keys=True,
+    )

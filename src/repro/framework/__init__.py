@@ -1,0 +1,52 @@
+"""The reduction framework of Section 3 (Definitions 4-6, Theorem 5, Corollary 1)."""
+
+from .corollary1 import (
+    RoundLowerBound,
+    bachrach_linear_rounds,
+    bachrach_quadratic_rounds,
+    theorem1_asymptotic_rounds,
+    theorem2_asymptotic_rounds,
+    universal_upper_bound_rounds,
+)
+from .cut import cut_edges, cut_size, node_membership, pairwise_cut_sizes
+from .family import (
+    FamilyViolation,
+    LowerBoundFamily,
+    player_subgraph_view,
+    verify_locality,
+    verify_partition,
+    verify_predicate_matches_function,
+)
+from .gap import GapPredicate, GapViolation
+from .limitation import LimitationReport, run_local_optima_exchange
+from .randomized import SuccessEstimate, estimate_success_probability
+from .reduction_protocol import ReductionProtocol
+from .theorem5 import SimulationReport, simulate_congest_via_players
+
+__all__ = [
+    "FamilyViolation",
+    "GapPredicate",
+    "GapViolation",
+    "LimitationReport",
+    "LowerBoundFamily",
+    "ReductionProtocol",
+    "RoundLowerBound",
+    "SimulationReport",
+    "SuccessEstimate",
+    "bachrach_linear_rounds",
+    "estimate_success_probability",
+    "bachrach_quadratic_rounds",
+    "cut_edges",
+    "cut_size",
+    "node_membership",
+    "pairwise_cut_sizes",
+    "player_subgraph_view",
+    "run_local_optima_exchange",
+    "simulate_congest_via_players",
+    "theorem1_asymptotic_rounds",
+    "theorem2_asymptotic_rounds",
+    "universal_upper_bound_rounds",
+    "verify_locality",
+    "verify_partition",
+    "verify_predicate_matches_function",
+]

@@ -1,0 +1,58 @@
+"""Cut edges of a partitioned graph.
+
+``cut(G_x) = E_x \\ (V^1 x V^1 ∪ ... ∪ V^t x V^t)`` — the edges crossing
+the player partition.  The round lower bound of Theorem 5 scales
+inversely with the cut size, so the exact measured value matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..graphs import Node, WeightedGraph
+
+
+def node_membership(partition: Sequence[Set[Node]]) -> Dict[Node, int]:
+    """Map each node to the index of its part."""
+    membership: Dict[Node, int] = {}
+    for i, part in enumerate(partition):
+        for node in part:
+            if node in membership:
+                raise ValueError(f"node {node!r} appears in two parts")
+            membership[node] = i
+    return membership
+
+
+def cut_edges(
+    graph: WeightedGraph, partition: Sequence[Set[Node]]
+) -> List[Tuple[Node, Node]]:
+    """Return the edges of ``graph`` crossing the partition."""
+    membership = node_membership(partition)
+    crossing = []
+    for u, v in graph.edges():
+        pu = membership.get(u)
+        pv = membership.get(v)
+        if pu is None or pv is None:
+            raise ValueError("partition does not cover every edge endpoint")
+        if pu != pv:
+            crossing.append((u, v))
+    return crossing
+
+
+def cut_size(graph: WeightedGraph, partition: Sequence[Set[Node]]) -> int:
+    """Return ``|cut(G)|``."""
+    return len(cut_edges(graph, partition))
+
+
+def pairwise_cut_sizes(
+    graph: WeightedGraph, partition: Sequence[Set[Node]]
+) -> Dict[Tuple[int, int], int]:
+    """Return cut sizes broken down per part pair ``(i, j)``, ``i < j``."""
+    membership = node_membership(partition)
+    counts: Dict[Tuple[int, int], int] = {}
+    for u, v in graph.edges():
+        pu, pv = membership[u], membership[v]
+        if pu != pv:
+            key = (min(pu, pv), max(pu, pv))
+            counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,190 @@
+"""Families of lower bound graphs (Definition 4).
+
+A family assigns to every input vector ``x = (x^1, ..., x^t)`` a graph
+``G_x`` over a *fixed* node set with a *fixed* partition
+``V = V^1 ∪ ... ∪ V^t`` such that:
+
+1. only the weights of nodes in ``V^i`` and the edges inside
+   ``V^i x V^i`` may depend on ``x^i``;
+2. ``G_x`` satisfies the predicate ``P`` iff ``f(x) = TRUE``.
+
+Condition 1 is what lets player ``i`` build its part without
+communication; condition 2 is what turns a CONGEST algorithm for ``P``
+into a protocol for ``f``.  Both conditions are machine-checked here:
+condition 1 by perturbing the *other* players' inputs and diffing each
+player's induced weighted subgraph, condition 2 by evaluating the
+predicate against the function over supplied input samples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..commcc import BitString
+from ..graphs import Node, WeightedGraph, edge_key
+
+
+class LowerBoundFamily:
+    """Abstract family of lower bound graphs w.r.t. a function and predicate.
+
+    Subclasses fix the number of players, the per-player input length,
+    the node partition, the graph builder, the target function ``f`` and
+    the predicate ``P``.
+    """
+
+    #: number of players t >= 2
+    num_players: int
+    #: per-player input length (k for the linear family, k^2 for quadratic)
+    input_length: int
+
+    def build(self, inputs: Sequence[BitString]) -> WeightedGraph:
+        """Return ``G_x`` for the input vector ``x = inputs``."""
+        raise NotImplementedError
+
+    def partition(self) -> List[Set[Node]]:
+        """Return the fixed node partition ``[V^1, ..., V^t]``."""
+        raise NotImplementedError
+
+    def function_value(self, inputs: Sequence[BitString]) -> bool:
+        """Return ``f(x)``."""
+        raise NotImplementedError
+
+    def predicate(self, graph: WeightedGraph) -> bool:
+        """Return whether ``graph`` satisfies the predicate ``P``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers shared by all families
+    # ------------------------------------------------------------------
+
+    def check_inputs(self, inputs: Sequence[BitString]) -> None:
+        """Validate the shape of an input vector."""
+        if len(inputs) != self.num_players:
+            raise ValueError(
+                f"expected {self.num_players} inputs, got {len(inputs)}"
+            )
+        for i, string in enumerate(inputs):
+            if string.length != self.input_length:
+                raise ValueError(
+                    f"input {i} has length {string.length}, expected "
+                    f"{self.input_length}"
+                )
+
+    def part_of(self, node: Node) -> int:
+        """Return the index ``i`` with ``node in V^i``."""
+        for i, part in enumerate(self.partition()):
+            if node in part:
+                return i
+        raise ValueError(f"{node!r} is not in any part of the partition")
+
+
+class FamilyViolation(AssertionError):
+    """Raised by the verifiers when a Definition 4 condition fails."""
+
+
+def player_subgraph_view(
+    family: LowerBoundFamily, graph: WeightedGraph, player: int
+) -> Tuple[Dict[Node, float], Set[FrozenSet[Node]]]:
+    """Player ``i``'s private view: weights on ``V^i`` and edges in ``V^i x V^i``."""
+    part = family.partition()[player]
+    weights = {node: graph.weight(node) for node in part}
+    edges = {
+        edge_key(u, v)
+        for u, v in graph.edges()
+        if u in part and v in part
+    }
+    return weights, edges
+
+
+def verify_partition(family: LowerBoundFamily, graph: WeightedGraph) -> None:
+    """Check the parts are disjoint and exactly cover the node set."""
+    parts = family.partition()
+    if len(parts) != family.num_players:
+        raise FamilyViolation(
+            f"partition has {len(parts)} parts for {family.num_players} players"
+        )
+    union: Set[Node] = set()
+    total = 0
+    for i, part in enumerate(parts):
+        overlap = union & part
+        if overlap:
+            raise FamilyViolation(
+                f"parts overlap: node {next(iter(overlap))!r} repeats in V^{i}"
+            )
+        union |= part
+        total += len(part)
+    if union != graph.node_set():
+        missing = graph.node_set() - union
+        extra = union - graph.node_set()
+        raise FamilyViolation(
+            f"partition does not cover the node set "
+            f"({len(missing)} missing, {len(extra)} extra)"
+        )
+
+
+def verify_locality(
+    family: LowerBoundFamily,
+    base_inputs: Sequence[BitString],
+    perturbed_inputs: Sequence[Sequence[BitString]],
+) -> None:
+    """Check Definition 4's condition 1 against input perturbations.
+
+    For every perturbed input vector, every player whose own coordinate
+    is unchanged must see an identical private view (weights on ``V^i``
+    and edges inside ``V^i``).  Also checks that the node set and the
+    *cut* edges are input-independent, which the simulation argument
+    needs implicitly.
+    """
+    base_graph = family.build(base_inputs)
+    verify_partition(family, base_graph)
+    base_views = [
+        player_subgraph_view(family, base_graph, i)
+        for i in range(family.num_players)
+    ]
+    base_cut = _cut_edge_set(family, base_graph)
+    for variant in perturbed_inputs:
+        graph = family.build(variant)
+        if graph.node_set() != base_graph.node_set():
+            raise FamilyViolation("node set changed with the inputs")
+        if _cut_edge_set(family, graph) != base_cut:
+            raise FamilyViolation("cut edges changed with the inputs")
+        for i in range(family.num_players):
+            if variant[i] != base_inputs[i]:
+                continue  # player i's own coordinate changed; its view may differ
+            weights, edges = player_subgraph_view(family, graph, i)
+            if weights != base_views[i][0]:
+                raise FamilyViolation(
+                    f"player {i}'s node weights depend on another player's input"
+                )
+            if edges != base_views[i][1]:
+                raise FamilyViolation(
+                    f"player {i}'s internal edges depend on another player's input"
+                )
+
+
+def verify_predicate_matches_function(
+    family: LowerBoundFamily, input_samples: Sequence[Sequence[BitString]]
+) -> None:
+    """Check Definition 4's condition 2 over the given samples."""
+    for inputs in input_samples:
+        graph = family.build(inputs)
+        predicate = family.predicate(graph)
+        function = family.function_value(inputs)
+        if predicate != function:
+            raise FamilyViolation(
+                f"P(G_x) = {predicate} but f(x) = {function} for inputs {inputs!r}"
+            )
+
+
+def _cut_edge_set(
+    family: LowerBoundFamily, graph: WeightedGraph
+) -> Set[FrozenSet[Node]]:
+    membership: Dict[Node, int] = {}
+    for i, part in enumerate(family.partition()):
+        for node in part:
+            membership[node] = i
+    return {
+        edge_key(u, v)
+        for u, v in graph.edges()
+        if membership[u] != membership[v]
+    }

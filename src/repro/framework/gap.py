@@ -1,0 +1,82 @@
+"""Gap predicates for approximate MaxIS (Definitions 5 and 6).
+
+A γ-approximate MaxIS family uses a predicate that distinguishes graphs
+whose maximum independent set weighs at least ``beta`` from graphs where
+it weighs at most ``gamma * beta``.  Any algorithm achieving a
+γ'-approximation for γ' > γ decides this predicate: run it, and compare
+the returned weight against ``gamma * beta``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..graphs import WeightedGraph
+from ..maxis import max_independent_set_weight
+
+
+class GapViolation(ValueError):
+    """Raised when a graph's optimum falls strictly inside the gap."""
+
+
+class GapPredicate:
+    """Distinguish OPT >= ``high_threshold`` from OPT <= ``low_threshold``.
+
+    ``low_threshold`` plays the role of ``gamma * beta`` and
+    ``high_threshold`` of ``beta``; ``gamma = low / high``.
+
+    The predicate returns **True on the low side** — matching the
+    families here, where ``f(x) = TRUE`` (pairwise disjoint) corresponds
+    to a *small* optimum.
+    """
+
+    def __init__(
+        self,
+        low_threshold: float,
+        high_threshold: float,
+        solver: Optional[Callable[[WeightedGraph], float]] = None,
+        strict: bool = True,
+    ) -> None:
+        if low_threshold < 0 or high_threshold <= 0:
+            raise ValueError(
+                f"thresholds must be positive, got {low_threshold}, {high_threshold}"
+            )
+        self.low_threshold = low_threshold
+        self.high_threshold = high_threshold
+        self.solver = solver or max_independent_set_weight
+        self.strict = strict
+
+    @property
+    def gamma(self) -> float:
+        """The approximation factor ``low / high`` certified by the gap."""
+        return self.low_threshold / self.high_threshold
+
+    @property
+    def is_meaningful(self) -> bool:
+        """Whether the two sides are actually separated."""
+        return self.low_threshold < self.high_threshold
+
+    def evaluate(self, graph: WeightedGraph) -> bool:
+        """Return True iff the optimum is on the low side.
+
+        In ``strict`` mode an optimum strictly inside the open interval
+        ``(low, high)`` raises :class:`GapViolation` — for a genuine
+        lower-bound family that must never happen, so tests run strict.
+        """
+        optimum = self.solver(graph)
+        if optimum <= self.low_threshold:
+            return True
+        if optimum >= self.high_threshold:
+            return False
+        if self.strict:
+            raise GapViolation(
+                f"optimum {optimum} lies strictly inside the gap "
+                f"({self.low_threshold}, {self.high_threshold})"
+            )
+        return optimum <= (self.low_threshold + self.high_threshold) / 2
+
+    def __repr__(self) -> str:
+        return (
+            f"GapPredicate(low={self.low_threshold}, high={self.high_threshold}, "
+            f"gamma={self.gamma:.4f})"
+        )

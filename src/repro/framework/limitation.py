@@ -1,0 +1,85 @@
+"""The framework's built-in limitation, made executable.
+
+The introduction's observation: with ``t`` players, each can locally
+solve MaxIS inside its own part ``V^i``; writing the ``t`` optimal
+values on the blackboard costs ``O(t log n)`` bits and yields a
+``(1/t)``-approximation (the best single part carries at least
+``OPT / t``).  Hence no ``t``-party reduction can prove hardness at or
+below a ``(1/t)``-approximation — the reason the paper needs
+``t = Theta(1/eps)`` players to reach ``(1/2 + eps)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..commcc import BitString, Blackboard, bits_needed, encode_integer
+from ..maxis import max_weight_independent_set
+from .family import LowerBoundFamily
+
+
+class LimitationReport:
+    """Result of running the local-optima exchange on a family instance."""
+
+    def __init__(
+        self,
+        best_local_weight: float,
+        optimum_weight: float,
+        num_players: int,
+        cost_bits: int,
+    ) -> None:
+        self.best_local_weight = best_local_weight
+        self.optimum_weight = optimum_weight
+        self.num_players = num_players
+        self.cost_bits = cost_bits
+
+    @property
+    def achieved_ratio(self) -> float:
+        """``best local / OPT`` — always at least ``1 / t``."""
+        if self.optimum_weight == 0:
+            return 1.0
+        return self.best_local_weight / self.optimum_weight
+
+    @property
+    def guaranteed_ratio(self) -> float:
+        """The ``1 / t`` floor the argument guarantees."""
+        return 1.0 / self.num_players
+
+    def __repr__(self) -> str:
+        return (
+            f"LimitationReport(ratio={self.achieved_ratio:.4f} >= "
+            f"1/t={self.guaranteed_ratio:.4f}, cost={self.cost_bits} bits)"
+        )
+
+
+def run_local_optima_exchange(
+    family: LowerBoundFamily, inputs: Sequence[BitString]
+) -> LimitationReport:
+    """Execute the (1/t)-approximation protocol on a family instance.
+
+    Each player solves MaxIS inside its own induced subgraph (zero
+    communication) and writes the optimal *value* on the blackboard.
+    The report compares the best local value against the true global
+    optimum and records the (tiny) communication cost.
+    """
+    family.check_inputs(inputs)
+    graph = family.build(inputs)
+    partition = family.partition()
+    board = Blackboard()
+
+    max_possible = int(graph.total_weight())
+    width = bits_needed(max_possible + 1)
+    best_local = 0.0
+    for player, part in enumerate(partition):
+        local = max_weight_independent_set(graph.subgraph(part))
+        board.write(player, encode_integer(int(local.weight), width), label="local OPT")
+        best_local = max(best_local, local.weight)
+
+    optimum = max_weight_independent_set(graph).weight
+    return LimitationReport(
+        best_local_weight=best_local,
+        optimum_weight=optimum,
+        num_players=len(partition),
+        cost_bits=board.total_bits,
+    )

@@ -1,0 +1,79 @@
+"""Success-probability accounting for randomized deciders.
+
+The paper's statements hold "even against randomized algorithms that
+succeed with probability p >= 2/3" (and Definition 1 prices protocols at
+the same threshold).  This module measures that quantity empirically:
+run a (possibly randomized) CONGEST decider through the Theorem 5
+simulation many times and estimate ``Pr[output == f(x)]``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+from ..commcc import BitString
+from ..congest import NodeAlgorithm
+from .family import LowerBoundFamily
+from .theorem5 import simulate_congest_via_players
+
+InputSampler = Callable[[random.Random], Sequence[BitString]]
+
+
+class SuccessEstimate:
+    """Empirical success probability of a decider over sampled inputs."""
+
+    def __init__(self, successes: int, trials: int) -> None:
+        if trials < 1:
+            raise ValueError(f"need at least one trial, got {trials}")
+        if not 0 <= successes <= trials:
+            raise ValueError(f"successes {successes} out of range [0, {trials}]")
+        self.successes = successes
+        self.trials = trials
+
+    @property
+    def probability(self) -> float:
+        """The point estimate ``successes / trials``."""
+        return self.successes / self.trials
+
+    @property
+    def meets_two_thirds(self) -> bool:
+        """Whether the estimate clears the paper's 2/3 threshold."""
+        return self.probability >= 2 / 3
+
+    def __repr__(self) -> str:
+        return (
+            f"SuccessEstimate({self.successes}/{self.trials} = "
+            f"{self.probability:.3f}, >= 2/3: {self.meets_two_thirds})"
+        )
+
+
+def estimate_success_probability(
+    family: LowerBoundFamily,
+    algorithm_factory: Callable[[], NodeAlgorithm],
+    input_sampler: InputSampler,
+    trials: int = 20,
+    seed: int = 0,
+    bandwidth_multiplier: int = 3,
+) -> SuccessEstimate:
+    """Estimate ``Pr[decider output == f(x)]`` over sampled promise inputs.
+
+    Each trial draws fresh inputs via ``input_sampler`` and a fresh
+    network seed, runs the Theorem 5 simulation, and scores the decision
+    against the function value.  Deterministic deciders score 1.0 when
+    correct; randomized ones land wherever their coins put them.
+    """
+    master = random.Random(seed)
+    successes = 0
+    for _ in range(trials):
+        inputs = input_sampler(master)
+        report = simulate_congest_via_players(
+            family,
+            inputs,
+            algorithm_factory,
+            bandwidth_multiplier=bandwidth_multiplier,
+            seed=master.getrandbits(32),
+        )
+        if report.predicate_output == report.function_value:
+            successes += 1
+    return SuccessEstimate(successes, trials)

@@ -1,0 +1,76 @@
+"""The reduction, packaged as a literal blackboard protocol.
+
+Theorem 5's output is a *protocol*: given a family and a CONGEST
+decider for its predicate, the t players solve ``f`` by simulating the
+decider and exchanging only cut-crossing messages.  This module wraps
+that construction in the :class:`~repro.commcc.Protocol` interface, so
+the reduction composes with everything else in :mod:`repro.commcc` —
+cost accounting, worst-case sweeps, success estimation — exactly like a
+hand-written protocol.
+
+The cost of one run is the measured blackboard traffic of the simulated
+CONGEST execution, bounded by ``2 T |cut| B``.  With the trivial
+O(n²)-round decider this is enormous next to the candidate-index
+protocol — the whole point: a *fast* CONGEST approximation would make
+this protocol cheap enough to contradict Theorem 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..commcc import BitString, PlayerView, Protocol
+from ..congest import NodeAlgorithm
+from .family import LowerBoundFamily
+from .theorem5 import SimulationReport, simulate_congest_via_players
+
+
+class ReductionProtocol(Protocol[BitString]):
+    """Solve ``f`` by simulating a CONGEST decider over the family.
+
+    Parameters
+    ----------
+    family:
+        The lower-bound family (fixes t, input length, partition).
+    algorithm_factory:
+        Per-node CONGEST decider for the family's predicate.
+    bandwidth_multiplier, seed, max_rounds:
+        Forwarded to the simulation.
+    """
+
+    name = "theorem5-reduction"
+
+    def __init__(
+        self,
+        family: LowerBoundFamily,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        bandwidth_multiplier: int = 3,
+        seed: Optional[int] = 0,
+        max_rounds: int = 100_000,
+    ) -> None:
+        self.family = family
+        self.algorithm_factory = algorithm_factory
+        self.bandwidth_multiplier = bandwidth_multiplier
+        self.seed = seed
+        self.max_rounds = max_rounds
+        self.last_report: Optional[SimulationReport] = None
+
+    def execute(self, views: Sequence[PlayerView[BitString]]) -> bool:
+        if len(views) != self.family.num_players:
+            raise ValueError(
+                f"family has {self.family.num_players} players, got {len(views)}"
+            )
+        inputs = [view.local_input for view in views]
+        board = views[0].board
+        self.last_report = simulate_congest_via_players(
+            self.family,
+            inputs,
+            self.algorithm_factory,
+            bandwidth_multiplier=self.bandwidth_multiplier,
+            seed=self.seed,
+            max_rounds=self.max_rounds,
+            blackboard=board,
+        )
+        # The decider answers P(G_x); by Definition 4 condition 2 that
+        # *is* f(x) for a valid family.
+        return self.last_report.predicate_output

@@ -1,0 +1,187 @@
+"""Claim 7's case analysis, executable.
+
+The quadratic upper bound's hardest case (case 2: every player holds
+two heavy nodes) splits the node set into three groups driven by the
+equivalence classes of the first-copy indices:
+
+* the class representatives' first-copy parts — Proposition 1 bounds
+  their weight by ``(r + 1) l + alpha t^2`` (via Corollary 2, since the
+  representatives' indices are distinct);
+* the remaining first-copy parts — Proposition 2: ``2 l (t - r) +
+  alpha (t - r)`` (each is one clique + one code gadget);
+* all second-copy parts — Proposition 3: ``(t + r) l + alpha t^3``
+  (Corollary 2 per class, since within a class the second-copy indices
+  are distinct — that is where pairwise disjointness bites).
+
+Given a concrete independent set in a built instance, this module
+extracts the classes, computes each group's *measured* weight, and
+returns the per-proposition comparisons — turning the proof's central
+bookkeeping into checkable arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graphs import Node, WeightedGraph
+from .quadratic import QuadraticConstruction
+
+
+class Claim7Breakdown:
+    """The case-2 decomposition of one independent set."""
+
+    def __init__(
+        self,
+        pairs: List[Tuple[int, int]],
+        classes: List[List[int]],
+        group_weights: Tuple[float, float, float],
+        group_bounds: Tuple[float, float, float],
+        total_weight: float,
+        claim_bound: float,
+    ) -> None:
+        #: per player i, the chosen indices (m1_i, m2_i)
+        self.pairs = pairs
+        #: equivalence classes of players by first-copy index
+        self.classes = classes
+        self.group_weights = group_weights
+        self.group_bounds = group_bounds
+        self.total_weight = total_weight
+        self.claim_bound = claim_bound
+
+    @property
+    def r(self) -> int:
+        """The number of equivalence classes."""
+        return len(self.classes)
+
+    @property
+    def propositions_hold(self) -> bool:
+        return all(
+            weight <= bound
+            for weight, bound in zip(self.group_weights, self.group_bounds)
+        )
+
+    @property
+    def claim_holds(self) -> bool:
+        return self.total_weight <= self.claim_bound
+
+    def __repr__(self) -> str:
+        return (
+            f"Claim7Breakdown(r={self.r}, groups={self.group_weights} <= "
+            f"{self.group_bounds}, total={self.total_weight} <= "
+            f"{self.claim_bound})"
+        )
+
+
+def case2_applies(
+    construction: QuadraticConstruction, independent_set: Set[Node]
+) -> bool:
+    """Whether the set holds one ``A`` node in *each* copy of every player."""
+    params = construction.params
+    for i in range(params.t):
+        for b in (0, 1):
+            layout = construction.layouts[b][i]
+            chosen = [node for node in layout.a_nodes if node in independent_set]
+            if len(chosen) != 1:
+                return False
+    return True
+
+
+def build_case2_independent_set(
+    construction: QuadraticConstruction,
+    graph: WeightedGraph,
+    inputs,
+) -> Optional[Set[Node]]:
+    """Construct a case-2 independent set (or ``None`` if impossible).
+
+    Picks, for every player, a pair ``(m1, m2)`` whose input bit is 1
+    (so the two heavy nodes are non-adjacent), takes both ``A`` nodes,
+    and extends to a maximum independent set among the remaining
+    non-conflicting nodes.  Exercises exactly the configuration Claim
+    7's case 2 reasons about.
+    """
+    from ..maxis import max_weight_independent_set
+
+    params = construction.params
+    chosen: Set[Node] = set()
+    for player, string in enumerate(inputs):
+        indices = string.indices()
+        if not indices:
+            return None  # this player has no non-edge pair at all
+        m1, m2 = divmod(indices[0], params.k)
+        chosen.add(construction.a_node(player, 0, m1))
+        chosen.add(construction.a_node(player, 1, m2))
+    if not graph.is_independent_set(chosen):
+        return None
+    blocked = set(chosen)
+    for node in chosen:
+        blocked |= graph.neighbors(node)
+    free = graph.node_set() - blocked
+    extension = max_weight_independent_set(graph.subgraph(free))
+    return chosen | set(extension.nodes)
+
+
+def analyze_claim7_case2(
+    construction: QuadraticConstruction,
+    graph: WeightedGraph,
+    independent_set: Iterable[Node],
+) -> Claim7Breakdown:
+    """Run the case-2 decomposition on a concrete independent set.
+
+    Raises :class:`ValueError` when the set is not independent or the
+    case does not apply (use :func:`case2_applies` to pre-check).
+    """
+    params = construction.params
+    node_set = set(independent_set)
+    if not graph.is_independent_set(node_set):
+        raise ValueError("the provided set is not independent")
+    if not case2_applies(construction, node_set):
+        raise ValueError("case 2 does not apply: some player lacks 2 A-nodes")
+
+    pairs: List[Tuple[int, int]] = []
+    for i in range(params.t):
+        m1 = next(
+            m
+            for m in range(params.k)
+            if construction.a_node(i, 0, m) in node_set
+        )
+        m2 = next(
+            m
+            for m in range(params.k)
+            if construction.a_node(i, 1, m) in node_set
+        )
+        pairs.append((m1, m2))
+
+    # Equivalence classes of players by first-copy index.
+    by_value: Dict[int, List[int]] = {}
+    for player, (m1, _) in enumerate(pairs):
+        by_value.setdefault(m1, []).append(player)
+    classes = list(by_value.values())
+    r = len(classes)
+    t, ell, alpha = params.t, params.ell, params.alpha
+
+    representatives = [cls[0] for cls in classes]
+    rest = [player for cls in classes for player in cls[1:]]
+
+    def group_weight(players: Sequence[int], copy: int) -> float:
+        nodes: Set[Node] = set()
+        for player in players:
+            nodes.update(construction.layouts[copy][player].all_nodes())
+        return graph.total_weight(node_set & nodes)
+
+    first = group_weight(representatives, 0)
+    second = group_weight(rest, 0)
+    third = group_weight(list(range(t)), 1)
+
+    bounds = (
+        (r + 1) * ell + alpha * t * t,          # Proposition 1
+        2 * ell * (t - r) + alpha * (t - r),    # Proposition 2
+        (t + r) * ell + alpha * t ** 3,          # Proposition 3
+    )
+    return Claim7Breakdown(
+        pairs=pairs,
+        classes=classes,
+        group_weights=(first, second, third),
+        group_bounds=bounds,
+        total_weight=graph.total_weight(node_set),
+        claim_bound=3 * (t + 1) * ell + 3 * alpha * t ** 3,
+    )

@@ -1,0 +1,86 @@
+"""Structured node identities for the gadget graphs.
+
+Every node of a construction is a tuple whose first element names its
+role, so set membership ("is this node in ``A^i``?", "which copy?") is a
+matter of pattern matching rather than bookkeeping:
+
+Linear construction (Section 4):
+    ``("A", i, m)``        — clique node ``v^i_m``            (player i, index m)
+    ``("C", i, h, r)``     — code node ``sigma^i_(h, r)``     (clique h, position r)
+
+Quadratic construction (Section 5):
+    ``("A", i, b, m)``     — clique node ``v^(i, b+1)_m``     (copy b in {0, 1})
+    ``("C", i, b, h, r)``  — code node ``sigma^(i, b+1)_(h, r)``
+
+Unweighted conversion (Remark 1):
+    ``("U", original, j)`` — the j-th replica of a heavy node
+
+All indices are 0-based; the paper's 1-based ``v^i_m`` is our
+``("A", i-1, m-1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+LinearCliqueNode = Tuple[str, int, int]
+LinearCodeNode = Tuple[str, int, int, int]
+QuadCliqueNode = Tuple[str, int, int, int]
+QuadCodeNode = Tuple[str, int, int, int, int]
+
+
+def linear_clique_node(player: int, index: int) -> LinearCliqueNode:
+    """``v^i_m`` of the linear construction."""
+    return ("A", player, index)
+
+
+def linear_code_node(player: int, clique: int, position: int) -> LinearCodeNode:
+    """``sigma^i_(h, r)`` of the linear construction."""
+    return ("C", player, clique, position)
+
+
+def quad_clique_node(player: int, copy: int, index: int) -> QuadCliqueNode:
+    """``v^(i, b)_m`` of the quadratic construction (copy ``b`` in {0, 1})."""
+    _check_copy(copy)
+    return ("A", player, copy, index)
+
+
+def quad_code_node(player: int, copy: int, clique: int, position: int) -> QuadCodeNode:
+    """``sigma^(i, b)_(h, r)`` of the quadratic construction."""
+    _check_copy(copy)
+    return ("C", player, copy, clique, position)
+
+
+def is_clique_node(node: object) -> bool:
+    """Whether the node belongs to an ``A`` clique (linear or quadratic)."""
+    return isinstance(node, tuple) and len(node) >= 1 and node[0] == "A"
+
+
+def is_code_node(node: object) -> bool:
+    """Whether the node belongs to a code gadget."""
+    return isinstance(node, tuple) and len(node) >= 1 and node[0] == "C"
+
+
+def player_of(node: object) -> int:
+    """Return the player index ``i`` owning the node.
+
+    Works for both constructions; raises :class:`ValueError` for foreign
+    nodes.
+    """
+    if isinstance(node, tuple) and len(node) >= 2 and node[0] in ("A", "C"):
+        return node[1]
+    raise ValueError(f"{node!r} is not a gadget node")
+
+
+def copy_of(node: object) -> int:
+    """Return the copy index ``b`` of a quadratic-construction node."""
+    if isinstance(node, tuple) and node[0] == "A" and len(node) == 4:
+        return node[2]
+    if isinstance(node, tuple) and node[0] == "C" and len(node) == 5:
+        return node[2]
+    raise ValueError(f"{node!r} is not a quadratic-construction node")
+
+
+def _check_copy(copy: int) -> None:
+    if copy not in (0, 1):
+        raise ValueError(f"copy must be 0 or 1, got {copy}")

@@ -1,0 +1,238 @@
+"""Gadget parameters: ``(ell, alpha, t)`` and the derived quantities.
+
+The constructions of Sections 4 and 5 are parameterised by three
+positive integers:
+
+* ``ell``    — the code distance (and the heavy node weight),
+* ``alpha``  — the message length, with ``k = (ell + alpha) ** alpha``,
+* ``t``      — the number of players.
+
+The paper sets ``ell = log k - log k / log log k`` and
+``alpha = log k / log log k`` asymptotically; those formulas only bite at
+astronomical ``k``, so the executable experiments use exact feasible
+parameters and the asymptotic formulas live in :mod:`repro.analysis`.
+
+Gap sanity.  The linear family's claimed thresholds are
+``high = t(2*ell + alpha)`` (Claim 3) and ``low = (t+1)*ell + alpha*t^2``
+(Claim 5); the gap is non-empty iff ``ell > alpha * t``.  The quadratic
+family's Claim 7 bound ``3(t+1)*ell + 3*alpha*t^3`` is loose — it only
+clears the Claim 6 threshold for enormous ``ell`` — so quadratic benches
+additionally report the *measured* optimum, which is far below the
+claimed bound at feasible sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Tuple
+
+from ..codes import is_prime_power
+
+
+class GadgetParameters:
+    """Validated parameter triple for the lower-bound constructions.
+
+    Parameters
+    ----------
+    ell, alpha, t:
+        The paper's parameters; all at least 1, with ``t >= 2``.
+    k:
+        Number of indices (clique size of each ``A^i``).  Defaults to the
+        paper's ``(ell + alpha) ** alpha``; may be set lower to shrink
+        instances (only the first ``k`` codewords are used).
+    """
+
+    __slots__ = ("ell", "alpha", "t", "k")
+
+    def __init__(self, ell: int, alpha: int, t: int, k: Optional[int] = None) -> None:
+        if ell < 1:
+            raise ValueError(f"need ell >= 1, got {ell}")
+        if alpha < 1:
+            raise ValueError(f"need alpha >= 1, got {alpha}")
+        if t < 2:
+            raise ValueError(f"need t >= 2 players, got {t}")
+        full_k = (ell + alpha) ** alpha
+        if k is None:
+            k = full_k
+        if not 1 <= k <= full_k:
+            raise ValueError(
+                f"k must be in [1, (ell+alpha)^alpha] = [1, {full_k}], got {k}"
+            )
+        self.ell = ell
+        self.alpha = alpha
+        self.t = t
+        self.k = k
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def q(self) -> int:
+        """The alphabet size / code length ``ell + alpha``."""
+        return self.ell + self.alpha
+
+    @property
+    def full_k(self) -> int:
+        """The paper's ``k = (ell + alpha) ** alpha``."""
+        return self.q ** self.alpha
+
+    @property
+    def base_graph_nodes(self) -> int:
+        """``|V_H| = k + (ell + alpha)^2`` — one clique plus the code gadget."""
+        return self.k + self.q * self.q
+
+    @property
+    def linear_nodes(self) -> int:
+        """``|V|`` of the linear construction: ``t`` copies of ``H``."""
+        return self.t * self.base_graph_nodes
+
+    @property
+    def quadratic_nodes(self) -> int:
+        """``|V|`` of the quadratic construction: two copies of ``G``."""
+        return 2 * self.linear_nodes
+
+    @property
+    def has_rs_code(self) -> bool:
+        """Whether Reed–Solomon applies directly (``q`` a prime power)."""
+        return is_prime_power(self.q)
+
+    # ------------------------------------------------------------------
+    # Claimed gap thresholds (the graph predicate's two sides)
+    # ------------------------------------------------------------------
+
+    def linear_high_threshold(self) -> int:
+        """Claim 3: intersecting inputs admit an IS of weight ``t(2l + a)``."""
+        return self.t * (2 * self.ell + self.alpha)
+
+    def linear_low_threshold(self) -> int:
+        """Claim 5: under pairwise disjointness, OPT <= ``(t+1)l + a t^2``."""
+        return (self.t + 1) * self.ell + self.alpha * self.t * self.t
+
+    def linear_gap_is_meaningful(self) -> bool:
+        """Whether the claimed thresholds actually separate (``l > a t``)."""
+        return self.linear_low_threshold() < self.linear_high_threshold()
+
+    def linear_gap_ratio(self) -> float:
+        """``low / high`` — the approximation factor certified at these params."""
+        return self.linear_low_threshold() / self.linear_high_threshold()
+
+    def two_party_low_threshold(self) -> int:
+        """Claim 2 (t = 2 warm-up): disjoint inputs give OPT <= ``3l + 2a + 1``."""
+        if self.t != 2:
+            raise ValueError("the warm-up threshold is only defined for t = 2")
+        return 3 * self.ell + 2 * self.alpha + 1
+
+    def quadratic_high_threshold(self) -> int:
+        """Claim 6: intersecting inputs admit an IS of weight ``t(4l + 2a)``."""
+        return self.t * (4 * self.ell + 2 * self.alpha)
+
+    def quadratic_low_threshold(self) -> int:
+        """Claim 7: under pairwise disjointness, OPT <= ``3(t+1)l + 3a t^3``."""
+        return 3 * (self.t + 1) * self.ell + 3 * self.alpha * self.t ** 3
+
+    def quadratic_gap_is_meaningful(self) -> bool:
+        """Whether Claim 7's bound separates from Claim 6's threshold."""
+        return self.quadratic_low_threshold() < self.quadratic_high_threshold()
+
+    def quadratic_gap_ratio(self) -> float:
+        """``low / high`` for the quadratic thresholds."""
+        return self.quadratic_low_threshold() / self.quadratic_high_threshold()
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"GadgetParameters(ell={self.ell}, alpha={self.alpha}, t={self.t}, "
+            f"k={self.k})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GadgetParameters):
+            return NotImplemented
+        return (self.ell, self.alpha, self.t, self.k) == (
+            other.ell,
+            other.alpha,
+            other.t,
+            other.k,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ell, self.alpha, self.t, self.k))
+
+
+def figure_parameters(t: int = 2) -> GadgetParameters:
+    """The parameters of the paper's figures: ``ell = 2, alpha = 1, k = 3``."""
+    return GadgetParameters(ell=2, alpha=1, t=t)
+
+
+def smallest_meaningful_linear_parameters(
+    t: int, prefer_prime_power: bool = True
+) -> GadgetParameters:
+    """Smallest ``(ell, alpha=1)`` with a non-empty linear gap for ``t`` players.
+
+    Needs ``ell > alpha * t``; with ``alpha = 1`` the smallest is
+    ``ell = t + 1``.  With ``prefer_prime_power`` (default), ``ell`` is
+    bumped until ``q = ell + 1`` is a prime power so the Reed–Solomon
+    mapping applies directly (the greedy fallback for composite ``q``
+    is far slower at scale); by Bertrand's postulate the bump is small.
+    """
+    ell = t + 1
+    if prefer_prime_power:
+        while not is_prime_power(ell + 1):
+            ell += 1
+    return GadgetParameters(ell=ell, alpha=1, t=t)
+
+
+def t_for_epsilon_linear(epsilon: float, paper_rule: bool = True) -> int:
+    """Number of players for a ``(1/2 + epsilon)`` linear family.
+
+    The paper chooses ``t = 2 / epsilon``; the exact requirement from the
+    asymptotic gap ``(t + 2) / (2 t) <= 1/2 + epsilon`` is ``t >= 1 /
+    epsilon`` — pass ``paper_rule=False`` for the tight version.
+    """
+    _check_epsilon(epsilon, upper=0.5)
+    target = 2.0 / epsilon if paper_rule else 1.0 / epsilon
+    return max(2, math.ceil(target))
+
+
+def t_for_epsilon_quadratic(epsilon: float) -> int:
+    """Number of players for a ``(3/4 + epsilon)`` quadratic family.
+
+    Derived from the asymptotic gap ``3(t + 2) / (4(t - 1)) <= 3/4 +
+    epsilon``, giving ``t >= 9 / (4 epsilon) + 1``.  (The paper's printed
+    formula "t = (3/4)eps - 1" is a typo; this is the corrected bound.)
+    """
+    _check_epsilon(epsilon, upper=0.25)
+    return max(2, math.ceil(9.0 / (4.0 * epsilon) + 1.0))
+
+
+def feasible_parameter_sweep(
+    max_linear_nodes: int = 400,
+    alphas: Tuple[int, ...] = (1, 2),
+    ts: Tuple[int, ...] = (2, 3, 4),
+) -> List[GadgetParameters]:
+    """Enumerate meaningful-gap parameters small enough for exact solving.
+
+    Intended for benches: returns parameters with a non-empty linear gap
+    and at most ``max_linear_nodes`` nodes in the linear construction,
+    sorted by instance size.
+    """
+    found = []
+    for alpha in alphas:
+        for t in ts:
+            ell = alpha * t + 1  # smallest meaningful gap
+            while True:
+                params = GadgetParameters(ell=ell, alpha=alpha, t=t)
+                if params.linear_nodes > max_linear_nodes:
+                    break
+                if params.linear_gap_is_meaningful():
+                    found.append(params)
+                ell += 1
+    found.sort(key=lambda p: (p.linear_nodes, p.t, p.alpha))
+    return found
+
+
+def _check_epsilon(epsilon: float, upper: float) -> None:
+    if not 0 < epsilon < upper:
+        raise ValueError(f"epsilon must be in (0, {upper}), got {epsilon}")

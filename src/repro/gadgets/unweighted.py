@@ -1,0 +1,282 @@
+"""Remark 1: converting the weighted hard instances to unweighted ones.
+
+Every node ``v`` of integer weight ``w > 1`` is replaced by an
+independent set ``I(v)`` of ``w`` replicas.  A weight-1 neighbor ``u``
+connects to all of ``I(v)``; two heavy neighbors become a bi-clique
+between their replica sets.  The unweighted maximum independent set
+*size* of the expansion equals the weighted maximum independent set
+*weight* of the original: replicas of a node share their neighborhood
+and are mutually non-adjacent, so an optimal set takes all or none of
+each replica group.
+
+The paper notes the node blow-up is ``Theta(k log k)`` rather than
+``Theta(k)``, costing one logarithmic factor in the round bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..codes import CodeMapping
+from ..commcc import BitString, promise_pairwise_disjointness
+from ..framework.family import LowerBoundFamily
+from ..framework.gap import GapPredicate
+from ..graphs import Node, WeightedGraph
+from .linear import LinearConstruction
+from .parameters import GadgetParameters
+
+
+class UnweightedExpansion:
+    """The unweighted graph plus the mapping back to the original.
+
+    Replica nodes are named ``("U", original, j)`` for
+    ``j in 0 .. w(original) - 1``.
+    """
+
+    def __init__(self, original: WeightedGraph) -> None:
+        self.original = original
+        self.graph = WeightedGraph()
+        self._replicas: Dict[Node, List[Node]] = {}
+        for node in original.nodes():
+            weight = original.weight(node)
+            if weight != int(weight) or weight < 1:
+                raise ValueError(
+                    f"Remark 1 needs positive integer weights; node {node!r} "
+                    f"has weight {weight}"
+                )
+            replicas = [("U", node, j) for j in range(int(weight))]
+            self._replicas[node] = replicas
+            for replica in replicas:
+                self.graph.add_node(replica, weight=1)
+        for u, v in original.edges():
+            for ru in self._replicas[u]:
+                for rv in self._replicas[v]:
+                    self.graph.add_edge(ru, rv)
+
+    def replicas(self, node: Node) -> List[Node]:
+        """``I(v)`` — the replica group of an original node."""
+        return list(self._replicas[node])
+
+    def original_of(self, replica: Node) -> Node:
+        """Map a replica back to its original node."""
+        if (
+            not isinstance(replica, tuple)
+            or len(replica) != 3
+            or replica[0] != "U"
+        ):
+            raise ValueError(f"{replica!r} is not a replica node")
+        return replica[1]
+
+    def expand_set(self, nodes: Iterable[Node]) -> Set[Node]:
+        """Lift an independent set of the original to the expansion.
+
+        The lift of an independent set is independent, and its size
+        equals the original set's weight.
+        """
+        lifted: Set[Node] = set()
+        for node in nodes:
+            lifted.update(self._replicas[node])
+        return lifted
+
+    def project_set(self, replicas: Iterable[Node]) -> Set[Node]:
+        """Project a replica set down to the original nodes it touches."""
+        return {self.original_of(replica) for replica in replicas}
+
+    def expand_partition(self, partition: List[Set[Node]]) -> List[Set[Node]]:
+        """Lift a node partition of the original (replicas follow originals)."""
+        return [
+            {replica for node in part for replica in self._replicas[node]}
+            for part in partition
+        ]
+
+    @property
+    def blow_up_factor(self) -> float:
+        """``|V_unweighted| / |V_weighted|``."""
+        return self.graph.num_nodes / self.original.num_nodes
+
+
+class UnweightedLinearMaxISFamily(LowerBoundFamily):
+    """Remark 1 as a genuine fixed-node-set lower bound family.
+
+    A family needs a *fixed* node set, but the expansion of Remark 1
+    replicates exactly the weight-``ell`` nodes — which depend on the
+    inputs.  The standard fix: replicate *every* clique node ``v^i_m``
+    into ``ell`` replicas up front, and let the input toggle the edges
+    *inside* the replica group (allowed by Definition 4's condition 1):
+
+    * ``x^i_m = 1`` — the replicas are mutually independent, so the
+      group can contribute ``ell`` (the heavy node);
+    * ``x^i_m = 0`` — the replicas form a clique, capping the group's
+      contribution at 1 (the light node).
+
+    The unweighted optimum of the result equals the weighted optimum of
+    ``G_x`` exactly, and the node count grows from ``Theta(k)`` to
+    ``Theta(k * ell) = Theta(k log k)`` — the log factor Remark 1 pays.
+
+    Replica nodes are ``("R", i, m, j)`` for ``j in 0..ell-1``; code
+    nodes keep their linear-construction names.
+    """
+
+    def __init__(
+        self, params: GadgetParameters, code: Optional[CodeMapping] = None
+    ) -> None:
+        self.params = params
+        self.construction = LinearConstruction(params, code=code)
+        self.num_players = params.t
+        self.input_length = params.k
+        self.gap = GapPredicate(
+            low_threshold=params.linear_low_threshold(),
+            high_threshold=params.linear_high_threshold(),
+        )
+        self._fixed = self._build_fixed()
+        self._partition = [
+            {
+                node
+                for node in self._fixed.nodes()
+                if node[1] == player  # both ("R", i, m, j) and ("C", i, h, r)
+            }
+            for player in range(params.t)
+        ]
+
+    def replica_group(self, player: int, index: int) -> List[Node]:
+        """The ``ell`` replicas of ``v^i_m``."""
+        return [("R", player, index, j) for j in range(self.params.ell)]
+
+    def _build_fixed(self) -> WeightedGraph:
+        """The input-independent part: everything except intra-group edges."""
+        params = self.params
+        source = self.construction.graph
+        graph = WeightedGraph()
+        groups: Dict[Node, List[Node]] = {}
+        for node in source.nodes():
+            if node[0] == "A":
+                _, player, index = node
+                replicas = self.replica_group(player, index)
+                groups[node] = replicas
+                for replica in replicas:
+                    graph.add_node(replica, weight=1)
+            else:
+                groups[node] = [node]
+                graph.add_node(node, weight=1)
+        for u, v in source.edges():
+            for ru in groups[u]:
+                for rv in groups[v]:
+                    graph.add_edge(ru, rv)
+        return graph
+
+    def build(self, inputs: Sequence[BitString]) -> WeightedGraph:
+        """Toggle each replica group: clique when the bit is 0."""
+        self.check_inputs(inputs)
+        graph = self._fixed.copy()
+        for player, string in enumerate(inputs):
+            for index in range(self.params.k):
+                if not string[index]:
+                    for a, b in itertools.combinations(
+                        self.replica_group(player, index), 2
+                    ):
+                        graph.add_edge(a, b)
+        return graph
+
+    def partition(self) -> List[Set[Node]]:
+        return [set(part) for part in self._partition]
+
+    def function_value(self, inputs: Sequence[BitString]) -> bool:
+        self.check_inputs(inputs)
+        return promise_pairwise_disjointness(inputs)
+
+    def predicate(self, graph: WeightedGraph) -> bool:
+        return self.gap.evaluate(graph)
+
+    @property
+    def num_nodes(self) -> int:
+        """``t * (k * ell + q^2)`` — the Theta(k log k) blow-up."""
+        return self._fixed.num_nodes
+
+
+class UnweightedQuadraticMaxISFamily(LowerBoundFamily):
+    """Remark 1 applied to the quadratic construction ``F``.
+
+    ``F``'s weights are *fixed* (``ell`` on every ``A`` node), so the
+    expansion is simpler than the linear case: every ``v^(i,b)_m``
+    becomes a permanently independent group of ``ell`` replicas
+    ``("R", i, b, m, j)``; fixed edges expand to bicliques; and each
+    input edge ``{v^(i,1)_{m1}, v^(i,2)_{m2}}`` (bit = 0) becomes a
+    biclique between the two replica groups — still inside ``V^i``.
+
+    The unweighted optimum equals ``F_x``'s weighted optimum exactly.
+    """
+
+    def __init__(
+        self, params: GadgetParameters, code: Optional[CodeMapping] = None
+    ) -> None:
+        from .quadratic import QuadraticConstruction
+
+        self.params = params
+        self.construction = QuadraticConstruction(params, code=code)
+        self.num_players = params.t
+        self.input_length = params.k * params.k
+        self.gap = GapPredicate(
+            low_threshold=params.quadratic_low_threshold(),
+            high_threshold=params.quadratic_high_threshold(),
+        )
+        self._fixed = self._build_fixed()
+        self._partition = [
+            {node for node in self._fixed.nodes() if node[1] == player}
+            for player in range(params.t)
+        ]
+
+    def replica_group(self, player: int, copy: int, index: int) -> List[Node]:
+        """The ``ell`` replicas of ``v^(i, b)_m``."""
+        return [
+            ("R", player, copy, index, j) for j in range(self.params.ell)
+        ]
+
+    def _build_fixed(self) -> WeightedGraph:
+        source = self.construction.graph
+        graph = WeightedGraph()
+        groups: Dict[Node, List[Node]] = {}
+        for node in source.nodes():
+            if node[0] == "A":
+                _, player, copy, index = node
+                replicas = self.replica_group(player, copy, index)
+            else:
+                replicas = [node]
+            groups[node] = replicas
+            for replica in replicas:
+                graph.add_node(replica, weight=1)
+        for u, v in source.edges():
+            for ru in groups[u]:
+                for rv in groups[v]:
+                    graph.add_edge(ru, rv)
+        return graph
+
+    def build(self, inputs: Sequence[BitString]) -> WeightedGraph:
+        """Expand each zero bit into a replica-group biclique."""
+        self.check_inputs(inputs)
+        params = self.params
+        graph = self._fixed.copy()
+        for player, string in enumerate(inputs):
+            for m1 in range(params.k):
+                left = self.replica_group(player, 0, m1)
+                for m2 in range(params.k):
+                    if not string[m1 * params.k + m2]:
+                        for a in left:
+                            for b in self.replica_group(player, 1, m2):
+                                graph.add_edge(a, b)
+        return graph
+
+    def partition(self) -> List[Set[Node]]:
+        return [set(part) for part in self._partition]
+
+    def function_value(self, inputs: Sequence[BitString]) -> bool:
+        self.check_inputs(inputs)
+        return promise_pairwise_disjointness(inputs)
+
+    def predicate(self, graph: WeightedGraph) -> bool:
+        return self.gap.evaluate(graph)
+
+    @property
+    def num_nodes(self) -> int:
+        """``2 t (k * ell + q^2)``."""
+        return self._fixed.num_nodes

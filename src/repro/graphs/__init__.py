@@ -1,0 +1,97 @@
+"""Graph substrate: weighted graphs, generators, matching, rendering."""
+
+from .errors import (
+    DuplicateNodeError,
+    EdgeNotFoundError,
+    GraphError,
+    NodeNotFoundError,
+    NotBipartiteError,
+    SelfLoopError,
+)
+from .generators import (
+    biclique_minus_matching_edges,
+    clique,
+    clique_edges,
+    complete_bipartite_edges,
+    cycle_graph,
+    independent_set_graph,
+    path_graph,
+    random_bipartite_graph,
+    random_graph,
+    star_graph,
+    union_of_cliques,
+)
+from .dot import to_dot
+from .graph import Node, WeightedGraph, edge_key
+from .matching import (
+    greedy_matching_size,
+    is_matching,
+    maximum_bipartite_matching,
+    maximum_matching_size,
+)
+from .structure import (
+    clique_cover_bound,
+    core_numbers,
+    count_triangles,
+    degeneracy_ordering,
+    greedy_clique_cover,
+    independence_number_lower_bound,
+)
+from .serialize import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+from .render import (
+    adjacency_listing,
+    cross_group_edge_counts,
+    cross_group_table,
+    format_node,
+    group_summary,
+    render_figure,
+)
+
+__all__ = [
+    "DuplicateNodeError",
+    "EdgeNotFoundError",
+    "GraphError",
+    "Node",
+    "NodeNotFoundError",
+    "NotBipartiteError",
+    "SelfLoopError",
+    "WeightedGraph",
+    "adjacency_listing",
+    "biclique_minus_matching_edges",
+    "clique",
+    "clique_cover_bound",
+    "clique_edges",
+    "complete_bipartite_edges",
+    "core_numbers",
+    "count_triangles",
+    "cross_group_edge_counts",
+    "cross_group_table",
+    "cycle_graph",
+    "degeneracy_ordering",
+    "edge_key",
+    "format_node",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "greedy_clique_cover",
+    "greedy_matching_size",
+    "group_summary",
+    "independence_number_lower_bound",
+    "independent_set_graph",
+    "is_matching",
+    "maximum_bipartite_matching",
+    "maximum_matching_size",
+    "path_graph",
+    "random_bipartite_graph",
+    "random_graph",
+    "render_figure",
+    "star_graph",
+    "to_dot",
+    "union_of_cliques",
+]

@@ -1,0 +1,61 @@
+"""Graphviz DOT export for the gadget graphs.
+
+The paper's figures are drawn graphs; ``to_dot`` emits the same
+structure in a form ``dot -Tpng`` renders, with optional group clusters
+(``A^i``, ``Code^i``) and weight labels.  Output is deterministic
+(sorted nodes/edges), so DOT strings are diff- and test-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .graph import Node, WeightedGraph
+from .render import format_node
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    graph: WeightedGraph,
+    groups: Optional[Mapping[str, Sequence[Node]]] = None,
+    name: str = "G",
+    show_weights: bool = True,
+) -> str:
+    """Render the graph as an undirected Graphviz document.
+
+    ``groups`` (label -> nodes) become ``subgraph cluster_*`` blocks so
+    the construction's A-cliques and code gadgets render as boxes, like
+    the paper's figures.
+    """
+    lines = [f"graph {_quote(name)} {{", "  node [shape=circle];"]
+    emitted = set()
+
+    def node_line(node: Node, indent: str) -> str:
+        label = format_node(node)
+        if show_weights and graph.weight(node) != 1:
+            label = f"{label}\\nw={graph.weight(node)}"
+        return f"{indent}{_quote(format_node(node))} [label={_quote(label)}];"
+
+    if groups:
+        for cluster_index, (label, nodes) in enumerate(sorted(groups.items())):
+            lines.append(f"  subgraph cluster_{cluster_index} {{")
+            lines.append(f"    label={_quote(label)};")
+            for node in sorted(nodes, key=format_node):
+                lines.append(node_line(node, "    "))
+                emitted.add(node)
+            lines.append("  }")
+    for node in sorted(graph.nodes(), key=format_node):
+        if node not in emitted:
+            lines.append(node_line(node, "  "))
+
+    for u, v in sorted(
+        (tuple(sorted((a, b), key=format_node)) for a, b in graph.edges()),
+        key=lambda edge: (format_node(edge[0]), format_node(edge[1])),
+    ):
+        lines.append(f"  {_quote(format_node(u))} -- {_quote(format_node(v))};")
+    lines.append("}")
+    return "\n".join(lines)

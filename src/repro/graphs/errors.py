@@ -1,0 +1,52 @@
+"""Exceptions raised by the graph substrate.
+
+Every error raised by :mod:`repro.graphs` derives from :class:`GraphError`
+so callers can catch graph-layer failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for all graph-related errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """Raised when adding a node that already exists with ``exist_ok=False``."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is already in the graph")
+        self.node = node
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Raised when adding an edge from a node to itself.
+
+    The constructions in the paper are simple graphs; self loops would
+    silently break independence arguments, so they are rejected eagerly.
+    """
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"self loop on node {node!r} is not allowed")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when removing or querying an edge that does not exist."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class NotBipartiteError(GraphError, ValueError):
+    """Raised when a bipartite-only operation is given a non-bipartite input."""

@@ -1,0 +1,184 @@
+"""Generators for the graph shapes used by the paper's constructions.
+
+The gadget graphs are assembled from three primitives: cliques (the ``A``
+cliques and the code-gadget cliques ``C_h``), complete bipartite graphs
+minus a perfect matching (the inter-copy wiring of Figure 2), and plain
+bipartite connections.  Random graphs are included for solver tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .graph import Node, WeightedGraph
+
+
+def clique(nodes: Sequence[Node], weight: float = 1) -> WeightedGraph:
+    """Return a complete graph on ``nodes``, each with the given weight."""
+    graph = WeightedGraph()
+    for node in nodes:
+        graph.add_node(node, weight=weight)
+    for u, v in itertools.combinations(nodes, 2):
+        graph.add_edge(u, v)
+    return graph
+
+
+def clique_edges(nodes: Sequence[Node]) -> List[Tuple[Node, Node]]:
+    """Return ``E(C)`` — all possible edges among ``nodes``.
+
+    This mirrors the paper's notation: "Given a clique C, we denote by
+    E(C) the set of all the possible edges between nodes in C."
+    """
+    return list(itertools.combinations(nodes, 2))
+
+
+def independent_set_graph(nodes: Sequence[Node], weight: float = 1) -> WeightedGraph:
+    """Return an edgeless graph on ``nodes``."""
+    graph = WeightedGraph()
+    for node in nodes:
+        graph.add_node(node, weight=weight)
+    return graph
+
+
+def complete_bipartite_edges(
+    left: Sequence[Node], right: Sequence[Node]
+) -> List[Tuple[Node, Node]]:
+    """Return every edge between ``left`` and ``right``."""
+    return [(u, v) for u in left for v in right]
+
+
+def biclique_minus_matching_edges(
+    left: Sequence[Node], right: Sequence[Node]
+) -> List[Tuple[Node, Node]]:
+    """Complete bipartite edges minus the natural perfect matching.
+
+    This is exactly the inter-copy wiring of the paper (Figure 2): between
+    ``C_h^i`` and ``C_h^j`` we add *all* edges except
+    ``{sigma^i_(h,r), sigma^j_(h,r)}`` for each position ``r``.  The two
+    sides must have equal length; position ``r`` on the left is matched
+    with position ``r`` on the right.
+    """
+    if len(left) != len(right):
+        raise ValueError(
+            f"matching requires equal sides, got {len(left)} and {len(right)}"
+        )
+    edges = []
+    for r, u in enumerate(left):
+        for s, v in enumerate(right):
+            if r != s:
+                edges.append((u, v))
+    return edges
+
+
+def path_graph(nodes: Sequence[Node]) -> WeightedGraph:
+    """Return a path visiting ``nodes`` in order."""
+    graph = WeightedGraph()
+    for node in nodes:
+        graph.add_node(node)
+    for u, v in zip(nodes, nodes[1:]):
+        graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(nodes: Sequence[Node]) -> WeightedGraph:
+    """Return a cycle visiting ``nodes`` in order (needs >= 3 nodes)."""
+    if len(nodes) < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    graph = path_graph(nodes)
+    graph.add_edge(nodes[-1], nodes[0])
+    return graph
+
+
+def star_graph(center: Node, leaves: Sequence[Node]) -> WeightedGraph:
+    """Return a star with the given center and leaves."""
+    graph = WeightedGraph()
+    graph.add_node(center)
+    for leaf in leaves:
+        graph.add_edge(center, leaf)
+    return graph
+
+
+def random_graph(
+    num_nodes: int,
+    edge_probability: float,
+    rng: Optional[random.Random] = None,
+    weight_range: Tuple[int, int] = (1, 1),
+    node_factory: Optional[Callable[[int], Node]] = None,
+) -> WeightedGraph:
+    """Return a G(n, p) random graph with integer node weights.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; nodes are ``0..n-1`` unless ``node_factory`` is
+        given.
+    edge_probability:
+        Probability of each edge, in ``[0, 1]``.
+    rng:
+        Source of randomness (a fresh ``random.Random()`` by default, so
+        tests should pass a seeded instance).
+    weight_range:
+        Inclusive ``(lo, hi)`` range for uniform integer node weights.
+    """
+    if not 0 <= edge_probability <= 1:
+        raise ValueError(f"edge probability must be in [0, 1], got {edge_probability}")
+    if weight_range[0] > weight_range[1] or weight_range[0] < 0:
+        raise ValueError(f"invalid weight range {weight_range}")
+    rng = rng or random.Random()
+    make_node = node_factory or (lambda i: i)
+    graph = WeightedGraph()
+    nodes = [make_node(i) for i in range(num_nodes)]
+    for node in nodes:
+        graph.add_node(node, weight=rng.randint(*weight_range))
+    for u, v in itertools.combinations(nodes, 2):
+        if rng.random() < edge_probability:
+            graph.add_edge(u, v)
+    return graph
+
+
+def random_bipartite_graph(
+    left_size: int,
+    right_size: int,
+    edge_probability: float,
+    rng: Optional[random.Random] = None,
+) -> Tuple[WeightedGraph, List[Node], List[Node]]:
+    """Return a random bipartite graph plus its two sides.
+
+    Left nodes are ``("L", i)`` and right nodes ``("R", j)``.
+    """
+    if not 0 <= edge_probability <= 1:
+        raise ValueError(f"edge probability must be in [0, 1], got {edge_probability}")
+    rng = rng or random.Random()
+    left = [("L", i) for i in range(left_size)]
+    right = [("R", j) for j in range(right_size)]
+    graph = WeightedGraph()
+    graph.add_nodes(left)
+    graph.add_nodes(right)
+    for u in left:
+        for v in right:
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph, left, right
+
+
+def union_of_cliques(
+    groups: Iterable[Sequence[Node]], weight: float = 1
+) -> WeightedGraph:
+    """Return the disjoint union of cliques over the given node groups.
+
+    The code gadget ``Code = C_1 ∪ ... ∪ C_{l+alpha}`` is exactly such a
+    union.  Groups must be pairwise disjoint.
+    """
+    graph = WeightedGraph()
+    seen: set = set()
+    for group in groups:
+        for node in group:
+            if node in seen:
+                raise ValueError(f"groups are not disjoint: {node!r} repeats")
+            seen.add(node)
+            graph.add_node(node, weight=weight)
+        for u, v in itertools.combinations(group, 2):
+            graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,144 @@
+"""Maximum bipartite matching (Hopcroft–Karp).
+
+Property 2 of the paper states that for distinct code words, the bipartite
+graph between ``Code^i_{m1}`` and ``Code^j_{m2}`` contains a matching of
+size at least ``ell``.  We verify that claim with a real maximum-matching
+computation rather than trusting the distance argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .errors import NotBipartiteError
+from .graph import Node, WeightedGraph
+
+_INFINITY = float("inf")
+
+
+def maximum_bipartite_matching(
+    graph: WeightedGraph,
+    left: Sequence[Node],
+    right: Sequence[Node],
+) -> Dict[Node, Node]:
+    """Return a maximum matching between ``left`` and ``right``.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.  Only edges with one endpoint in ``left`` and the
+        other in ``right`` participate; an edge *inside* either side
+        raises :class:`NotBipartiteError` since that would indicate the
+        caller mis-specified the bipartition.
+
+    Returns
+    -------
+    dict
+        A mapping containing each matched pair twice: ``match[u] == v``
+        and ``match[v] == u``.  The matching size is ``len(match) // 2``.
+    """
+    left_set, right_set = set(left), set(right)
+    if left_set & right_set:
+        raise NotBipartiteError("left and right sides overlap")
+    adjacency: Dict[Node, List[Node]] = {}
+    for u in left:
+        neighbors = []
+        for v in graph.neighbors(u):
+            if v in left_set:
+                raise NotBipartiteError(f"edge inside the left side: {u!r} - {v!r}")
+            if v in right_set:
+                neighbors.append(v)
+        adjacency[u] = neighbors
+    for v in right:
+        for w in graph.neighbors(v):
+            if w in right_set:
+                raise NotBipartiteError(f"edge inside the right side: {v!r} - {w!r}")
+
+    match_left: Dict[Node, Optional[Node]] = {u: None for u in left}
+    match_right: Dict[Node, Optional[Node]] = {v: None for v in right}
+    distance: Dict[Optional[Node], float] = {}
+
+    def bfs() -> bool:
+        queue: deque = deque()
+        for u in left:
+            if match_left[u] is None:
+                distance[u] = 0
+                queue.append(u)
+            else:
+                distance[u] = _INFINITY
+        distance[None] = _INFINITY
+        while queue:
+            u = queue.popleft()
+            if distance[u] < distance[None]:
+                for v in adjacency[u]:
+                    nxt = match_right[v]
+                    if distance.get(nxt, _INFINITY) == _INFINITY:
+                        distance[nxt] = distance[u] + 1
+                        if nxt is not None:
+                            queue.append(nxt)
+        return distance[None] != _INFINITY
+
+    def dfs(u: Node) -> bool:
+        for v in adjacency[u]:
+            nxt = match_right[v]
+            if nxt is None or (
+                distance.get(nxt, _INFINITY) == distance[u] + 1 and dfs(nxt)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = _INFINITY
+        return False
+
+    while bfs():
+        for u in left:
+            if match_left[u] is None:
+                dfs(u)
+
+    result: Dict[Node, Node] = {}
+    for u, v in match_left.items():
+        if v is not None:
+            result[u] = v
+            result[v] = u
+    return result
+
+
+def maximum_matching_size(
+    graph: WeightedGraph, left: Sequence[Node], right: Sequence[Node]
+) -> int:
+    """Return the size of a maximum matching between the two sides."""
+    return len(maximum_bipartite_matching(graph, left, right)) // 2
+
+
+def is_matching(graph: WeightedGraph, pairs: Iterable[Tuple[Node, Node]]) -> bool:
+    """Return whether ``pairs`` is a matching using existing edges."""
+    used: Set[Node] = set()
+    for u, v in pairs:
+        if not graph.has_edge(u, v):
+            return False
+        if u in used or v in used:
+            return False
+        used.add(u)
+        used.add(v)
+    return True
+
+
+def greedy_matching_size(
+    graph: WeightedGraph, left: Sequence[Node], right: Sequence[Node]
+) -> int:
+    """Return the size of a greedy matching (a lower bound on the maximum).
+
+    Used as a cheap cross-check against :func:`maximum_matching_size`
+    (greedy is a maximal matching, hence at least half the maximum).
+    """
+    right_set = set(right)
+    used: Set[Node] = set()
+    size = 0
+    for u in left:
+        for v in graph.neighbors(u):
+            if v in right_set and v not in used:
+                used.add(v)
+                size += 1
+                break
+    return size

@@ -1,0 +1,130 @@
+"""Text rendering of graphs and gadget structure.
+
+The paper's six figures are hand-drawn illustrations of the constructions.
+The figure benchmarks regenerate them as structured text: node groups,
+group sizes, and the adjacency relations between groups.  These renderers
+produce deterministic, diff-friendly output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .graph import Node, WeightedGraph
+
+
+def format_node(node: Node) -> str:
+    """Render a structured node id compactly.
+
+    Gadget nodes are tuples like ``("A", i, m)`` or ``("C", i, h, r)``;
+    these render as ``A[i,m]`` and ``C[i,h,r]``.  Anything else falls back
+    to ``repr``.
+    """
+    if isinstance(node, tuple) and node and isinstance(node[0], str):
+        head, *rest = node
+        return f"{head}[{','.join(str(part) for part in rest)}]"
+    return repr(node)
+
+
+def adjacency_listing(graph: WeightedGraph, max_nodes: Optional[int] = None) -> str:
+    """Return a sorted, line-per-node adjacency listing."""
+    lines: List[str] = []
+    nodes = sorted(graph.nodes(), key=format_node)
+    if max_nodes is not None:
+        nodes = nodes[:max_nodes]
+    for node in nodes:
+        neighbors = sorted(graph.neighbors(node), key=format_node)
+        rendered = ", ".join(format_node(v) for v in neighbors)
+        lines.append(f"{format_node(node)} (w={graph.weight(node)}): {rendered}")
+    return "\n".join(lines)
+
+
+def group_summary(
+    graph: WeightedGraph, groups: Mapping[str, Sequence[Node]]
+) -> str:
+    """Summarise node groups: size, weight, and internal edge counts.
+
+    ``groups`` maps a human-readable label (e.g. ``"A^1"`` or
+    ``"Code^2"``) to its node list.
+    """
+    lines = []
+    for label, nodes in groups.items():
+        node_set = set(nodes)
+        internal = sum(
+            1 for u, v in graph.edges() if u in node_set and v in node_set
+        )
+        weight = graph.total_weight(nodes)
+        complete = len(node_set) * (len(node_set) - 1) // 2
+        shape = "clique" if internal == complete and len(node_set) > 1 else (
+            "independent" if internal == 0 else "mixed"
+        )
+        lines.append(
+            f"{label}: {len(node_set)} nodes, weight {weight}, "
+            f"{internal} internal edges ({shape})"
+        )
+    return "\n".join(lines)
+
+
+def cross_group_edge_counts(
+    graph: WeightedGraph, groups: Mapping[str, Sequence[Node]]
+) -> Dict[Tuple[str, str], int]:
+    """Count edges between every pair of labelled groups."""
+    membership: Dict[Node, str] = {}
+    for label, nodes in groups.items():
+        for node in nodes:
+            membership[node] = label
+    counts: Dict[Tuple[str, str], int] = {}
+    for u, v in graph.edges():
+        lu, lv = membership.get(u), membership.get(v)
+        if lu is None or lv is None or lu == lv:
+            continue
+        key = (min(lu, lv), max(lu, lv))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def cross_group_table(
+    graph: WeightedGraph, groups: Mapping[str, Sequence[Node]]
+) -> str:
+    """Render cross-group edge counts as aligned text rows."""
+    counts = cross_group_edge_counts(graph, groups)
+    if not counts:
+        return "(no cross-group edges)"
+    width = max(len(f"{a} -- {b}") for a, b in counts)
+    lines = [
+        f"{f'{a} -- {b}':<{width}}  {count}"
+        for (a, b), count in sorted(counts.items())
+    ]
+    return "\n".join(lines)
+
+
+def render_figure(
+    title: str,
+    graph: WeightedGraph,
+    groups: Mapping[str, Sequence[Node]],
+    notes: Iterable[str] = (),
+) -> str:
+    """Render a full 'figure': title, group summary, cross-group edges.
+
+    This is the text analogue of the paper's construction illustrations.
+    """
+    bar = "=" * max(len(title), 8)
+    parts = [
+        bar,
+        title,
+        bar,
+        f"|V| = {graph.num_nodes}, |E| = {graph.num_edges}, "
+        f"total weight = {graph.total_weight()}",
+        "",
+        "Groups:",
+        group_summary(graph, groups),
+        "",
+        "Cross-group edges:",
+        cross_group_table(graph, groups),
+    ]
+    notes = list(notes)
+    if notes:
+        parts.append("")
+        parts.append("Notes:")
+        parts.extend(f"  - {note}" for note in notes)
+    return "\n".join(parts)

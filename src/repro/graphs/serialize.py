@@ -1,0 +1,65 @@
+"""JSON-safe (de)serialization of weighted graphs.
+
+Gadget node ids are nested tuples, which JSON has no native type for;
+the codec encodes tuples as tagged lists (``["__tuple__", ...]``) so a
+round trip restores node identity exactly.  Used to snapshot hard
+instances for external tools and to regression-pin constructions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .graph import Node, WeightedGraph
+
+_TUPLE_TAG = "__tuple__"
+
+
+def _encode_node(node: Node) -> Any:
+    if isinstance(node, tuple):
+        return [_TUPLE_TAG] + [_encode_node(part) for part in node]
+    if isinstance(node, (str, int, float, bool)) or node is None:
+        return node
+    raise TypeError(f"cannot serialize node of type {type(node).__name__}: {node!r}")
+
+
+def _decode_node(data: Any) -> Node:
+    if isinstance(data, list):
+        if not data or data[0] != _TUPLE_TAG:
+            raise ValueError(f"malformed encoded node: {data!r}")
+        return tuple(_decode_node(part) for part in data[1:])
+    return data
+
+
+def graph_to_dict(graph: WeightedGraph) -> Dict[str, Any]:
+    """Flatten a graph to a JSON-safe dictionary."""
+    return {
+        "nodes": [
+            {"id": _encode_node(node), "weight": graph.weight(node)}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            [_encode_node(u), _encode_node(v)] for u, v in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> WeightedGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    graph = WeightedGraph()
+    for entry in data["nodes"]:
+        graph.add_node(_decode_node(entry["id"]), weight=entry["weight"])
+    for u, v in data["edges"]:
+        graph.add_edge(_decode_node(u), _decode_node(v))
+    return graph
+
+
+def graph_to_json(graph: WeightedGraph, indent: int = None) -> str:
+    """Serialize a graph to a JSON document."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> WeightedGraph:
+    """Parse a graph serialized by :func:`graph_to_json`."""
+    return graph_from_dict(json.loads(text))

@@ -1,0 +1,170 @@
+"""Approximation algorithms for maximum-weight independent set.
+
+The paper's upper-bound landscape: fast CONGEST algorithms achieve a
+Δ-approximation (Δ = max degree) but nothing better is known.  These
+centralized greedy heuristics provide the comparison points for the
+solver bench and for the "limitation" demonstration (local optima give a
+(1/t)-approximation across a t-partition).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graphs import Node, WeightedGraph
+from .result import IndependentSetResult
+
+
+def greedy_by_weight(graph: WeightedGraph) -> IndependentSetResult:
+    """Greedy: repeatedly take the heaviest non-conflicting vertex.
+
+    For a graph with max degree Δ this is a 1/(Δ+1)-approximation in the
+    unweighted case, and a natural heuristic in the weighted case.
+    """
+    return _greedy(graph, key=lambda g, v: (-g.weight(v), _stable_key(v)))
+
+
+def greedy_by_degree(graph: WeightedGraph) -> IndependentSetResult:
+    """Greedy: repeatedly take the minimum-degree vertex (ties by weight)."""
+    return _greedy(
+        graph, key=lambda g, v: (g.degree(v), -g.weight(v), _stable_key(v))
+    )
+
+
+def greedy_by_weight_degree_ratio(graph: WeightedGraph) -> IndependentSetResult:
+    """Greedy by ``w(v) / (deg(v) + 1)`` — the weighted Turán-style rule.
+
+    Guarantees weight at least ``sum_v w(v) / (deg(v) + 1)``.
+    """
+    return _greedy(
+        graph,
+        key=lambda g, v: (-(g.weight(v) / (g.degree(v) + 1)), _stable_key(v)),
+    )
+
+
+def _stable_key(node: Node) -> str:
+    return repr(node)
+
+
+def _greedy(
+    graph: WeightedGraph, key: Callable[[WeightedGraph, Node], Tuple]
+) -> IndependentSetResult:
+    chosen: List[Node] = []
+    blocked: Set[Node] = set()
+    for node in sorted(graph.nodes(), key=lambda v: key(graph, v)):
+        if node in blocked:
+            continue
+        chosen.append(node)
+        blocked.add(node)
+        blocked.update(graph.neighbors(node))
+    return IndependentSetResult(graph, chosen)
+
+
+def random_maximal_independent_set(
+    graph: WeightedGraph, rng: Optional[random.Random] = None
+) -> IndependentSetResult:
+    """A uniformly-ordered greedy maximal independent set.
+
+    Used to sample arbitrary maximal independent sets when verifying
+    universally-quantified structural claims ("for any independent set
+    I, ...") beyond just the optimal ones.
+    """
+    rng = rng or random.Random()
+    nodes = graph.node_list()
+    rng.shuffle(nodes)
+    chosen: List[Node] = []
+    blocked: Set[Node] = set()
+    for node in nodes:
+        if node in blocked:
+            continue
+        chosen.append(node)
+        blocked.add(node)
+        blocked.update(graph.neighbors(node))
+    return IndependentSetResult(graph, chosen)
+
+
+def best_greedy(graph: WeightedGraph) -> IndependentSetResult:
+    """Run all greedy variants and return the heaviest result."""
+    results = [
+        greedy_by_weight(graph),
+        greedy_by_degree(graph),
+        greedy_by_weight_degree_ratio(graph),
+    ]
+    return max(results, key=lambda r: r.weight)
+
+
+def improve_by_swaps(
+    graph: WeightedGraph,
+    initial: IndependentSetResult,
+    max_iterations: int = 10_000,
+) -> IndependentSetResult:
+    """(1, 2)-swap local search on top of any independent set.
+
+    Repeats until a local optimum: additions of any free vertex, and
+    swaps removing one chosen vertex for two non-adjacent outside
+    vertices whose combined weight is larger.  Never worsens the input;
+    the classic polish pass over a greedy seed.
+    """
+    chosen: Set[Node] = set(initial.nodes)
+    for _ in range(max_iterations):
+        improved = False
+        # Additions: any vertex with no chosen neighbor.
+        for node in graph.nodes():
+            if node in chosen:
+                continue
+            if not graph.neighbors(node) & chosen:
+                chosen.add(node)
+                improved = True
+        # (1, 2) swaps.
+        for node in sorted(chosen, key=_stable_key):
+            blockers = [
+                v
+                for v in graph.nodes()
+                if v not in chosen and graph.neighbors(v) & chosen == {node}
+            ]
+            best_pair = None
+            best_gain = 0.0
+            for i, a in enumerate(blockers):
+                non_neighbors = graph.neighbors(a)
+                for b in blockers[i + 1:]:
+                    if b in non_neighbors:
+                        continue
+                    gain = graph.weight(a) + graph.weight(b) - graph.weight(node)
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_pair = (a, b)
+            if best_pair is not None:
+                chosen.discard(node)
+                chosen.update(best_pair)
+                improved = True
+        if not improved:
+            break
+    return IndependentSetResult(graph, chosen)
+
+
+def local_optima_over_partition(
+    graph: WeightedGraph,
+    parts: Sequence[Iterable[Node]],
+    solver: Callable[[WeightedGraph], IndependentSetResult],
+) -> Tuple[IndependentSetResult, int]:
+    """The limitation argument made executable.
+
+    Solve MaxIS *inside* each part of a node partition and return the
+    best single-part solution (a valid independent set of the whole
+    graph) along with the winning part index.  For a t-part partition
+    this is always a (1/t)-approximation: the global optimum intersected
+    with some part carries at least OPT/t weight, and the within-part
+    optimum dominates that intersection.
+    """
+    if not parts:
+        raise ValueError("need at least one part")
+    best: IndependentSetResult = None  # type: ignore[assignment]
+    best_index = -1
+    for index, part in enumerate(parts):
+        local = solver(graph.subgraph(part))
+        candidate = IndependentSetResult(graph, local.nodes)
+        if best is None or candidate.weight > best.weight:
+            best = candidate
+            best_index = index
+    return best, best_index

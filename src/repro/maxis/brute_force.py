@@ -1,0 +1,67 @@
+"""Brute-force MaxIS — the oracle the fast solver is tested against."""
+
+from __future__ import annotations
+
+from ..graphs import WeightedGraph
+from .result import IndependentSetResult
+
+_MAX_BRUTE_FORCE_NODES = 26
+
+
+def brute_force_max_weight_independent_set(
+    graph: WeightedGraph,
+) -> IndependentSetResult:
+    """Exhaustive maximum-weight independent set.
+
+    Recursively includes/excludes each vertex with no pruning beyond
+    independence itself.  Refuses graphs above
+    ``2^26``-subset territory; it exists purely as a correctness oracle.
+    """
+    node_list, weights, masks = graph.to_index_form()
+    n = len(node_list)
+    if n > _MAX_BRUTE_FORCE_NODES:
+        raise ValueError(
+            f"brute force is limited to {_MAX_BRUTE_FORCE_NODES} nodes, got {n}"
+        )
+    best_weight = -1.0
+    best_set = 0
+
+    def search(index: int, allowed: int, weight: float, chosen: int) -> None:
+        nonlocal best_weight, best_set
+        if index == n:
+            if weight > best_weight:
+                best_weight = weight
+                best_set = chosen
+            return
+        bit = 1 << index
+        if allowed & bit:
+            search(index + 1, allowed & ~masks[index], weight + weights[index], chosen | bit)
+        search(index + 1, allowed, weight, chosen)
+
+    search(0, (1 << n) - 1, 0.0, 0)
+    chosen_nodes = [node_list[i] for i in range(n) if (best_set >> i) & 1]
+    return IndependentSetResult(graph, chosen_nodes)
+
+
+def count_independent_sets(graph: WeightedGraph) -> int:
+    """Count all independent sets (including the empty set).
+
+    Useful as a structural fingerprint of small gadgets in tests.
+    """
+    node_list, _, masks = graph.to_index_form()
+    n = len(node_list)
+    if n > _MAX_BRUTE_FORCE_NODES:
+        raise ValueError(
+            f"counting is limited to {_MAX_BRUTE_FORCE_NODES} nodes, got {n}"
+        )
+
+    def count(index: int, allowed: int) -> int:
+        if index == n:
+            return 1
+        bit = 1 << index
+        total = count(index + 1, allowed)
+        if allowed & bit:
+            total += count(index + 1, allowed & ~masks[index])
+        return total
+
+    return count(0, (1 << n) - 1)

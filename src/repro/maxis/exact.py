@@ -1,0 +1,163 @@
+"""Exact maximum-weight independent set.
+
+Every upper-bound claim in the paper (Claims 2, 5, 7) says "*any*
+independent set has weight at most ...".  We verify those claims by
+actually computing the optimum on concrete gadget instances, so the
+solver has to be exact, and fast on the gadget shape: dense graphs that
+are near-unions of cliques.
+
+The workhorse is a bitset branch-and-bound with a greedy weighted
+clique-cover upper bound.  A clique contributes at most its heaviest
+member to any independent set, so the cover bound collapses to almost
+the true optimum on clique-structured graphs — exactly our instances.
+A plain exponential brute force (:mod:`repro.maxis.brute_force`)
+cross-checks it in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..graphs import Node, WeightedGraph
+from .result import IndependentSetResult
+
+
+class BranchAndBoundStats:
+    """Search statistics for benchmarking the solver."""
+
+    __slots__ = ("nodes_expanded", "bound_prunes")
+
+    def __init__(self) -> None:
+        self.nodes_expanded = 0
+        self.bound_prunes = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BranchAndBoundStats(nodes_expanded={self.nodes_expanded}, "
+            f"bound_prunes={self.bound_prunes})"
+        )
+
+
+def max_weight_independent_set(
+    graph: WeightedGraph,
+    stats: Optional[BranchAndBoundStats] = None,
+) -> IndependentSetResult:
+    """Return a maximum-weight independent set of ``graph``.
+
+    Exact.  Intended for instances up to a few hundred nodes when they
+    are dense (the gadget regime); see the solver bench for measured
+    scaling.
+    """
+    node_list, weights, masks = graph.to_index_form()
+    n = len(node_list)
+    if n == 0:
+        return IndependentSetResult(graph, [])
+    for weight in weights:
+        if weight < 0:
+            raise ValueError("negative node weights are not supported")
+
+    # Order vertices by descending weight, then descending degree; the
+    # heaviest/most-constrained vertices are branched on first.
+    order = sorted(
+        range(n), key=lambda i: (-weights[i], -bin(masks[i]).count("1"))
+    )
+    position = [0] * n
+    for pos, original in enumerate(order):
+        position[original] = pos
+    # Re-index into branching order.
+    new_weights = [weights[i] for i in order]
+    new_masks = [0] * n
+    for pos, original in enumerate(order):
+        mask = masks[original]
+        remapped = 0
+        while mask:
+            low = mask & -mask
+            remapped |= 1 << position[low.bit_length() - 1]
+            mask ^= low
+        new_masks[pos] = remapped
+
+    stats = stats or BranchAndBoundStats()
+    best_weight = -1
+    best_set = 0
+    full_mask = (1 << n) - 1
+
+    def clique_cover_bound(candidates: int) -> float:
+        """Greedy weighted clique cover of the candidate set.
+
+        Partition candidates into cliques; each clique can contribute at
+        most its maximum weight.  Vertices are visited heaviest-first
+        (the branching order is weight-sorted), so each clique's first
+        member is its heaviest and the bound is the sum of first-member
+        weights.
+        """
+        cliques: List[int] = []  # clique bitmasks
+        bound = 0.0
+        remaining = candidates
+        while remaining:
+            low = remaining & -remaining
+            v = low.bit_length() - 1
+            remaining ^= low
+            placed = False
+            adjacency = new_masks[v]
+            for idx, clique_mask in enumerate(cliques):
+                if clique_mask & ~adjacency:
+                    continue  # v is not adjacent to the whole clique
+                cliques[idx] = clique_mask | low
+                placed = True
+                break
+            if not placed:
+                cliques.append(low)
+                bound += new_weights[v]
+        return bound
+
+    def search(candidates: int, current_weight: float, current_set: int) -> None:
+        nonlocal best_weight, best_set
+        stats.nodes_expanded += 1
+        if not candidates:
+            if current_weight > best_weight:
+                best_weight = current_weight
+                best_set = current_set
+            return
+        if current_weight + clique_cover_bound(candidates) <= best_weight:
+            stats.bound_prunes += 1
+            return
+        low = candidates & -candidates
+        v = low.bit_length() - 1
+        # Branch 1: include v (drop v and its neighbors from candidates).
+        search(
+            candidates & ~(low | new_masks[v]),
+            current_weight + new_weights[v],
+            current_set | low,
+        )
+        # Branch 2: exclude v.
+        search(candidates & ~low, current_weight, current_set)
+
+    search(full_mask, 0.0, 0)
+
+    chosen = [
+        node_list[order[pos]] for pos in range(n) if (best_set >> pos) & 1
+    ]
+    return IndependentSetResult(graph, chosen)
+
+
+def max_independent_set_weight(graph: WeightedGraph) -> float:
+    """Return only the optimal weight (``OPT`` in the paper)."""
+    return max_weight_independent_set(graph).weight
+
+
+def max_weight_clique(
+    graph: WeightedGraph, stats: Optional[BranchAndBoundStats] = None
+):
+    """Return a maximum-weight clique, via MaxIS on the complement.
+
+    A clique in ``G`` is an independent set in ``G``'s complement, so
+    this inherits the exactness (and the test coverage) of the MaxIS
+    solver.  Best on *sparse* inputs, where the complement is dense —
+    the regime the clique-cover bound likes.
+    """
+    complement = graph.complement()
+    result = max_weight_independent_set(complement, stats=stats)
+    # Re-validate against the original graph: the chosen set must be a clique.
+    if not graph.is_clique(result.nodes):
+        raise AssertionError("complement MaxIS returned a non-clique")
+    return result

@@ -1,0 +1,46 @@
+"""Result type shared by the MaxIS solvers."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..graphs import Node, WeightedGraph
+
+
+class IndependentSetResult:
+    """An independent set together with its total weight.
+
+    Instances are produced by the solvers and validated against the host
+    graph on construction, so a result object is always a genuine
+    independent set.
+    """
+
+    __slots__ = ("nodes", "weight")
+
+    def __init__(self, graph: WeightedGraph, nodes: Iterable[Node]) -> None:
+        node_set = frozenset(nodes)
+        if not graph.is_independent_set(node_set):
+            raise ValueError("solver returned a non-independent node set")
+        self.nodes: FrozenSet[Node] = node_set
+        self.weight = graph.total_weight(node_set)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"IndependentSetResult(size={len(self.nodes)}, weight={self.weight})"
+
+
+def approximation_ratio(achieved_weight: float, optimum_weight: float) -> float:
+    """Return ``achieved / optimum`` (1.0 when both are zero).
+
+    Matches Definition 5 read multiplicatively: an independent set ``I``
+    is a γ-approximation when ``w(I) >= γ * OPT`` (the paper writes
+    ``w(I) >= OPT / γ`` with γ >= 1; we use the γ <= 1 convention of the
+    theorem statements, e.g. "(1/2 + ε)-approximation").
+    """
+    if optimum_weight < 0 or achieved_weight < 0:
+        raise ValueError("weights must be non-negative")
+    if optimum_weight == 0:
+        return 1.0
+    return achieved_weight / optimum_weight

@@ -1,0 +1,103 @@
+"""Tests for the asymptotic formulas and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    approximation_limit,
+    format_cell,
+    linear_gap_asymptotic,
+    linear_gap_ratio_asymptotic,
+    paper_alpha,
+    paper_ell,
+    quadratic_gap_asymptotic,
+    quadratic_gap_ratio_asymptotic,
+    render_key_values,
+    render_table,
+    summary_for_epsilon,
+)
+
+
+class TestPaperParameters:
+    def test_ell_plus_alpha_is_log_k(self):
+        for k in (2 ** 8, 2 ** 16, 2 ** 32):
+            assert paper_ell(k) + paper_alpha(k) == pytest.approx(math.log2(k))
+
+    def test_ell_dominates_alpha_eventually(self):
+        k = 2.0 ** 64
+        assert paper_ell(k) > 5 * paper_alpha(k)
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            paper_ell(2)
+
+
+class TestGapFormulas:
+    def test_linear_gap_values(self):
+        high, low = linear_gap_asymptotic(2 ** 10, 4)
+        assert high == pytest.approx(2 * 4 * 10)
+        assert low == pytest.approx(6 * 10)
+
+    def test_linear_ratio_tends_to_half(self):
+        assert linear_gap_ratio_asymptotic(2) == pytest.approx(1.0)
+        assert linear_gap_ratio_asymptotic(100) == pytest.approx(0.51)
+        ratios = [linear_gap_ratio_asymptotic(t) for t in range(2, 50)]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_quadratic_ratio_tends_to_three_quarters(self):
+        assert quadratic_gap_ratio_asymptotic(1000) == pytest.approx(
+            0.75, abs=0.01
+        )
+
+    def test_quadratic_gap_values(self):
+        high, low = quadratic_gap_asymptotic(2 ** 10, 4)
+        assert high == pytest.approx(4 * 3 * 10)
+        assert low == pytest.approx(3 * 6 * 10)
+
+    def test_limit_one_over_t(self):
+        assert approximation_limit(4) == 0.25
+        with pytest.raises(ValueError):
+            approximation_limit(1)
+
+    def test_summary_for_epsilon(self):
+        summary = summary_for_epsilon(0.1)
+        assert summary["t_linear"] == 20
+        assert summary["linear_ratio"] <= 0.5 + 0.1 + 1e-9
+        assert summary["linear_limit"] < 0.5
+        assert "t_quadratic" in summary
+        assert summary["quadratic_ratio"] <= 0.75 + 0.1 + 1e-9
+
+    def test_summary_large_epsilon_skips_quadratic(self):
+        assert "t_quadratic" not in summary_for_epsilon(0.3)
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(3.0) == "3"
+        assert format_cell(3.14159, float_digits=3) == "3.14"
+        assert format_cell("text") == "text"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["name", "value"],
+            [["a", 1], ["bbbb", 22]],
+            title="T",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        header_len = len(lines[2])
+        assert all(len(line) <= header_len + 6 for line in lines[3:])
+
+    def test_render_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_key_values(self):
+        text = render_key_values([["alpha", 1], ["bb", 2.5]])
+        assert "alpha" in text
+        assert "2.5" in text

@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis import horizontal_bar_chart, sparkline, trend_chart
+
+
+class TestBarChart:
+    def test_full_bar_for_max(self):
+        chart = horizontal_bar_chart(["a", "b"], [10, 5], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = horizontal_bar_chart(["x", "longer"], [1, 2], width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_explicit_max(self):
+        chart = horizontal_bar_chart(["a"], [5], width=10, max_value=10)
+        assert chart.count("#") == 5
+
+    def test_values_capped_at_max(self):
+        chart = horizontal_bar_chart(["a"], [20], width=10, max_value=10)
+        assert chart.count("#") == 10
+
+    def test_empty(self):
+        assert "empty" in horizontal_bar_chart([], [])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            horizontal_bar_chart(["a"], [1, 2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bar_chart(["a"], [-1])
+
+    def test_all_zero_values(self):
+        chart = horizontal_bar_chart(["a"], [0], width=8)
+        assert "#" not in chart
+
+
+class TestTrendChart:
+    def test_target_row_rendered(self):
+        chart = trend_chart([("t=2", 0.9), ("t=3", 0.8)], target=0.5, target_label="1/2")
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith("1/2")
+        assert "=" in lines[-1]
+
+    def test_no_target(self):
+        chart = trend_chart([("a", 1.0)])
+        assert len(chart.splitlines()) == 1
+
+    def test_rows_aligned_with_target(self):
+        chart = trend_chart([("t", 0.9)], target=0.5, target_label="longer-label")
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line == "".join(sorted(line))
+
+    def test_constant(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes(self):
+        line = sparkline([0, 100])
+        assert line[0] == "▁" and line[1] == "█"

@@ -1,0 +1,97 @@
+"""Closed-form count formulas, cross-checked against measured graphs."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    base_graph_edge_count,
+    instance_summary,
+    linear_cut_count,
+    linear_edge_count,
+    quadratic_cut_count,
+    quadratic_edge_count,
+    quadratic_input_edge_count,
+    unweighted_node_count,
+)
+from repro.codes import code_mapping_for_parameters
+from repro.commcc import BitString, pairwise_disjoint_inputs
+from repro.framework import cut_size
+from repro.gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    QuadraticConstruction,
+    UnweightedExpansion,
+    build_base_graph,
+)
+
+PARAMS = [
+    GadgetParameters(ell=2, alpha=1, t=2),
+    GadgetParameters(ell=3, alpha=1, t=2),
+    GadgetParameters(ell=2, alpha=1, t=3),
+    GadgetParameters(ell=4, alpha=1, t=3),
+    GadgetParameters(ell=2, alpha=2, t=2),
+]
+
+
+@pytest.mark.parametrize("params", PARAMS, ids=repr)
+class TestAgainstMeasuredGraphs:
+    def test_base_graph_edges(self, params):
+        code = code_mapping_for_parameters(params.ell, params.alpha)
+        graph, _ = build_base_graph(params, code)
+        assert graph.num_edges == base_graph_edge_count(params)
+        assert graph.num_nodes == params.base_graph_nodes
+
+    def test_linear_counts(self, params):
+        construction = LinearConstruction(params)
+        assert construction.graph.num_edges == linear_edge_count(params)
+        assert construction.graph.num_nodes == params.linear_nodes
+        assert (
+            cut_size(construction.graph, construction.partition())
+            == linear_cut_count(params)
+        )
+
+    def test_quadratic_counts(self, params):
+        construction = QuadraticConstruction(params)
+        assert construction.graph.num_edges == quadratic_edge_count(params)
+        assert construction.graph.num_nodes == params.quadratic_nodes
+        assert (
+            cut_size(construction.graph, construction.partition())
+            == quadratic_cut_count(params)
+        )
+
+
+class TestInputEdges:
+    def test_quadratic_input_edge_count(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        construction = QuadraticConstruction(params)
+        length = params.k ** 2
+        inputs = [
+            BitString.from_indices(length, [0, 3]),
+            BitString.ones(length),
+        ]
+        graph = construction.apply_inputs(inputs)
+        zero_bits = {i: length - s.popcount() for i, s in enumerate(inputs)}
+        expected_new = quadratic_input_edge_count(zero_bits)
+        assert graph.num_edges - construction.graph.num_edges == expected_new
+
+
+class TestUnweightedCount:
+    def test_matches_expansion(self):
+        params = GadgetParameters(ell=3, alpha=1, t=2)
+        construction = LinearConstruction(params)
+        inputs = pairwise_disjoint_inputs(params.k, params.t, rng=random.Random(1))
+        graph = construction.apply_inputs(inputs)
+        expansion = UnweightedExpansion(graph)
+        num_heavy = sum(s.popcount() for s in inputs)
+        assert expansion.graph.num_nodes == unweighted_node_count(params, num_heavy)
+
+
+class TestSummary:
+    def test_summary_keys_and_consistency(self):
+        params = GadgetParameters(ell=4, alpha=1, t=3)
+        summary = instance_summary(params)
+        assert summary["linear_nodes"] == params.linear_nodes
+        assert summary["quadratic_cut"] == 2 * summary["linear_cut"]
+        assert summary["linear_high_threshold"] == params.linear_high_threshold()
+        assert summary["base_nodes"] * params.t == summary["linear_nodes"]

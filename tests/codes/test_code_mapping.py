@@ -1,0 +1,185 @@
+"""Tests for code-mappings (Definition 3 / Theorem 4) and the factory."""
+
+import itertools
+
+import pytest
+
+from repro.codes import (
+    ExplicitCodeMapping,
+    GreedyCodeMapping,
+    RSCodeMapping,
+    code_mapping_for_parameters,
+    digits_to_index,
+    exact_minimum_distance_of,
+    hamming_distance,
+    index_to_digits,
+    verify_code_mapping,
+)
+
+
+class TestIndexDigits:
+    def test_roundtrip(self):
+        for base, length in [(3, 2), (5, 3), (2, 4)]:
+            for index in range(base ** length):
+                digits = index_to_digits(index, base, length)
+                assert digits_to_index(digits, base) == index
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            index_to_digits(9, 3, 2)
+
+    def test_bad_digit_raises(self):
+        with pytest.raises(ValueError):
+            digits_to_index([3], 3)
+
+    def test_known_values(self):
+        assert index_to_digits(5, 3, 2) == (2, 1)  # 5 = 2 + 1*3
+
+
+class TestRSCodeMapping:
+    def test_figure1_parameters(self):
+        """ell=2, alpha=1: q=3, k=3, codewords of length 3, distance >= 2."""
+        mapping = RSCodeMapping(ell=2, alpha=1)
+        assert mapping.alphabet_size == 3
+        assert mapping.block_length == 3
+        assert mapping.num_codewords == 3
+        assert verify_code_mapping(mapping) >= 2
+
+    @pytest.mark.parametrize("ell,alpha", [(2, 1), (3, 1), (4, 1), (2, 2), (3, 2)])
+    def test_distance_verified(self, ell, alpha):
+        mapping = RSCodeMapping(ell=ell, alpha=alpha)
+        assert mapping.num_codewords == (ell + alpha) ** alpha
+        assert verify_code_mapping(mapping) >= ell
+
+    def test_non_prime_power_raises(self):
+        with pytest.raises(ValueError):
+            RSCodeMapping(ell=5, alpha=1)  # q = 6
+
+    def test_codeword_out_of_range_raises(self):
+        mapping = RSCodeMapping(ell=2, alpha=1)
+        with pytest.raises(ValueError):
+            mapping.codeword(3)
+
+    def test_codewords_are_cached_and_stable(self):
+        mapping = RSCodeMapping(ell=3, alpha=1)
+        assert mapping.codeword(2) is mapping.codeword(2)
+
+    def test_codewords_distinct(self):
+        mapping = RSCodeMapping(ell=3, alpha=2)
+        words = list(mapping.codewords())
+        assert len(set(words)) == len(words)
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            RSCodeMapping(ell=0, alpha=1)
+        with pytest.raises(ValueError):
+            RSCodeMapping(ell=2, alpha=0)
+
+
+class TestGreedyCodeMapping:
+    def test_finds_small_code(self):
+        mapping = GreedyCodeMapping(
+            alphabet_size=3, block_length=3, min_distance=2, target_count=3
+        )
+        assert mapping.num_codewords >= 3
+        assert verify_code_mapping(mapping) >= 2
+
+    def test_non_prime_power_alphabet(self):
+        # q = 6 is not a prime power; greedy must still deliver 6 words
+        # of length 6 at distance 5.
+        mapping = GreedyCodeMapping(
+            alphabet_size=6, block_length=6, min_distance=5, target_count=6
+        )
+        assert verify_code_mapping(mapping) >= 5
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(ValueError):
+            GreedyCodeMapping(
+                alphabet_size=2, block_length=2, min_distance=2, target_count=10
+            )
+
+    def test_distance_exceeding_length_raises(self):
+        with pytest.raises(ValueError):
+            GreedyCodeMapping(
+                alphabet_size=2, block_length=2, min_distance=3, target_count=1
+            )
+
+    def test_random_mode_for_large_composite_alphabets(self):
+        """q = 10, M = 10: the space is 10^10, far past exhaustive reach;
+        the seeded random sampler must still deliver a verified code."""
+        mapping = GreedyCodeMapping(
+            alphabet_size=10, block_length=10, min_distance=9, target_count=10
+        )
+        assert mapping.num_codewords == 10
+        assert verify_code_mapping(mapping) >= 9
+
+    def test_random_mode_is_deterministic(self):
+        a = GreedyCodeMapping(10, 10, 9, 5, seed=3)
+        b = GreedyCodeMapping(10, 10, 9, 5, seed=3)
+        assert list(a.codewords()) == list(b.codewords())
+
+    def test_random_mode_attempt_cap(self):
+        # An impossible target trips the attempt cap rather than spinning.
+        with pytest.raises(ValueError):
+            GreedyCodeMapping(
+                alphabet_size=10,
+                block_length=10,
+                min_distance=10,
+                target_count=1000,
+                max_attempts=2000,
+            )
+
+
+class TestExplicitCodeMapping:
+    def test_computes_distance(self):
+        mapping = ExplicitCodeMapping(2, [(0, 0, 0), (1, 1, 1)])
+        assert mapping.guaranteed_distance == 3
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            ExplicitCodeMapping(2, [(0, 0), (0, 0)])
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            ExplicitCodeMapping(2, [(0, 0), (0,)])
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            ExplicitCodeMapping(2, [(0, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ExplicitCodeMapping(2, [])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("ell,alpha", [(2, 1), (3, 1), (4, 1), (2, 2)])
+    def test_prime_power_uses_rs(self, ell, alpha):
+        mapping = code_mapping_for_parameters(ell, alpha)
+        assert isinstance(mapping, RSCodeMapping)
+
+    def test_non_prime_power_uses_greedy(self):
+        mapping = code_mapping_for_parameters(5, 1)  # q = 6
+        assert isinstance(mapping, GreedyCodeMapping)
+        assert mapping.num_codewords == 6
+        assert verify_code_mapping(mapping) >= 5
+
+    def test_factory_distance_always_at_least_ell(self):
+        for ell, alpha in [(2, 1), (3, 1), (5, 1), (2, 2)]:
+            mapping = code_mapping_for_parameters(ell, alpha)
+            assert verify_code_mapping(mapping) >= ell
+
+
+class TestVerification:
+    def test_exact_minimum_distance(self):
+        words = [(0, 0, 0), (0, 1, 1), (1, 1, 0)]
+        assert exact_minimum_distance_of(words) == 2
+
+    def test_single_word(self):
+        assert exact_minimum_distance_of([(0, 1)]) == 2
+
+    def test_verify_raises_on_violation(self):
+        mapping = ExplicitCodeMapping(2, [(0, 0), (0, 1)])
+        mapping.guaranteed_distance = 2  # lie about it
+        with pytest.raises(AssertionError):
+            verify_code_mapping(mapping)

@@ -1,0 +1,100 @@
+"""Deeper code tests: RS + Berlekamp–Welch over extension fields."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    ExtensionField,
+    ReedSolomonCode,
+    field_of_order,
+    hamming_distance,
+    solve_linear_system,
+)
+
+
+class TestRSOverExtensionFields:
+    @pytest.mark.parametrize("q", [4, 8, 9, 16])
+    def test_encode_decode_clean(self, q):
+        code = ReedSolomonCode.over_order(q, message_length=2, block_length=q)
+        rng = random.Random(q)
+        for _ in range(5):
+            message = [rng.randrange(q) for _ in range(2)]
+            assert code.decode(list(code.encode(message))) == tuple(message)
+
+    @pytest.mark.parametrize("q", [8, 9])
+    def test_decode_with_errors(self, q):
+        code = ReedSolomonCode.over_order(q, message_length=2, block_length=q)
+        rng = random.Random(q + 100)
+        for trial in range(8):
+            message = [rng.randrange(q) for _ in range(2)]
+            word = list(code.encode(message))
+            for position in rng.sample(range(q), code.max_correctable_errors):
+                word[position] = (word[position] + rng.randrange(1, q)) % q
+            assert code.decode(word) == tuple(message)
+
+    @pytest.mark.parametrize("q", [4, 8, 9])
+    def test_exhaustive_distance_gf_q(self, q):
+        code = ReedSolomonCode.over_order(q, message_length=2, block_length=q)
+        words = [
+            code.encode(list(message))
+            for message in itertools.product(range(q), repeat=2)
+        ]
+        minimum = min(
+            hamming_distance(a, b) for a, b in itertools.combinations(words, 2)
+        )
+        assert minimum == q - 1  # MDS: M - L + 1
+
+    def test_gf16_field_order(self):
+        field = field_of_order(16)
+        assert isinstance(field, ExtensionField)
+        assert field.order == 16
+
+
+class TestLinearSystemsOverExtensionFields:
+    @pytest.mark.parametrize("q", [4, 9])
+    def test_random_consistent_systems(self, q):
+        field = field_of_order(q)
+        rng = random.Random(q)
+        for _ in range(10):
+            n = rng.randint(1, 4)
+            matrix = [[rng.randrange(q) for _ in range(n)] for _ in range(n)]
+            solution = [rng.randrange(q) for _ in range(n)]
+            rhs = [
+                field.sum([field.mul(matrix[i][j], solution[j]) for j in range(n)])
+                for i in range(n)
+            ]
+            found = solve_linear_system(field, matrix, rhs)
+            assert found is not None
+            # Verify the found solution satisfies the system (it may
+            # differ from `solution` when the matrix is singular).
+            for i in range(n):
+                lhs = field.sum(
+                    [field.mul(matrix[i][j], found[j]) for j in range(n)]
+                )
+                assert lhs == rhs[i]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    q=st.sampled_from([8, 9]),
+    message=st.data(),
+)
+def test_hypothesis_extension_field_roundtrip(q, message):
+    code = ReedSolomonCode.over_order(q, message_length=3, block_length=q)
+    symbols = [message.draw(st.integers(0, q - 1)) for _ in range(3)]
+    word = list(code.encode(symbols))
+    # Corrupt up to the radius.
+    num_errors = message.draw(st.integers(0, code.max_correctable_errors))
+    positions = message.draw(
+        st.lists(
+            st.integers(0, q - 1), min_size=num_errors, max_size=num_errors, unique=True
+        )
+    )
+    for position in positions:
+        delta = message.draw(st.integers(1, q - 1))
+        word[position] = (word[position] + delta) % q
+    assert code.decode(word) == tuple(symbols)

@@ -1,0 +1,194 @@
+"""Tests for finite field arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    ExtensionField,
+    FieldElementError,
+    PrimeField,
+    factor_prime_power,
+    field_of_order,
+    find_irreducible_polynomial,
+    is_prime,
+    is_prime_power,
+    next_prime,
+)
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 13, 97, 101])
+    def test_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", [-1, 0, 1, 4, 6, 9, 15, 91, 100])
+    def test_composites(self, n):
+        assert not is_prime(n)
+
+    def test_next_prime(self):
+        assert next_prime(8) == 11
+        assert next_prime(11) == 11
+        assert next_prime(1) == 2
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(2, (2, 1)), (4, (2, 2)), (8, (2, 3)), (9, (3, 2)), (27, (3, 3)), (7, (7, 1)), (49, (7, 2))],
+    )
+    def test_factor_prime_power(self, n, expected):
+        assert factor_prime_power(n) == expected
+
+    @pytest.mark.parametrize("n", [1, 6, 12, 15, 100])
+    def test_not_prime_power(self, n):
+        assert factor_prime_power(n) is None
+        assert not is_prime_power(n)
+
+
+class TestPrimeField:
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            PrimeField(6)
+
+    def test_add_mod(self):
+        field = PrimeField(7)
+        assert field.add(5, 4) == 2
+
+    def test_neg(self):
+        field = PrimeField(7)
+        assert field.neg(3) == 4
+        assert field.neg(0) == 0
+
+    def test_sub(self):
+        field = PrimeField(7)
+        assert field.sub(2, 5) == 4
+
+    def test_mul(self):
+        field = PrimeField(7)
+        assert field.mul(3, 5) == 1
+
+    def test_inv(self):
+        field = PrimeField(11)
+        for a in range(1, 11):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(FieldElementError):
+            PrimeField(5).inv(0)
+
+    def test_div(self):
+        field = PrimeField(13)
+        assert field.mul(field.div(5, 3), 3) == 5
+
+    def test_pow(self):
+        field = PrimeField(5)
+        assert field.pow(2, 0) == 1
+        assert field.pow(2, 4) == 1  # Fermat
+        assert field.pow(3, 2) == 4
+
+    def test_pow_negative_exponent(self):
+        field = PrimeField(7)
+        assert field.pow(3, -1) == field.inv(3)
+
+    def test_out_of_range_element(self):
+        field = PrimeField(5)
+        with pytest.raises(FieldElementError):
+            field.add(5, 0)
+
+    def test_elements(self):
+        assert list(PrimeField(3).elements()) == [0, 1, 2]
+
+    def test_sum(self):
+        field = PrimeField(5)
+        assert field.sum([4, 4, 4]) == 2
+
+
+class TestIrreduciblePolynomials:
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 3), (2, 4), (3, 2), (5, 2), (2, 5)])
+    def test_find_irreducible(self, p, m):
+        poly = find_irreducible_polynomial(p, m)
+        assert len(poly) == m + 1
+        assert poly[-1] == 1
+        # No roots in GF(p).
+        field = PrimeField(p)
+        for x in range(p):
+            value, power = 0, 1
+            for coefficient in poly:
+                value = field.add(value, field.mul(coefficient, power))
+                power = field.mul(power, x)
+            assert value != 0
+
+
+class TestExtensionField:
+    @pytest.mark.parametrize("p,m", [(2, 2), (2, 3), (3, 2)])
+    def test_field_axioms_exhaustive(self, p, m):
+        field = ExtensionField(p, m)
+        elements = list(field.elements())
+        assert len(elements) == p ** m
+        for a in elements:
+            assert field.add(a, 0) == a
+            assert field.mul(a, 1) == a
+            assert field.add(a, field.neg(a)) == 0
+            if a != 0:
+                assert field.mul(a, field.inv(a)) == 1
+
+    def test_gf4_multiplication_closed_and_invertible(self):
+        field = ExtensionField(2, 2)
+        nonzero = [1, 2, 3]
+        products = {field.mul(a, b) for a in nonzero for b in nonzero}
+        assert 0 not in products
+
+    def test_distributivity_gf8(self):
+        field = ExtensionField(2, 3)
+        for a in range(8):
+            for b in range(8):
+                for c in range(0, 8, 3):
+                    left = field.mul(a, field.add(b, c))
+                    right = field.add(field.mul(a, b), field.mul(a, c))
+                    assert left == right
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(FieldElementError):
+            ExtensionField(2, 2).inv(0)
+
+    def test_reducible_modulus_rejected(self):
+        # x^2 + 1 = (x + 1)^2 over GF(2).
+        with pytest.raises(ValueError):
+            ExtensionField(2, 2, modulus=[1, 0, 1])
+
+    def test_non_monic_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            ExtensionField(3, 2, modulus=[1, 0, 2])
+
+    def test_bad_degree_raises(self):
+        with pytest.raises(ValueError):
+            ExtensionField(2, 0)
+
+
+class TestFieldOfOrder:
+    @pytest.mark.parametrize("q", [2, 3, 4, 5, 7, 8, 9, 11, 16, 25])
+    def test_orders(self, q):
+        field = field_of_order(q)
+        assert field.order == q
+
+    @pytest.mark.parametrize("q", [1, 6, 10, 12])
+    def test_non_prime_power_raises(self, q):
+        with pytest.raises(ValueError):
+            field_of_order(q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    q=st.sampled_from([5, 7, 8, 9]),
+    data=st.data(),
+)
+def test_hypothesis_field_axioms(q, data):
+    field = field_of_order(q)
+    a = data.draw(st.integers(0, q - 1))
+    b = data.draw(st.integers(0, q - 1))
+    c = data.draw(st.integers(0, q - 1))
+    assert field.add(a, b) == field.add(b, a)
+    assert field.mul(a, b) == field.mul(b, a)
+    assert field.mul(a, field.mul(b, c)) == field.mul(field.mul(a, b), c)
+    assert field.mul(a, field.add(b, c)) == field.add(
+        field.mul(a, b), field.mul(a, c)
+    )

@@ -1,0 +1,144 @@
+"""Tests for polynomial arithmetic and linear algebra over finite fields."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    PrimeField,
+    field_of_order,
+    lagrange_interpolate,
+    poly_add,
+    poly_degree,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_scale,
+    poly_trim,
+    solve_linear_system,
+)
+
+F7 = PrimeField(7)
+
+
+class TestBasics:
+    def test_trim(self):
+        assert poly_trim([1, 2, 0, 0]) == [1, 2]
+        assert poly_trim([0, 0]) == []
+
+    def test_degree(self):
+        assert poly_degree([]) == -1
+        assert poly_degree([5]) == 0
+        assert poly_degree([0, 0, 3]) == 2
+
+    def test_eval_constant(self):
+        assert poly_eval(F7, [4], 3) == 4
+
+    def test_eval_linear(self):
+        # 2 + 3x at x = 4 -> 14 mod 7 = 0
+        assert poly_eval(F7, [2, 3], 4) == 0
+
+    def test_eval_zero_poly(self):
+        assert poly_eval(F7, [], 5) == 0
+
+    def test_add(self):
+        assert poly_add(F7, [1, 2], [3, 4, 5]) == [4, 6, 5]
+
+    def test_add_cancels(self):
+        assert poly_add(F7, [3, 2], [4, 5]) == []
+
+    def test_scale(self):
+        assert poly_scale(F7, [1, 2], 3) == [3, 6]
+
+    def test_scale_by_zero(self):
+        assert poly_scale(F7, [1, 2], 0) == []
+
+    def test_mul(self):
+        # (1 + x)(1 + x) = 1 + 2x + x^2
+        assert poly_mul(F7, [1, 1], [1, 1]) == [1, 2, 1]
+
+    def test_mul_by_zero(self):
+        assert poly_mul(F7, [1, 1], []) == []
+
+
+class TestDivmod:
+    def test_exact_division(self):
+        product = poly_mul(F7, [1, 1], [2, 3])
+        quotient, remainder = poly_divmod(F7, product, [1, 1])
+        assert quotient == [2, 3]
+        assert remainder == []
+
+    def test_with_remainder(self):
+        quotient, remainder = poly_divmod(F7, [1, 0, 1], [1, 1])
+        recomposed = poly_add(F7, poly_mul(F7, quotient, [1, 1]), remainder)
+        assert recomposed == [1, 0, 1]
+        assert poly_degree(remainder) < 1
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(F7, [1, 2], [])
+
+
+class TestInterpolation:
+    def test_recovers_quadratic(self):
+        coeffs = [3, 0, 5]
+        xs = [0, 1, 2]
+        ys = [poly_eval(F7, coeffs, x) for x in xs]
+        assert lagrange_interpolate(F7, xs, ys) == coeffs
+
+    def test_duplicate_points_raise(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate(F7, [1, 1], [2, 3])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            lagrange_interpolate(F7, [1], [2, 3])
+
+    def test_interpolate_over_extension_field(self):
+        field = field_of_order(8)
+        coeffs = [5, 3]
+        xs = [0, 1, 2]
+        ys = [poly_eval(field, coeffs, x) for x in xs]
+        assert lagrange_interpolate(field, xs, ys) == coeffs
+
+
+class TestLinearSystems:
+    def test_unique_solution(self):
+        # x + y = 3, x - y = 1 over GF(7) -> x = 2, y = 1
+        solution = solve_linear_system(F7, [[1, 1], [1, 6]], [3, 1])
+        assert solution == [2, 1]
+
+    def test_underdetermined_returns_some_solution(self):
+        solution = solve_linear_system(F7, [[1, 1]], [3])
+        assert solution is not None
+        assert F7.add(solution[0], solution[1]) == 3
+
+    def test_inconsistent_returns_none(self):
+        solution = solve_linear_system(F7, [[1, 1], [1, 1]], [1, 2])
+        assert solution is None
+
+    def test_identity(self):
+        solution = solve_linear_system(F7, [[1, 0], [0, 1]], [4, 5])
+        assert solution == [4, 5]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.lists(st.integers(0, 6), max_size=4),
+    b=st.lists(st.integers(0, 6), max_size=4),
+    x=st.integers(0, 6),
+)
+def test_hypothesis_mul_evaluates_pointwise(a, b, x):
+    product = poly_mul(F7, a, b)
+    assert poly_eval(F7, product, x) == F7.mul(poly_eval(F7, a, x), poly_eval(F7, b, x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    coeffs=st.lists(st.integers(0, 6), min_size=1, max_size=4),
+)
+def test_hypothesis_interpolation_roundtrip(coeffs):
+    coeffs = poly_trim(coeffs)
+    xs = list(range(max(1, len(coeffs))))
+    ys = [poly_eval(F7, coeffs, x) for x in xs]
+    assert lagrange_interpolate(F7, xs, ys) == coeffs

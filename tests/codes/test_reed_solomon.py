@@ -1,0 +1,152 @@
+"""Tests for the Reed–Solomon code and Berlekamp–Welch decoding."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import ReedSolomonCode, hamming_distance
+
+
+class TestConstruction:
+    def test_bad_lengths_raise(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode.over_order(7, message_length=5, block_length=4)
+        with pytest.raises(ValueError):
+            ReedSolomonCode.over_order(7, message_length=0, block_length=4)
+
+    def test_block_exceeding_field_raises(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode.over_order(5, message_length=2, block_length=6)
+
+    def test_minimum_distance_is_mds(self):
+        code = ReedSolomonCode.over_order(7, message_length=3, block_length=6)
+        assert code.minimum_distance == 4
+        assert code.max_correctable_errors == 1
+
+    def test_theorem4_parameters(self):
+        """Theorem 4: (L, M, d) with d = M - L; RS gives M - L + 1."""
+        for q, L in [(5, 1), (5, 2), (7, 3), (8, 2), (9, 4)]:
+            code = ReedSolomonCode.over_order(q, message_length=L, block_length=q)
+            assert code.minimum_distance >= q - L
+
+
+class TestEncoding:
+    def test_encode_length(self):
+        code = ReedSolomonCode.over_order(7, 2, 5)
+        assert len(code.encode([1, 2])) == 5
+
+    def test_encode_wrong_length_raises(self):
+        code = ReedSolomonCode.over_order(7, 2, 5)
+        with pytest.raises(ValueError):
+            code.encode([1])
+
+    def test_encode_out_of_alphabet_raises(self):
+        code = ReedSolomonCode.over_order(5, 2, 4)
+        with pytest.raises(Exception):
+            code.encode([1, 9])
+
+    def test_zero_message_gives_zero_codeword(self):
+        code = ReedSolomonCode.over_order(7, 3, 6)
+        assert code.encode([0, 0, 0]) == (0,) * 6
+
+    def test_constant_message(self):
+        code = ReedSolomonCode.over_order(7, 2, 5)
+        assert code.encode([4, 0]) == (4,) * 5
+
+    def test_injective(self):
+        code = ReedSolomonCode.over_order(5, 2, 5)
+        words = {code.encode(m) for m in itertools.product(range(5), repeat=2)}
+        assert len(words) == 25
+
+    @pytest.mark.parametrize("q,L", [(5, 2), (7, 2), (8, 2), (9, 2)])
+    def test_exhaustive_distance(self, q, L):
+        code = ReedSolomonCode.over_order(q, L, q)
+        words = [code.encode(list(m)) for m in itertools.product(range(q), repeat=L)]
+        minimum = min(
+            hamming_distance(a, b) for a, b in itertools.combinations(words, 2)
+        )
+        assert minimum == code.minimum_distance  # MDS codes are tight
+
+
+class TestDecoding:
+    def _corrupt(self, word, positions, field_order, rng):
+        word = list(word)
+        for position in positions:
+            original = word[position]
+            replacement = rng.randrange(field_order - 1)
+            word[position] = replacement if replacement < original else replacement + 1
+        return word
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_decode_clean(self, seed):
+        rng = random.Random(seed)
+        code = ReedSolomonCode.over_order(11, 3, 9)
+        message = [rng.randrange(11) for _ in range(3)]
+        assert code.decode(list(code.encode(message))) == tuple(message)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_decode_with_max_errors(self, seed):
+        rng = random.Random(seed + 50)
+        code = ReedSolomonCode.over_order(11, 3, 9)  # d = 7, corrects 3
+        message = [rng.randrange(11) for _ in range(3)]
+        word = code.encode(message)
+        positions = rng.sample(range(9), code.max_correctable_errors)
+        corrupted = self._corrupt(word, positions, 11, rng)
+        assert code.decode(corrupted) == tuple(message)
+
+    def test_decode_single_error_everywhere(self):
+        code = ReedSolomonCode.over_order(7, 2, 6)  # corrects 2
+        message = [3, 5]
+        word = code.encode(message)
+        for position in range(6):
+            corrupted = list(word)
+            corrupted[position] = (corrupted[position] + 1) % 7
+            assert code.decode(corrupted) == tuple(message)
+
+    def test_decode_wrong_length_raises(self):
+        code = ReedSolomonCode.over_order(7, 2, 6)
+        with pytest.raises(ValueError):
+            code.decode([0] * 5)
+
+    def test_interpolate_message_from_clean_points(self):
+        code = ReedSolomonCode.over_order(7, 3, 7)
+        message = [1, 2, 3]
+        word = code.encode(message)
+        points = [(i, word[i]) for i in range(3)]
+        assert code.interpolate_message(points) == tuple(message)
+
+    def test_interpolate_too_few_points_raises(self):
+        code = ReedSolomonCode.over_order(7, 3, 7)
+        with pytest.raises(ValueError):
+            code.interpolate_message([(0, 1)])
+
+
+class TestHammingDistance:
+    def test_equal(self):
+        assert hamming_distance([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_counts_positions(self):
+        assert hamming_distance([1, 2, 3], [1, 0, 0]) == 2
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance([1], [1, 2])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    message=st.lists(st.integers(0, 10), min_size=3, max_size=3),
+    error_positions=st.sets(st.integers(0, 8), max_size=3),
+    data=st.data(),
+)
+def test_hypothesis_decode_within_radius(message, error_positions, data):
+    code = ReedSolomonCode.over_order(11, 3, 9)
+    word = list(code.encode(message))
+    for position in error_positions:
+        delta = data.draw(st.integers(1, 10))
+        word[position] = (word[position] + delta) % 11
+    if len(error_positions) <= code.max_correctable_errors:
+        assert code.decode(word) == tuple(message)

@@ -1,0 +1,152 @@
+"""Tests for BitString."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcc import BitString, all_pairwise_disjoint, common_intersection
+
+
+class TestConstruction:
+    def test_zeros(self):
+        s = BitString.zeros(5)
+        assert s.popcount() == 0
+        assert len(s) == 5
+
+    def test_ones(self):
+        s = BitString.ones(4)
+        assert s.popcount() == 4
+
+    def test_from_indices(self):
+        s = BitString.from_indices(6, [0, 3, 5])
+        assert s.indices() == [0, 3, 5]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitString.from_indices(3, [3])
+
+    def test_from_bits(self):
+        s = BitString.from_bits([1, 0, 1])
+        assert s[0] == 1 and s[1] == 0 and s[2] == 1
+
+    def test_from_bits_invalid(self):
+        with pytest.raises(ValueError):
+            BitString.from_bits([0, 2])
+
+    def test_mask_too_large(self):
+        with pytest.raises(ValueError):
+            BitString(2, 0b100)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            BitString(-1)
+
+    def test_zero_length(self):
+        assert len(BitString.zeros(0)) == 0
+
+
+class TestAccess:
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitString.zeros(3)[3]
+
+    def test_iter(self):
+        assert list(BitString.from_bits([1, 0, 1])) == [1, 0, 1]
+
+    def test_to_bits(self):
+        assert BitString.from_bits([1, 0, 1]).to_bits() == "101"
+
+    def test_repr_short(self):
+        assert "101" in repr(BitString.from_bits([1, 0, 1]))
+
+    def test_repr_long(self):
+        s = BitString.ones(100)
+        assert "popcount=100" in repr(s)
+
+
+class TestSetOperations:
+    def test_intersects(self):
+        a = BitString.from_indices(5, [1, 2])
+        b = BitString.from_indices(5, [2, 3])
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = BitString.from_indices(5, [0, 1])
+        b = BitString.from_indices(5, [2, 3])
+        assert a.is_disjoint_from(b)
+        assert not a.intersects(b)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitString.zeros(3).intersects(BitString.zeros(4))
+
+    def test_and_or_xor_invert(self):
+        a = BitString.from_bits([1, 1, 0])
+        b = BitString.from_bits([0, 1, 1])
+        assert (a & b).to_bits() == "010"
+        assert (a | b).to_bits() == "111"
+        assert (a ^ b).to_bits() == "101"
+        assert (~a).to_bits() == "001"
+
+    def test_equality_and_hash(self):
+        a = BitString.from_bits([1, 0])
+        b = BitString.from_bits([1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitString.from_bits([0, 1])
+        assert a != BitString(3, a.mask)
+
+
+class TestMultiString:
+    def test_all_pairwise_disjoint_true(self):
+        strings = [
+            BitString.from_indices(6, [0]),
+            BitString.from_indices(6, [1, 2]),
+            BitString.from_indices(6, [3]),
+        ]
+        assert all_pairwise_disjoint(strings)
+
+    def test_all_pairwise_disjoint_false(self):
+        strings = [
+            BitString.from_indices(6, [0, 1]),
+            BitString.from_indices(6, [1]),
+        ]
+        assert not all_pairwise_disjoint(strings)
+
+    def test_empty_strings_are_disjoint(self):
+        assert all_pairwise_disjoint([BitString.zeros(4)] * 3)
+
+    def test_common_intersection(self):
+        strings = [
+            BitString.from_indices(5, [0, 2, 4]),
+            BitString.from_indices(5, [2, 4]),
+            BitString.from_indices(5, [2, 3]),
+        ]
+        assert common_intersection(strings).indices() == [2]
+
+    def test_common_intersection_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            common_intersection([])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    masks=st.lists(st.integers(0, 2 ** 16 - 1), min_size=2, max_size=4),
+)
+def test_hypothesis_pairwise_disjoint_matches_naive(masks):
+    strings = [BitString(16, mask) for mask in masks]
+    naive = all(
+        strings[i].is_disjoint_from(strings[j])
+        for i in range(len(strings))
+        for j in range(i + 1, len(strings))
+    )
+    assert all_pairwise_disjoint(strings) == naive
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=st.integers(0, 255), b=st.integers(0, 255))
+def test_hypothesis_disjoint_iff_and_zero(a, b):
+    x, y = BitString(8, a), BitString(8, b)
+    assert x.is_disjoint_from(y) == ((x & y).popcount() == 0)
+    # Paper's definition: sum_j x_j * y_j == 0.
+    assert x.is_disjoint_from(y) == (sum(p * q for p, q in zip(x, y)) == 0)

@@ -1,0 +1,73 @@
+"""Tests for the communication complexity bound formulas."""
+
+import math
+
+import pytest
+
+from repro.commcc import (
+    candidate_index_upper_bound,
+    full_reveal_upper_bound,
+    local_optima_exchange_cost,
+    pairwise_disjointness_cc_lower_bound,
+    two_party_disjointness_cc_lower_bound,
+)
+
+
+class TestTheorem3Formula:
+    def test_two_party_degenerates_to_k(self):
+        assert pairwise_disjointness_cc_lower_bound(100, 2) == pytest.approx(50.0)
+
+    def test_scales_linearly_in_k(self):
+        a = pairwise_disjointness_cc_lower_bound(100, 4)
+        b = pairwise_disjointness_cc_lower_bound(200, 4)
+        assert b == pytest.approx(2 * a)
+
+    def test_decreases_in_t(self):
+        values = [
+            pairwise_disjointness_cc_lower_bound(1000, t) for t in (2, 3, 4, 8, 16)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_known_value(self):
+        assert pairwise_disjointness_cc_lower_bound(64, 4) == pytest.approx(
+            64 / (4 * 2)
+        )
+
+    def test_constant_scales(self):
+        assert pairwise_disjointness_cc_lower_bound(
+            64, 4, constant=2.0
+        ) == pytest.approx(2 * pairwise_disjointness_cc_lower_bound(64, 4))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            pairwise_disjointness_cc_lower_bound(0, 2)
+        with pytest.raises(ValueError):
+            pairwise_disjointness_cc_lower_bound(5, 1)
+
+
+class TestOtherBounds:
+    def test_two_party_linear(self):
+        assert two_party_disjointness_cc_lower_bound(77) == 77
+
+    def test_full_reveal(self):
+        assert full_reveal_upper_bound(10, 3) == 30
+
+    def test_candidate_index_formula(self):
+        assert candidate_index_upper_bound(16, 4) == 16 + 1 + 4 + 2
+
+    def test_upper_bounds_dominate_lower_bound(self):
+        """Sanity: the protocols we can run cost at least the LB formula."""
+        for k in (16, 64, 256):
+            for t in (2, 3, 8):
+                lower = pairwise_disjointness_cc_lower_bound(k, t)
+                assert candidate_index_upper_bound(k, t) >= lower
+                assert full_reveal_upper_bound(k, t) >= lower
+
+    def test_local_optima_cost_logarithmic(self):
+        assert local_optima_exchange_cost(4, max_weight=255) == 4 * 8
+
+    def test_local_optima_invalid(self):
+        with pytest.raises(ValueError):
+            local_optima_exchange_cost(1, 10)
+        with pytest.raises(ValueError):
+            local_optima_exchange_cost(3, 0)

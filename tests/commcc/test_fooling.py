@@ -1,0 +1,98 @@
+"""Tests for the fooling-set lower bound machinery."""
+
+import math
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    disjointness_fooling_set,
+    fooling_set_bound,
+    greedy_fooling_set,
+    is_fooling_set,
+    two_party_disjointness,
+    verified_disjointness_bound,
+)
+
+
+class TestIsFoolingSet:
+    def test_canonical_disjointness_set(self):
+        pairs = disjointness_fooling_set(4)
+        assert is_fooling_set(two_party_disjointness, pairs, value=True)
+
+    def test_rejects_wrong_value_on_diagonal(self):
+        pairs = [
+            (BitString.from_bits([1, 0]), BitString.from_bits([1, 0])),
+        ]
+        assert not is_fooling_set(two_party_disjointness, pairs, value=True)
+
+    def test_rejects_non_fooling_pair(self):
+        # Both crossed pairs stay disjoint -> not fooling.
+        pairs = [
+            (BitString.from_bits([0, 0, 0]), BitString.from_bits([0, 0, 0])),
+            (BitString.from_bits([1, 0, 0]), BitString.from_bits([0, 0, 0])),
+        ]
+        assert not is_fooling_set(two_party_disjointness, pairs, value=True)
+
+    def test_singleton_is_fooling(self):
+        pairs = [(BitString.from_bits([1]), BitString.from_bits([0]))]
+        assert is_fooling_set(two_party_disjointness, pairs, value=True)
+
+
+class TestDisjointnessFoolingSet:
+    @pytest.mark.parametrize("k", [1, 2, 4, 6])
+    def test_size_is_2_to_k(self, k):
+        assert len(disjointness_fooling_set(k)) == 2 ** k
+
+    def test_pairs_partition_the_universe(self):
+        for x, y in disjointness_fooling_set(3):
+            assert (x | y) == BitString.ones(3)
+            assert x.is_disjoint_from(y)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            disjointness_fooling_set(20)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            disjointness_fooling_set(0)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("k", [1, 3, 6, 8])
+    def test_verified_bound_equals_k(self, k):
+        assert verified_disjointness_bound(k) == pytest.approx(k)
+
+    def test_bound_formula(self):
+        pairs = disjointness_fooling_set(5)
+        assert fooling_set_bound(pairs) == pytest.approx(5)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            fooling_set_bound([])
+
+
+class TestGreedySearch:
+    def test_finds_large_set_for_disjointness(self):
+        pairs = greedy_fooling_set(two_party_disjointness, 4)
+        assert is_fooling_set(two_party_disjointness, pairs, value=True)
+        # Greedy must recover at least the canonical 2^k pairs' strength
+        # up to a constant — in practice it finds exactly 2^k here.
+        assert len(pairs) >= 2 ** 4
+
+    def test_result_always_verifies(self):
+        def equality(x, y):
+            return x == y
+
+        pairs = greedy_fooling_set(equality, 3, value=True)
+        assert is_fooling_set(equality, pairs, value=True)
+        # Equality's fooling set is the diagonal: exactly 2^k pairs.
+        assert len(pairs) == 2 ** 3
+
+    def test_k_limit(self):
+        with pytest.raises(ValueError):
+            greedy_fooling_set(two_party_disjointness, 12)
+
+    def test_max_pairs_cap(self):
+        pairs = greedy_fooling_set(two_party_disjointness, 4, max_pairs=5)
+        assert len(pairs) == 5

@@ -1,0 +1,88 @@
+"""Tests for the disjointness functions and the promise classifier."""
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    PromiseCase,
+    PromiseViolationError,
+    classify_promise_case,
+    multiparty_set_disjointness,
+    promise_pairwise_disjointness,
+    two_party_disjointness,
+    unique_intersection_index,
+)
+
+
+def strings(*index_lists, k=8):
+    return [BitString.from_indices(k, indices) for indices in index_lists]
+
+
+class TestTwoParty:
+    def test_disjoint(self):
+        x, y = strings([0, 1], [2, 3])
+        assert two_party_disjointness(x, y)
+
+    def test_intersecting(self):
+        x, y = strings([0, 1], [1, 2])
+        assert not two_party_disjointness(x, y)
+
+
+class TestMultiparty:
+    def test_true_when_no_common_index(self):
+        # Pairwise intersections exist but no index is in all three.
+        assert multiparty_set_disjointness(strings([0, 1], [1, 2], [2, 0]))
+
+    def test_false_when_common_index(self):
+        assert not multiparty_set_disjointness(strings([0, 5], [5, 2], [5]))
+
+    def test_single_player_raises(self):
+        with pytest.raises(ValueError):
+            multiparty_set_disjointness(strings([0]))
+
+
+class TestClassifier:
+    def test_uniquely_intersecting(self):
+        case = classify_promise_case(strings([3], [3, 4], [3, 5]))
+        assert case is PromiseCase.UNIQUELY_INTERSECTING
+
+    def test_pairwise_disjoint(self):
+        case = classify_promise_case(strings([0], [1], [2]))
+        assert case is PromiseCase.PAIRWISE_DISJOINT
+
+    def test_outside_promise(self):
+        # x1 and x2 intersect on 1, but no common index for all three.
+        case = classify_promise_case(strings([1], [1, 2], [3]))
+        assert case is PromiseCase.OUTSIDE_PROMISE
+
+    def test_all_empty_counts_as_disjoint(self):
+        case = classify_promise_case(strings([], [], []))
+        assert case is PromiseCase.PAIRWISE_DISJOINT
+
+    def test_single_player_raises(self):
+        with pytest.raises(ValueError):
+            classify_promise_case(strings([0]))
+
+
+class TestPromiseFunction:
+    def test_true_on_disjoint(self):
+        assert promise_pairwise_disjointness(strings([0], [1], [2]))
+
+    def test_false_on_intersecting(self):
+        assert not promise_pairwise_disjointness(strings([7], [7], [7]))
+
+    def test_raises_outside_promise(self):
+        with pytest.raises(PromiseViolationError):
+            promise_pairwise_disjointness(strings([0], [0, 1], [2]))
+
+
+class TestUniqueIntersectionIndex:
+    def test_returns_common_index(self):
+        assert unique_intersection_index(strings([2, 3], [3, 4], [3])) == 3
+
+    def test_returns_none_when_empty(self):
+        assert unique_intersection_index(strings([0], [1], [2])) is None
+
+    def test_multiple_common_indices_raise(self):
+        with pytest.raises(PromiseViolationError):
+            unique_intersection_index(strings([1, 2], [1, 2], [1, 2]))

@@ -1,0 +1,138 @@
+"""Tests for the promise-respecting input generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcc import (
+    PromiseCase,
+    all_promise_inputs,
+    classify_promise_case,
+    flat_to_index_pair,
+    index_pair_to_flat,
+    pairwise_disjoint_inputs,
+    promise_inputs,
+    uniquely_intersecting_inputs,
+)
+
+
+class TestPairwiseDisjoint:
+    def test_output_shape(self, rng):
+        strings = pairwise_disjoint_inputs(10, 3, rng=rng)
+        assert len(strings) == 3
+        assert all(s.length == 10 for s in strings)
+
+    def test_promise_respected(self):
+        for seed in range(10):
+            strings = pairwise_disjoint_inputs(20, 4, rng=random.Random(seed))
+            assert classify_promise_case(strings) is PromiseCase.PAIRWISE_DISJOINT
+
+    def test_density_zero_gives_empty(self, rng):
+        strings = pairwise_disjoint_inputs(10, 3, rng=rng, density=0.0)
+        assert all(s.popcount() == 0 for s in strings)
+
+    def test_density_one_covers_everything(self, rng):
+        strings = pairwise_disjoint_inputs(10, 3, rng=rng, density=1.0)
+        total = sum(s.popcount() for s in strings)
+        assert total == 10
+
+    def test_bad_density_raises(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_disjoint_inputs(5, 2, rng=rng, density=2.0)
+
+    def test_bad_kt_raise(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_disjoint_inputs(0, 2, rng=rng)
+        with pytest.raises(ValueError):
+            pairwise_disjoint_inputs(5, 1, rng=rng)
+
+
+class TestUniquelyIntersecting:
+    def test_promise_respected(self):
+        for seed in range(10):
+            strings = uniquely_intersecting_inputs(20, 4, rng=random.Random(seed))
+            assert (
+                classify_promise_case(strings)
+                is PromiseCase.UNIQUELY_INTERSECTING
+            )
+
+    def test_requested_common_index(self, rng):
+        strings = uniquely_intersecting_inputs(10, 3, rng=rng, common_index=7)
+        assert all(s[7] == 1 for s in strings)
+
+    def test_common_index_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            uniquely_intersecting_inputs(5, 2, rng=rng, common_index=5)
+
+    def test_common_intersection_is_singleton(self):
+        for seed in range(10):
+            strings = uniquely_intersecting_inputs(15, 3, rng=random.Random(seed))
+            common = strings[0]
+            for s in strings[1:]:
+                common = common & s
+            assert common.popcount() == 1
+
+
+class TestPromiseInputs:
+    def test_dispatch(self, rng):
+        intersecting = promise_inputs(8, 3, intersecting=True, rng=rng)
+        disjoint = promise_inputs(8, 3, intersecting=False, rng=rng)
+        assert (
+            classify_promise_case(intersecting)
+            is PromiseCase.UNIQUELY_INTERSECTING
+        )
+        assert classify_promise_case(disjoint) is PromiseCase.PAIRWISE_DISJOINT
+
+
+class TestExhaustiveEnumeration:
+    def test_enumerates_only_promise_inputs(self):
+        seen = 0
+        for strings, is_disjoint in all_promise_inputs(2, 2):
+            seen += 1
+            case = classify_promise_case(strings)
+            expected = (
+                PromiseCase.PAIRWISE_DISJOINT
+                if is_disjoint
+                else PromiseCase.UNIQUELY_INTERSECTING
+            )
+            assert case is expected
+        assert seen > 0
+
+    def test_count_for_k1_t2(self):
+        # Strings of length 1: (0,0), (0,1), (1,0) disjoint; (1,1) intersecting.
+        results = list(all_promise_inputs(1, 2))
+        assert len(results) == 4
+        assert sum(1 for _, disjoint in results if disjoint) == 3
+
+
+class TestPairFlattening:
+    def test_roundtrip(self):
+        k = 5
+        for m1 in range(k):
+            for m2 in range(k):
+                flat = index_pair_to_flat(m1, m2, k)
+                assert flat_to_index_pair(flat, k) == (m1, m2)
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            index_pair_to_flat(5, 0, 5)
+        with pytest.raises(ValueError):
+            flat_to_index_pair(25, 5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(2, 30),
+    t=st.integers(2, 5),
+    seed=st.integers(0, 1000),
+    intersecting=st.booleans(),
+)
+def test_hypothesis_generators_respect_promise(k, t, seed, intersecting):
+    strings = promise_inputs(k, t, intersecting, rng=random.Random(seed))
+    case = classify_promise_case(strings)
+    if intersecting:
+        assert case is PromiseCase.UNIQUELY_INTERSECTING
+    else:
+        assert case is PromiseCase.PAIRWISE_DISJOINT

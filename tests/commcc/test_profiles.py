@@ -1,0 +1,104 @@
+"""Tests for pairwise intersection profiles (the sub-case explosion)."""
+
+import itertools
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    num_possible_profiles,
+    pairwise_intersection_profile,
+    promise_inputs,
+    promise_profiles,
+    realizable_profiles,
+    witness_for_profile,
+)
+import random
+
+
+class TestProfile:
+    def test_empty_profile_for_disjoint(self):
+        strings = [
+            BitString.from_indices(6, [0]),
+            BitString.from_indices(6, [1]),
+            BitString.from_indices(6, [2]),
+        ]
+        assert pairwise_intersection_profile(strings) == frozenset()
+
+    def test_partial_profile(self):
+        strings = [
+            BitString.from_indices(6, [0]),
+            BitString.from_indices(6, [0, 1]),
+            BitString.from_indices(6, [2]),
+        ]
+        assert pairwise_intersection_profile(strings) == frozenset({(0, 1)})
+
+    def test_single_player_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_intersection_profile([BitString.zeros(3)])
+
+
+class TestCounting:
+    def test_formula(self):
+        assert num_possible_profiles(2) == 2
+        assert num_possible_profiles(3) == 8
+        assert num_possible_profiles(4) == 64
+        assert num_possible_profiles(6) == 2 ** 15
+
+    def test_all_profiles_realizable_with_enough_indices(self):
+        # C(3,2) = 3 indices suffice for t = 3.
+        assert len(realizable_profiles(3, 3)) == 8
+
+    def test_few_indices_restrict_profiles(self):
+        # One index for 3 players: a pair intersecting forces sharing
+        # the single index, so some patterns are impossible.
+        profiles = realizable_profiles(1, 3)
+        assert len(profiles) < 8
+
+    def test_enumeration_limit(self):
+        with pytest.raises(ValueError):
+            realizable_profiles(5, 4)
+
+    def test_invalid_t(self):
+        with pytest.raises(ValueError):
+            num_possible_profiles(1)
+
+
+class TestWitness:
+    @pytest.mark.parametrize("t", [2, 3, 4, 5])
+    def test_every_profile_witnessed(self, t):
+        all_pairs = list(itertools.combinations(range(t), 2))
+        # Test a sample of profiles (all for small t).
+        space = (
+            [frozenset(s) for s in _powerset(all_pairs)]
+            if t <= 3
+            else [frozenset(), frozenset(all_pairs), frozenset(all_pairs[:2])]
+        )
+        for profile in space:
+            strings = witness_for_profile(profile, t)
+            assert pairwise_intersection_profile(strings) == profile
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(ValueError):
+            witness_for_profile(frozenset({(0, 9)}), 3)
+
+
+class TestPromiseCollapse:
+    def test_promise_leaves_two_profiles(self):
+        empty, complete = promise_profiles(4)
+        assert empty == frozenset()
+        assert len(complete) == 6
+
+    @pytest.mark.parametrize("t", [2, 3, 4])
+    def test_promise_inputs_land_on_the_two_profiles(self, t):
+        empty, complete = promise_profiles(t)
+        for seed in range(6):
+            disjoint = promise_inputs(12, t, False, rng=random.Random(seed))
+            assert pairwise_intersection_profile(disjoint) == empty
+            intersecting = promise_inputs(12, t, True, rng=random.Random(seed))
+            assert pairwise_intersection_profile(intersecting) == complete
+
+
+def _powerset(items):
+    for r in range(len(items) + 1):
+        yield from itertools.combinations(items, r)

@@ -1,0 +1,102 @@
+"""Tests for the reference disjointness protocols."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcc import (
+    BitString,
+    CandidateIndexProtocol,
+    FullRevealProtocol,
+    RunningIntersectionProtocol,
+    candidate_index_upper_bound,
+    full_reveal_upper_bound,
+    promise_inputs,
+    promise_pairwise_disjointness,
+    replay_candidate_index_output,
+)
+
+PROTOCOLS = [
+    FullRevealProtocol,
+    RunningIntersectionProtocol,
+    CandidateIndexProtocol,
+]
+
+
+def _cases(k, t, seeds):
+    for seed in seeds:
+        for intersecting in (True, False):
+            yield promise_inputs(k, t, intersecting, rng=random.Random(seed))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("protocol_cls", PROTOCOLS)
+    @pytest.mark.parametrize("t", [2, 3, 5])
+    def test_matches_function_on_promise_inputs(self, protocol_cls, t):
+        protocol = protocol_cls()
+        for inputs in _cases(k=16, t=t, seeds=range(6)):
+            expected = promise_pairwise_disjointness(inputs)
+            assert protocol.run(inputs).output == expected
+
+    def test_full_reveal_handles_all_zero(self):
+        inputs = [BitString.zeros(8)] * 3
+        assert FullRevealProtocol().run(inputs).output is True
+
+    def test_candidate_index_all_ones_single_bit(self):
+        inputs = [BitString.ones(1)] * 4
+        assert CandidateIndexProtocol().run(inputs).output is False
+
+
+class TestCosts:
+    def test_full_reveal_cost_exact(self):
+        inputs = [BitString.zeros(12)] * 3
+        result = FullRevealProtocol().run(inputs)
+        assert result.cost_bits == full_reveal_upper_bound(12, 3) == 36
+
+    def test_candidate_index_within_bound(self):
+        for t in (2, 4):
+            for inputs in _cases(k=32, t=t, seeds=range(4)):
+                cost = CandidateIndexProtocol().run(inputs).cost_bits
+                assert cost <= candidate_index_upper_bound(32, t)
+
+    def test_candidate_index_cheap_on_disjoint(self):
+        inputs = promise_inputs(64, 4, intersecting=False, rng=random.Random(0))
+        cost = CandidateIndexProtocol().run(inputs).cost_bits
+        assert cost == 64 + 1  # reveal + "disjoint" flag
+
+    def test_running_intersection_disjoint_cost(self):
+        inputs = promise_inputs(32, 5, intersecting=False, rng=random.Random(1))
+        cost = RunningIntersectionProtocol().run(inputs).cost_bits
+        assert cost == 32 + 1  # x^1 + the empty flag from player 2
+
+    def test_candidate_beats_full_reveal_for_many_players(self):
+        k, t = 64, 8
+        assert candidate_index_upper_bound(k, t) < full_reveal_upper_bound(k, t)
+
+
+class TestTranscriptDecodability:
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_output_is_function_of_transcript(self, intersecting):
+        k, t = 16, 4
+        inputs = promise_inputs(k, t, intersecting, rng=random.Random(9))
+        result = CandidateIndexProtocol().run(inputs)
+        replayed = replay_candidate_index_output(
+            result.board.transcript(), k, t
+        )
+        assert replayed == result.output
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    k=st.integers(2, 40),
+    t=st.integers(2, 6),
+    intersecting=st.booleans(),
+)
+def test_hypothesis_protocols_agree(seed, k, t, intersecting):
+    inputs = promise_inputs(k, t, intersecting, rng=random.Random(seed))
+    expected = promise_pairwise_disjointness(inputs)
+    for protocol_cls in PROTOCOLS:
+        assert protocol_cls().run(inputs).output == expected

@@ -1,0 +1,113 @@
+"""Tests for randomized protocols and success estimation."""
+
+import random
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    ProtocolSuccessEstimate,
+    SampledIndexProtocol,
+    estimate_protocol_success,
+    promise_inputs,
+    uniquely_intersecting_inputs,
+)
+
+
+def _mixed_sampler(k, t):
+    def sample(rng: random.Random):
+        return promise_inputs(k, t, intersecting=rng.random() < 0.5, rng=rng)
+
+    return sample
+
+
+def _intersecting_sampler(k, t):
+    def sample(rng: random.Random):
+        return uniquely_intersecting_inputs(k, t, rng=rng)
+
+    return sample
+
+
+class TestSampledIndexProtocol:
+    def test_full_sample_is_exact(self):
+        protocol = SampledIndexProtocol(fraction=1.0, seed=0)
+        for seed in range(6):
+            for intersecting in (True, False):
+                inputs = promise_inputs(
+                    24, 3, intersecting, rng=random.Random(seed)
+                )
+                assert protocol.run(inputs).output == (not intersecting)
+
+    def test_one_sided_error(self):
+        """Never wrong on the pairwise-disjoint side, at any fraction."""
+        protocol = SampledIndexProtocol(fraction=0.1, seed=3)
+        for seed in range(8):
+            inputs = promise_inputs(30, 3, False, rng=random.Random(seed))
+            protocol.reseed(seed)
+            assert protocol.run(inputs).output is True
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SampledIndexProtocol(fraction=0.0)
+        with pytest.raises(ValueError):
+            SampledIndexProtocol(fraction=1.5)
+
+    def test_cost_scales_with_fraction(self):
+        k, t = 60, 3
+        inputs = promise_inputs(k, t, False, rng=random.Random(1))
+        small = SampledIndexProtocol(fraction=0.2, seed=0).run(inputs).cost_bits
+        large = SampledIndexProtocol(fraction=0.9, seed=0).run(inputs).cost_bits
+        assert small < large
+        assert large <= t * k
+
+    def test_coins_are_public_and_reproducible(self):
+        inputs = promise_inputs(20, 2, True, rng=random.Random(2))
+        protocol = SampledIndexProtocol(fraction=0.3, seed=77)
+        first = protocol.run(inputs).output
+        protocol.reseed(77)
+        assert protocol.run(inputs).output == first
+
+
+class TestSuccessEstimation:
+    def test_estimate_fields(self):
+        estimate = ProtocolSuccessEstimate(40, 50, worst_cost_bits=120)
+        assert estimate.probability == 0.8
+        assert estimate.meets_two_thirds
+        assert estimate.worst_cost_bits == 120
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolSuccessEstimate(0, 0, 0)
+
+    def test_full_fraction_always_succeeds(self):
+        estimate = estimate_protocol_success(
+            SampledIndexProtocol(fraction=1.0),
+            _mixed_sampler(20, 3),
+            trials=20,
+            seed=4,
+        )
+        assert estimate.probability == 1.0
+
+    def test_success_grows_with_fraction_on_intersecting_inputs(self):
+        k, t = 40, 2
+        probabilities = []
+        for fraction in (0.2, 0.6, 1.0):
+            estimate = estimate_protocol_success(
+                SampledIndexProtocol(fraction=fraction),
+                _intersecting_sampler(k, t),
+                trials=60,
+                seed=5,
+            )
+            probabilities.append(estimate.probability)
+        assert probabilities[0] < probabilities[2]
+        assert probabilities[2] == 1.0
+
+    def test_two_thirds_threshold_matches_theory(self):
+        """Success on intersecting inputs ~ fraction; 0.8 clears 2/3."""
+        estimate = estimate_protocol_success(
+            SampledIndexProtocol(fraction=0.8),
+            _intersecting_sampler(50, 2),
+            trials=80,
+            seed=6,
+        )
+        assert abs(estimate.probability - 0.8) < 0.15

@@ -1,0 +1,65 @@
+"""Shared fixtures: small gadget instances reused across the suite.
+
+Constructions are session-scoped — they are immutable after build, and
+tests only read them (families copy the fixed graph before weighting).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    QuadraticConstruction,
+)
+
+
+@pytest.fixture(scope="session")
+def figure_params():
+    """The paper's figure parameters: ell=2, alpha=1, k=3, t=2."""
+    return GadgetParameters(ell=2, alpha=1, t=2)
+
+
+@pytest.fixture(scope="session")
+def figure_params_t3():
+    """Figure 3's parameters: ell=2, alpha=1, k=3, t=3."""
+    return GadgetParameters(ell=2, alpha=1, t=3)
+
+
+@pytest.fixture(scope="session")
+def meaningful_params_t3():
+    """Smallest t=3 parameters with a non-empty claimed linear gap."""
+    return GadgetParameters(ell=4, alpha=1, t=3)
+
+
+@pytest.fixture(scope="session")
+def linear_fig(figure_params):
+    """Linear construction at figure parameters (24 nodes)."""
+    return LinearConstruction(figure_params)
+
+
+@pytest.fixture(scope="session")
+def linear_fig_t3(figure_params_t3):
+    """Linear construction for Figure 3 (36 nodes, 3 players)."""
+    return LinearConstruction(figure_params_t3)
+
+
+@pytest.fixture(scope="session")
+def linear_meaningful(meaningful_params_t3):
+    """Linear construction with a meaningful gap (90 nodes)."""
+    return LinearConstruction(meaningful_params_t3)
+
+
+@pytest.fixture(scope="session")
+def quadratic_fig(figure_params):
+    """Quadratic construction at figure parameters (48 nodes)."""
+    return QuadraticConstruction(figure_params)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh seeded RNG per test."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,77 @@
+"""Tests for distributed (Delta + 1)-coloring."""
+
+import random
+
+import pytest
+
+from repro.congest import CongestNetwork, DeltaPlusOneColoring, is_proper_coloring
+from repro.graphs import WeightedGraph, clique, cycle_graph, path_graph, random_graph
+
+
+def _run_coloring(graph, seed=0):
+    net = CongestNetwork(
+        graph, DeltaPlusOneColoring, bandwidth_multiplier=2, seed=seed
+    )
+    net.run(max_rounds=5000)
+    return net.outputs()
+
+
+class TestColoring:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_proper_on_random_graphs(self, seed):
+        graph = random_graph(22, 0.3, rng=random.Random(seed))
+        colors = _run_coloring(graph, seed=seed)
+        assert is_proper_coloring(graph, colors)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_at_most_delta_plus_one_colors(self, seed):
+        graph = random_graph(20, 0.4, rng=random.Random(seed + 50))
+        colors = _run_coloring(graph, seed=seed)
+        assert max(colors.values()) <= graph.max_degree()
+
+    def test_clique_uses_all_colors(self):
+        graph = clique(list(range(6)))
+        colors = _run_coloring(graph, seed=1)
+        assert sorted(colors.values()) == list(range(6))
+
+    def test_path_uses_few_colors(self):
+        graph = path_graph(list(range(10)))
+        colors = _run_coloring(graph, seed=2)
+        assert is_proper_coloring(graph, colors)
+        assert max(colors.values()) <= 2
+
+    def test_cycle(self):
+        graph = cycle_graph(list(range(9)))
+        colors = _run_coloring(graph, seed=3)
+        assert is_proper_coloring(graph, colors)
+
+    def test_edgeless_all_color_zero(self):
+        graph = WeightedGraph(nodes=list(range(5)))
+        colors = _run_coloring(graph)
+        assert set(colors.values()) == {0}
+
+    def test_broadcast_only_compatible(self):
+        graph = random_graph(14, 0.3, rng=random.Random(9))
+        net = CongestNetwork(
+            graph,
+            DeltaPlusOneColoring,
+            bandwidth_multiplier=2,
+            seed=4,
+            broadcast_only=True,
+        )
+        net.run(max_rounds=5000)
+        assert is_proper_coloring(graph, net.outputs())
+
+
+class TestIsProperColoring:
+    def test_detects_monochromatic_edge(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        assert not is_proper_coloring(graph, {"a": 1, "b": 1})
+
+    def test_detects_missing_color(self):
+        graph = WeightedGraph(nodes=["a", "b"])
+        assert not is_proper_coloring(graph, {"a": 1, "b": None})
+
+    def test_accepts_proper(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        assert is_proper_coloring(graph, {"a": 0, "b": 1})

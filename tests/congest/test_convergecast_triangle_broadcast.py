@@ -1,0 +1,142 @@
+"""Tests for convergecast, triangle detection, and the broadcast-only model."""
+
+import random
+
+import pytest
+
+from repro.congest import (
+    BroadcastOnlyViolationError,
+    CongestNetwork,
+    ConvergecastAggregate,
+    LubyMIS,
+    NodeAlgorithm,
+    TriangleDetection,
+    has_triangle_through,
+)
+from repro.graphs import clique, cycle_graph, path_graph, random_graph, star_graph
+
+
+class TestConvergecast:
+    @pytest.mark.parametrize("seed", [0, 3, 4, 5])
+    def test_sum_of_weights(self, seed):
+        graph = random_graph(18, 0.35, rng=random.Random(seed), weight_range=(1, 9))
+        assert graph.is_connected()  # seeds chosen to give connected samples
+        root = graph.node_list()[0]
+        net = CongestNetwork(
+            graph, lambda: ConvergecastAggregate(root), bandwidth_multiplier=3
+        )
+        net.run_until_quiescent()
+        roots = [(v, value) for v, (is_root, value) in net.outputs().items() if is_root]
+        assert roots == [(root, graph.total_weight())]
+
+    def test_min_aggregate(self):
+        graph = path_graph(list(range(8)))
+        for i in range(8):
+            graph.set_weight(i, 10 - i)
+        net = CongestNetwork(
+            graph,
+            lambda: ConvergecastAggregate(0, combine=min),
+            bandwidth_multiplier=3,
+        )
+        net.run_until_quiescent()
+        assert net.outputs()[0] == (True, 3)
+
+    def test_max_with_custom_value(self):
+        graph = cycle_graph(list(range(6)))
+        net = CongestNetwork(
+            graph,
+            lambda: ConvergecastAggregate(
+                0, value_of=lambda ctx: ctx.degree, combine=max
+            ),
+            bandwidth_multiplier=3,
+        )
+        net.run_until_quiescent()
+        assert net.outputs()[0] == (True, 2)
+
+    def test_count_nodes(self):
+        graph = star_graph("hub", [f"l{i}" for i in range(5)])
+        net = CongestNetwork(
+            graph,
+            lambda: ConvergecastAggregate("hub", value_of=lambda ctx: 1),
+            bandwidth_multiplier=3,
+        )
+        net.run_until_quiescent()
+        assert net.outputs()["hub"] == (True, 6)
+
+    def test_single_node(self):
+        graph = clique(["only"])
+        net = CongestNetwork(
+            graph, lambda: ConvergecastAggregate("only"), bandwidth_multiplier=3
+        )
+        net.run_until_quiescent()
+        assert net.outputs()["only"] == (True, 1)
+
+
+class TestTriangleDetection:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_centralized_oracle(self, seed):
+        graph = random_graph(14, 0.35, rng=random.Random(seed + 40))
+        net = CongestNetwork(graph, TriangleDetection, bandwidth_multiplier=1)
+        net.run_until_quiescent()
+        for node, found in net.outputs().items():
+            assert found == has_triangle_through(graph, node)
+
+    def test_triangle_free(self):
+        graph = cycle_graph(list(range(7)))
+        net = CongestNetwork(graph, TriangleDetection)
+        net.run_until_quiescent()
+        assert not any(net.outputs().values())
+
+    def test_clique_everyone_detects(self):
+        graph = clique(list(range(5)))
+        net = CongestNetwork(graph, TriangleDetection)
+        net.run_until_quiescent()
+        assert all(net.outputs().values())
+
+    def test_rounds_bounded_by_max_degree(self):
+        graph = random_graph(12, 0.4, rng=random.Random(99))
+        net = CongestNetwork(graph, TriangleDetection)
+        rounds = net.run_until_quiescent()
+        assert rounds <= graph.max_degree() + 2
+
+
+class TestBroadcastOnlyModel:
+    def test_triangle_detection_works_broadcast_only(self):
+        graph = clique(list(range(4)))
+        net = CongestNetwork(
+            graph, TriangleDetection, broadcast_only=True
+        )
+        net.run_until_quiescent()
+        assert all(net.outputs().values())
+
+    def test_point_to_point_rejected(self):
+        class Whisper(NodeAlgorithm):
+            def initialize(self, ctx):
+                ctx.send(ctx.neighbors[0], 1, size_bits=1)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        net = CongestNetwork(clique(["a", "b"]), Whisper, broadcast_only=True)
+        with pytest.raises(BroadcastOnlyViolationError):
+            net.run()
+
+    def test_luby_is_broadcast_compatible(self):
+        """Luby only ever broadcasts, so it runs in the broadcast model."""
+        graph = random_graph(15, 0.3, rng=random.Random(3))
+        net = CongestNetwork(
+            graph, LubyMIS, bandwidth_multiplier=2, seed=4, broadcast_only=True
+        )
+        net.run(max_rounds=2000)
+        mis = {v for v, joined in net.outputs().items() if joined}
+        assert graph.is_independent_set(mis)
+
+    def test_default_model_allows_point_to_point(self):
+        class Whisper(NodeAlgorithm):
+            def initialize(self, ctx):
+                ctx.send(ctx.neighbors[0], 1, size_bits=1)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        CongestNetwork(clique(["a", "b"]), Whisper).run()  # must not raise

@@ -1,0 +1,117 @@
+"""Failure injection: crash semantics and algorithm robustness."""
+
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    FloodBroadcast,
+    FullGraphCollection,
+    NodeAlgorithm,
+)
+from repro.graphs import WeightedGraph, clique, cycle_graph, path_graph
+
+
+class _Chatter(NodeAlgorithm):
+    """Every node broadcasts a counter each round, forever."""
+
+    def initialize(self, ctx):
+        ctx.broadcast(0, size_bits=ctx.id_bits)
+
+    def on_round(self, ctx, inbox):
+        ctx.broadcast(ctx.round_number % 2, size_bits=ctx.id_bits)
+
+
+class TestCrashSemantics:
+    def test_immediate_crash_drops_queued_messages(self):
+        graph = clique(["a", "b"])
+        net = CongestNetwork(graph, _Chatter, bandwidth_multiplier=2)
+        net._initialize()
+        net.crash("a")
+        stats = net.run_round()
+        # Only b's initial message survives ('a' receives it, though halted).
+        assert stats.messages <= 1
+        assert "a" in net.crashed_nodes
+
+    def test_crashed_node_receives_nothing(self):
+        graph = clique(["a", "b"])
+        received = []
+
+        class Recorder(NodeAlgorithm):
+            def initialize(self, ctx):
+                ctx.broadcast(1, size_bits=1)
+
+            def on_round(self, ctx, inbox):
+                received.extend((ctx.node_id, m.payload) for m in inbox)
+
+        net = CongestNetwork(graph, Recorder, bandwidth_multiplier=2)
+        net._initialize()
+        net.crash("b")
+        net.run_round()
+        assert all(node != "b" for node, _ in received)
+
+    def test_scheduled_crash(self):
+        graph = cycle_graph(list(range(5)))
+        net = CongestNetwork(graph, _Chatter, bandwidth_multiplier=2)
+        net.crash(0, at_round=3)
+        for _ in range(2):
+            net.run_round()
+        assert 0 not in net.crashed_nodes
+        net.run_round()
+        assert 0 in net.crashed_nodes
+
+    def test_crash_unknown_node_rejected(self):
+        net = CongestNetwork(clique(["a", "b"]), _Chatter)
+        with pytest.raises(KeyError):
+            net.crash("zz")
+
+    def test_crash_in_the_past_rejected(self):
+        net = CongestNetwork(clique(["a", "b"]), _Chatter, bandwidth_multiplier=2)
+        net.run_round()
+        with pytest.raises(ValueError):
+            net.crash("a", at_round=1)
+
+    def test_crashed_node_output_stays(self):
+        graph = clique(["a", "b"])
+        net = CongestNetwork(graph, _Chatter, bandwidth_multiplier=2)
+        net._initialize()
+        net.crash("a")
+        assert net.outputs()["a"] is None
+
+
+class TestAlgorithmRobustness:
+    def test_flood_survives_off_path_crash(self):
+        """Broadcast completes if the crash doesn't disconnect survivors."""
+        # Star plus chord: crashing a leaf leaves everyone else reachable.
+        graph = WeightedGraph(
+            edges=[("s", "a"), ("s", "b"), ("s", "c"), ("a", "b")]
+        )
+        net = CongestNetwork(
+            graph, lambda: FloodBroadcast("s", value=9), bandwidth_multiplier=2
+        )
+        net.crash("c", at_round=1)
+        net.run_until_quiescent()
+        outputs = net.outputs()
+        assert outputs["a"] == outputs["b"] == 9
+
+    def test_flood_blocked_by_cut_vertex_crash(self):
+        """Crashing the only relay starves the far side — and we can see it."""
+        graph = path_graph(["s", "relay", "far"])
+        net = CongestNetwork(
+            graph, lambda: FloodBroadcast("s", value=5), bandwidth_multiplier=2
+        )
+        net.crash("relay", at_round=1)
+        net.run_until_quiescent()
+        assert net.outputs()["far"] is None
+
+    def test_collection_partial_knowledge_after_crash(self):
+        """A crashed node's facts still spread if already in flight."""
+        graph = path_graph(["a", "b", "c"])
+        net = CongestNetwork(graph, FullGraphCollection, bandwidth_multiplier=3)
+        # Let a couple of rounds run, then kill the middle node.
+        net.run_round()
+        net.run_round()
+        net.crash("b")
+        net.run_until_quiescent(max_rounds=1000)
+        # 'a' knows at least itself and the a-b edge; no crash-induced error.
+        collected = net.algorithms["a"].reconstruct_graph()
+        assert collected.has_node("a")

@@ -1,0 +1,120 @@
+"""Property-based fuzzing of the simulator's delivery semantics.
+
+Hypothesis drives arbitrary (bandwidth-respecting) send schedules and
+checks the model's contract exactly: a message sent in round r arrives
+at its receiver — and only there — at round r + 1, with payload intact.
+"""
+
+import random
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import CongestNetwork, NodeAlgorithm
+from repro.graphs import clique
+
+_NODES = ["n0", "n1", "n2", "n3"]
+_MAX_ROUNDS = 5
+
+# A schedule entry: (send_round, sender_idx, receiver_idx, payload_int)
+_entry = st.tuples(
+    st.integers(1, _MAX_ROUNDS),
+    st.integers(0, len(_NODES) - 1),
+    st.integers(0, len(_NODES) - 1),
+    st.integers(0, 7),
+)
+
+
+class _ScriptedSender(NodeAlgorithm):
+    """Sends according to a fixed schedule; records everything received."""
+
+    def __init__(self, node_id, schedule, received):
+        self._node_id = node_id
+        self._schedule = schedule  # round -> list of (receiver, payload)
+        self._received = received
+
+    def initialize(self, ctx):
+        pass
+
+    def on_round(self, ctx, inbox):
+        for message in inbox:
+            self._received.append(
+                (ctx.round_number, message.sender, ctx.node_id, message.payload)
+            )
+        for receiver, payload in self._schedule.get(ctx.round_number, []):
+            ctx.send(receiver, payload, size_bits=3)
+        if ctx.round_number >= _MAX_ROUNDS + 1:
+            ctx.halt()
+
+
+def _dedupe_bandwidth(entries):
+    """Keep at most one send per (round, sender, receiver) to fit 3-bit
+    messages into the 2 * ceil(log2 4) = 4-bit budget... conservatively
+    one message per directed edge per round."""
+    seen = set()
+    kept = []
+    for send_round, sender, receiver, payload in entries:
+        if sender == receiver:
+            continue
+        key = (send_round, sender, receiver)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append((send_round, sender, receiver, payload))
+    return kept
+
+
+@settings(max_examples=40, deadline=None)
+@given(entries=st.lists(_entry, max_size=25))
+def test_fuzz_exact_delivery(entries):
+    entries = _dedupe_bandwidth(entries)
+    graph = clique(_NODES)
+    received: List[Tuple[int, str, str, int]] = []
+    schedules: Dict[str, Dict[int, List[Tuple[str, int]]]] = {
+        node: {} for node in _NODES
+    }
+    for send_round, sender, receiver, payload in entries:
+        schedules[_NODES[sender]].setdefault(send_round, []).append(
+            (_NODES[receiver], payload)
+        )
+
+    node_iter = iter(_NODES)
+
+    def factory():
+        node = next(node_iter)
+        return _ScriptedSender(node, schedules[node], received)
+
+    net = CongestNetwork(graph, factory, bandwidth_multiplier=2)
+    net.run(max_rounds=_MAX_ROUNDS + 2)
+
+    expected = sorted(
+        (send_round + 1, _NODES[sender], _NODES[receiver], payload)
+        for send_round, sender, receiver, payload in entries
+    )
+    assert sorted(received) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(entries=st.lists(_entry, max_size=20), seed=st.integers(0, 100))
+def test_fuzz_accounting_matches_schedule(entries, seed):
+    entries = _dedupe_bandwidth(entries)
+    graph = clique(_NODES)
+    received: List = []
+    schedules: Dict[str, Dict[int, List[Tuple[str, int]]]] = {
+        node: {} for node in _NODES
+    }
+    for send_round, sender, receiver, payload in entries:
+        schedules[_NODES[sender]].setdefault(send_round, []).append(
+            (_NODES[receiver], payload)
+        )
+    node_iter = iter(_NODES)
+
+    def factory():
+        node = next(node_iter)
+        return _ScriptedSender(node, schedules[node], received)
+
+    net = CongestNetwork(graph, factory, bandwidth_multiplier=2, seed=seed)
+    net.run(max_rounds=_MAX_ROUNDS + 2)
+    assert net.total_messages == len(entries)
+    assert net.total_bits == 3 * len(entries)

@@ -1,0 +1,94 @@
+"""Tests for distributed maximal matching."""
+
+import random
+
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    MaximalMatching,
+    is_maximal_matching,
+    matching_from_outputs,
+)
+from repro.graphs import WeightedGraph, clique, cycle_graph, path_graph, random_graph
+
+
+def _run(graph, seed=0):
+    net = CongestNetwork(graph, MaximalMatching, bandwidth_multiplier=2, seed=seed)
+    net.run(max_rounds=10_000)
+    return matching_from_outputs(net.outputs()), net
+
+
+class TestMaximalMatching:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        graph = random_graph(22, 0.3, rng=random.Random(seed))
+        edges, _ = _run(graph, seed=seed)
+        assert is_maximal_matching(graph, edges)
+
+    def test_single_edge(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        # n = 2 gives 1-bit ids; the tagged value needs 3 bits of budget.
+        net = CongestNetwork(graph, MaximalMatching, bandwidth_multiplier=3, seed=0)
+        net.run(max_rounds=100)
+        assert matching_from_outputs(net.outputs()) == {frozenset(("a", "b"))}
+
+    def test_partners_are_symmetric(self):
+        graph = random_graph(16, 0.35, rng=random.Random(7))
+        _, net = _run(graph, seed=3)
+        outputs = net.outputs()
+        for node, partner in outputs.items():
+            if partner is not None:
+                assert outputs[partner] == node
+
+    def test_path_matches_pairs(self):
+        graph = path_graph(list(range(6)))
+        edges, _ = _run(graph, seed=1)
+        assert is_maximal_matching(graph, edges)
+        assert len(edges) >= 2
+
+    def test_clique_perfect_or_near(self):
+        graph = clique(list(range(8)))
+        edges, _ = _run(graph, seed=2)
+        assert len(edges) == 4  # even clique: perfect matching
+
+    def test_odd_cycle_leaves_one_unmatched(self):
+        graph = cycle_graph(list(range(7)))
+        edges, net = _run(graph, seed=4)
+        assert is_maximal_matching(graph, edges)
+        unmatched = [v for v, p in net.outputs().items() if p is None]
+        assert len(unmatched) == 7 - 2 * len(edges)
+
+    def test_edgeless_everyone_unmatched(self):
+        graph = WeightedGraph(nodes=list(range(4)))
+        edges, net = _run(graph)
+        assert edges == set()
+        assert all(p is None for p in net.outputs().values())
+
+
+class TestTwoApproxVertexCoverViaMatching:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_endpoints_form_a_cover(self, seed):
+        from repro.maxis import is_vertex_cover, min_weight_vertex_cover
+
+        graph = random_graph(18, 0.3, rng=random.Random(seed + 10))
+        edges, _ = _run(graph, seed=seed)
+        cover = {node for edge in edges for node in edge}
+        assert is_vertex_cover(graph, cover)
+        assert len(cover) <= 2 * len(min_weight_vertex_cover(graph))
+
+
+class TestIsMaximalMatchingOracle:
+    def test_rejects_non_edges(self):
+        graph = WeightedGraph(nodes=["a", "b"])
+        assert not is_maximal_matching(graph, {frozenset(("a", "b"))})
+
+    def test_rejects_overlapping_edges(self):
+        graph = path_graph(["a", "b", "c"])
+        assert not is_maximal_matching(
+            graph, {frozenset(("a", "b")), frozenset(("b", "c"))}
+        )
+
+    def test_rejects_non_maximal(self):
+        graph = path_graph(["a", "b", "c", "d"])
+        assert not is_maximal_matching(graph, set())

@@ -1,0 +1,231 @@
+"""Tests for the CONGEST network simulator: semantics and accounting."""
+
+import pytest
+
+from repro.congest import (
+    BandwidthExceededError,
+    CongestNetwork,
+    NodeAlgorithm,
+    integer_bits,
+    payload_size_bits,
+)
+from repro.graphs import WeightedGraph, clique, path_graph
+
+
+class _Silent(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        ctx.halt("done")
+
+
+class _PingOnce(NodeAlgorithm):
+    """Node 'a' sends one message to 'b' in round 1; receivers record."""
+
+    def __init__(self):
+        self.received = []
+
+    def initialize(self, ctx):
+        if ctx.node_id == "a":
+            ctx.send("b", 42, size_bits=6)
+
+    def on_round(self, ctx, inbox):
+        self.received.extend((ctx.round_number, m.payload) for m in inbox)
+        ctx.halt(len(inbox))
+
+
+class TestBasics:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            CongestNetwork(WeightedGraph(), _Silent)
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            CongestNetwork(clique(["a", "b"]), _Silent, bandwidth_multiplier=0)
+
+    def test_all_nodes_halt(self):
+        net = CongestNetwork(clique(["a", "b", "c"]), _Silent)
+        rounds = net.run()
+        assert rounds == 1
+        assert net.all_halted()
+        assert set(net.outputs().values()) == {"done"}
+
+    def test_message_delivered_next_round(self):
+        graph = path_graph(["a", "b"])
+        algs = {}
+
+        def factory():
+            alg = _PingOnce()
+            algs[len(algs)] = alg
+            return alg
+
+        net = CongestNetwork(graph, factory, bandwidth_multiplier=8)
+        net.run()
+        received = [r for alg in algs.values() for r in alg.received]
+        assert received == [(1, 42)]
+
+    def test_id_bits_at_least_one(self):
+        net = CongestNetwork(WeightedGraph(nodes=["solo"]), _Silent)
+        assert net.id_bits == 1
+
+    def test_id_bits_log_n(self):
+        net = CongestNetwork(clique(list(range(9))), _Silent)
+        assert net.id_bits == 4
+
+    def test_context_exposes_weight_and_degree(self):
+        graph = WeightedGraph(nodes={"a": 5, "b": 1})
+        graph.add_edge("a", "b")
+        net = CongestNetwork(graph, _Silent)
+        ctx = net.contexts["a"]
+        assert ctx.weight == 5
+        assert ctx.degree == 1
+        assert ctx.num_nodes == 2
+
+
+class TestSendRules:
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(NodeAlgorithm):
+            def initialize(self, ctx):
+                if ctx.node_id == "a":
+                    ctx.send("c", 1)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        graph = path_graph(["a", "b", "c"])
+        with pytest.raises(ValueError):
+            CongestNetwork(graph, Bad).run()
+
+    def test_halted_node_cannot_send(self):
+        class HaltThenSend(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+                ctx.send(ctx.neighbors[0], 1)
+
+        with pytest.raises(RuntimeError):
+            CongestNetwork(clique(["a", "b"]), HaltThenSend).run()
+
+    def test_oversized_message_rejected(self):
+        class Chatty(NodeAlgorithm):
+            def initialize(self, ctx):
+                ctx.send(ctx.neighbors[0], 0, size_bits=10_000)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(BandwidthExceededError):
+            CongestNetwork(clique(["a", "b"]), Chatty).run()
+
+    def test_edge_oversubscription_rejected(self):
+        class DoubleSend(NodeAlgorithm):
+            def initialize(self, ctx):
+                bits = 3
+                for _ in range(10):
+                    ctx.send(ctx.neighbors[0], 1, size_bits=bits)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(BandwidthExceededError):
+            CongestNetwork(clique(["a", "b"]), DoubleSend).run()
+
+    def test_bandwidth_resets_between_rounds(self):
+        class OnePerRound(NodeAlgorithm):
+            def initialize(self, ctx):
+                self.sent = 0
+                if ctx.node_id == "a":
+                    ctx.send("b", 0, size_bits=1)
+                    self.sent = 1
+
+            def on_round(self, ctx, inbox):
+                if ctx.node_id == "a" and self.sent < 3:
+                    ctx.send("b", 0, size_bits=1)
+                    self.sent += 1
+                else:
+                    ctx.halt()
+
+        net = CongestNetwork(clique(["a", "b"]), OnePerRound, bandwidth_multiplier=1)
+        net.run()  # must not raise
+
+    def test_different_messages_to_different_neighbors(self):
+        received = {}
+
+        class Personalized(NodeAlgorithm):
+            def initialize(self, ctx):
+                if ctx.node_id == "hub":
+                    for i, neighbor in enumerate(ctx.neighbors):
+                        ctx.send(neighbor, i, size_bits=4)
+
+            def on_round(self, ctx, inbox):
+                for m in inbox:
+                    received[ctx.node_id] = m.payload
+                ctx.halt()
+
+        graph = WeightedGraph(edges=[("hub", "x"), ("hub", "y")])
+        CongestNetwork(graph, Personalized, bandwidth_multiplier=2).run()
+        assert len(set(received.values())) == 2
+
+
+class TestAccounting:
+    def test_bits_and_messages_counted(self):
+        class SendOne(NodeAlgorithm):
+            def initialize(self, ctx):
+                for neighbor in ctx.neighbors:
+                    ctx.send(neighbor, 1, size_bits=2)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        net = CongestNetwork(clique(["a", "b", "c"]), SendOne)
+        net.run()
+        assert net.total_messages == 6  # 3 nodes x 2 neighbors
+        assert net.total_bits == 12
+
+    def test_round_stats_recorded(self):
+        net = CongestNetwork(clique(["a", "b"]), _Silent)
+        net.run()
+        assert len(net.round_stats) == 1
+        assert net.round_stats[0].round_number == 1
+
+    def test_message_log_disabled_by_default(self):
+        net = CongestNetwork(clique(["a", "b"]), _Silent)
+        net.run()
+        assert net.message_log == []
+
+    def test_max_rounds_enforced(self):
+        class Forever(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.broadcast(1, size_bits=1)
+
+        with pytest.raises(RuntimeError):
+            CongestNetwork(clique(["a", "b"]), Forever).run(max_rounds=10)
+
+    def test_quiescence_finalizes(self):
+        class Passive(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                pass
+
+            def finalize(self, ctx):
+                ctx.halt("finalized")
+
+        net = CongestNetwork(clique(["a", "b"]), Passive)
+        net.run_until_quiescent()
+        assert set(net.outputs().values()) == {"finalized"}
+
+
+class TestPayloadSizing:
+    def test_integer_bits(self):
+        assert integer_bits(0) == 1
+        assert integer_bits(1) == 1
+        assert integer_bits(255) == 8
+
+    def test_integer_bits_negative_raises(self):
+        with pytest.raises(ValueError):
+            integer_bits(-1)
+
+    def test_payload_sizes(self):
+        assert payload_size_bits(None, 8) == 1
+        assert payload_size_bits(True, 8) == 1
+        assert payload_size_bits(7, 8) == 3
+        assert payload_size_bits(1.5, 8) == 64
+        assert payload_size_bits("ab", 8) == 16
+        assert payload_size_bits((1, 1), 8) == 6  # 2 * (2 + 1)
+        assert payload_size_bits(object(), 8) == 8

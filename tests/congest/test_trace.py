@@ -1,0 +1,96 @@
+"""Tests for the execution trace tooling."""
+
+import random
+
+import pytest
+
+from repro.congest import (
+    BFSTree,
+    CongestNetwork,
+    ExecutionTrace,
+    FloodBroadcast,
+    LubyMIS,
+)
+from repro.graphs import clique, path_graph, random_graph
+
+
+class TestTraceAccounting:
+    def test_totals_match_network(self):
+        graph = random_graph(12, 0.4, rng=random.Random(1))
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=1)
+        trace = ExecutionTrace(net)
+        trace.run()
+        assert trace.total_bits == net.total_bits
+        assert len(trace.entries) == net.rounds_executed
+
+    def test_peak_round_bits(self):
+        graph = clique(list(range(6)))
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=2)
+        trace = ExecutionTrace(net)
+        trace.run()
+        assert trace.peak_round_bits == max(e.bits for e in trace.entries)
+
+    def test_empty_trace_peak_is_zero(self):
+        graph = clique(["a"])
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2)
+        trace = ExecutionTrace(net)
+        assert trace.peak_round_bits == 0
+
+    def test_halt_rounds_recorded(self):
+        graph = clique(list(range(4)))
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=3)
+        trace = ExecutionTrace(net)
+        trace.run()
+        for node in graph.nodes():
+            assert trace.halt_round_of(node) is not None
+        assert trace.halt_round_of("stranger") is None
+
+    def test_edge_traffic_recorded(self):
+        graph = path_graph(["a", "b"])
+        net = CongestNetwork(
+            graph, lambda: FloodBroadcast("a", value=1), bandwidth_multiplier=2
+        )
+        trace = ExecutionTrace(net, record_edges=True)
+        trace.run(quiescent=True)
+        first = trace.entries[0]
+        assert first.edge_traffic.get(("a", "b"), 0) > 0
+
+    def test_quiescent_mode_finalizes(self):
+        graph = path_graph(list(range(5)))
+        net = CongestNetwork(graph, lambda: BFSTree(0), bandwidth_multiplier=2)
+        trace = ExecutionTrace(net)
+        trace.run(quiescent=True)
+        assert net.outputs()[4][0] == 4
+
+    def test_max_rounds_enforced(self):
+        from repro.congest import NodeAlgorithm
+
+        class Forever(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                ctx.broadcast(1, size_bits=1)
+
+        net = CongestNetwork(clique(["a", "b"]), Forever, bandwidth_multiplier=2)
+        trace = ExecutionTrace(net)
+        with pytest.raises(RuntimeError):
+            trace.run(max_rounds=5)
+
+
+class TestRendering:
+    def test_render_contains_rounds(self):
+        graph = clique(list(range(4)))
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=4)
+        trace = ExecutionTrace(net)
+        trace.run()
+        text = trace.render()
+        assert "Execution trace" in text
+        assert "round" in text
+
+    def test_render_truncation(self):
+        graph = path_graph(list(range(12)))
+        net = CongestNetwork(
+            graph, lambda: BFSTree(0), bandwidth_multiplier=2
+        )
+        trace = ExecutionTrace(net)
+        trace.run(quiescent=True)
+        text = trace.render(max_rows=2)
+        assert "more rounds" in text

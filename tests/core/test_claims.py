@@ -1,0 +1,143 @@
+"""Tests for the claim-by-claim verifiers (the paper's proof steps)."""
+
+import pytest
+
+from repro.core import (
+    verify_all_linear,
+    verify_all_quadratic,
+    verify_claim1,
+    verify_claim2,
+    verify_claim3,
+    verify_claim4,
+    verify_claim5,
+    verify_claim6,
+    verify_claim7,
+    verify_property1,
+    verify_property2,
+    verify_property3,
+)
+from repro.core.claims import ClaimCheck
+from repro.gadgets import GadgetParameters, LinearConstruction, QuadraticConstruction
+
+
+class TestClaimCheckType:
+    def test_repr_shows_status(self):
+        check = ClaimCheck("X", True, 1, 2, "<=")
+        assert "OK" in repr(check)
+        check = ClaimCheck("X", False, 3, 2, "<=")
+        assert "VIOLATED" in repr(check)
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            ClaimCheck("X", True, 1, 2, "==")
+
+
+class TestProperties:
+    def test_property1(self, linear_fig_t3):
+        assert verify_property1(linear_fig_t3).holds
+
+    def test_property2(self, linear_fig_t3):
+        check = verify_property2(linear_fig_t3)
+        assert check.holds
+        assert check.measured >= linear_fig_t3.params.ell
+
+    def test_property3(self, linear_fig):
+        assert verify_property3(linear_fig, num_random_sets=8).holds
+
+
+class TestTwoPartyClaims:
+    def test_claim1(self, linear_fig):
+        check = verify_claim1(linear_fig)
+        assert check.holds
+        assert check.measured == 4 * 2 + 2 * 1  # 4l + 2a
+
+    def test_claim1_needs_t2(self, linear_fig_t3):
+        with pytest.raises(ValueError):
+            verify_claim1(linear_fig_t3)
+
+    def test_claim2(self, linear_fig):
+        check = verify_claim2(linear_fig, num_samples=4)
+        assert check.holds
+        assert check.bound == 3 * 2 + 2 * 1 + 1
+
+    def test_claim2_needs_t2(self, linear_fig_t3):
+        with pytest.raises(ValueError):
+            verify_claim2(linear_fig_t3)
+
+
+class TestGeneralTClaims:
+    def test_claim3(self, linear_meaningful):
+        check = verify_claim3(linear_meaningful)
+        assert check.holds
+        assert check.measured >= check.bound
+
+    def test_claim4(self, linear_meaningful):
+        assert verify_claim4(linear_meaningful).holds
+
+    def test_claim5(self, linear_meaningful):
+        check = verify_claim5(linear_meaningful, num_samples=3)
+        assert check.holds
+
+    def test_claim5_measured_below_meaningful_gap(self, linear_meaningful):
+        """At meaningful parameters the disjoint OPT stays under the high side."""
+        params = linear_meaningful.params
+        check = verify_claim5(linear_meaningful, num_samples=3)
+        assert check.measured < params.linear_high_threshold()
+
+
+class TestQuadraticClaims:
+    def test_claim6(self, quadratic_fig):
+        check = verify_claim6(quadratic_fig)
+        assert check.holds
+        assert check.measured == check.bound == 20
+
+    def test_claim7(self, quadratic_fig):
+        check = verify_claim7(quadratic_fig, num_samples=2)
+        assert check.holds
+        # The measured optimum is far below the loose claimed bound.
+        assert check.measured < check.bound
+
+
+class TestAlphaTwo:
+    """The alpha = 2 regime: k = q^2 indices, two-symbol messages."""
+
+    @pytest.fixture(scope="class")
+    def construction_a2(self):
+        return LinearConstruction(GadgetParameters(ell=5, alpha=2, t=2))
+
+    def test_property1_alpha2(self, construction_a2):
+        from repro.core import verify_property1
+
+        assert verify_property1(construction_a2).holds
+
+    def test_property3_bound_is_two(self, construction_a2):
+        from repro.core import verify_property3
+
+        check = verify_property3(construction_a2, num_random_sets=5)
+        assert check.holds
+        assert check.bound == 2
+
+    def test_claims_3_and_5_alpha2(self, construction_a2):
+        from repro.core import verify_claim3, verify_claim5
+
+        assert verify_claim3(construction_a2).holds
+        assert verify_claim5(construction_a2, num_samples=2).holds
+
+
+class TestBundles:
+    def test_verify_all_linear_t2_includes_warmup_claims(self, figure_params):
+        checks = verify_all_linear(figure_params, num_samples=2)
+        names = {check.name for check in checks}
+        assert "Claim 1" in names and "Claim 2" in names
+        assert all(check.holds for check in checks)
+
+    def test_verify_all_linear_t3(self, meaningful_params_t3):
+        checks = verify_all_linear(meaningful_params_t3, num_samples=2)
+        names = {check.name for check in checks}
+        assert "Claim 1" not in names
+        assert all(check.holds for check in checks)
+
+    def test_verify_all_quadratic(self, figure_params):
+        checks = verify_all_quadratic(figure_params, num_samples=2)
+        assert {check.name for check in checks} == {"Claim 6", "Claim 7"}
+        assert all(check.holds for check in checks)

@@ -1,0 +1,84 @@
+"""Exhaustive verification over *every* promise input at tiny k.
+
+The sampled tests elsewhere check Definition 4's condition 2 on random
+promise inputs; here we close the gap completely for small universes:
+every single promise-respecting input vector is enumerated and the
+family's predicate is compared against f.  This is the strongest
+statement the finite instances admit.
+"""
+
+import pytest
+
+from repro.commcc import BitString, all_promise_inputs
+from repro.framework import verify_locality
+from repro.gadgets import GadgetParameters, LinearMaxISFamily
+from repro.maxis import max_weight_independent_set
+
+
+@pytest.fixture(scope="module")
+def warmup_family():
+    # ell=2, alpha=1 -> k=3: 2^(3*2)=64 input pairs, ~40 promise ones.
+    return LinearMaxISFamily(GadgetParameters(ell=2, alpha=1, t=2), warmup=True)
+
+
+class TestExhaustiveWarmup:
+    def test_condition2_for_every_promise_input(self, warmup_family):
+        checked = 0
+        for inputs, is_disjoint in all_promise_inputs(3, 2):
+            graph = warmup_family.build(inputs)
+            assert warmup_family.predicate(graph) == is_disjoint
+            assert warmup_family.function_value(inputs) == is_disjoint
+            checked += 1
+        assert checked > 30  # sanity: the enumeration is non-trivial
+
+    def test_claim_bounds_for_every_promise_input(self, warmup_family):
+        params = warmup_family.params
+        high = params.linear_high_threshold()
+        low = params.two_party_low_threshold()
+        for inputs, is_disjoint in all_promise_inputs(3, 2):
+            optimum = max_weight_independent_set(warmup_family.build(inputs)).weight
+            if is_disjoint:
+                assert optimum <= low  # Claim 2, exhaustively
+            else:
+                assert optimum >= high  # Claim 1, exhaustively
+
+    def test_locality_against_every_single_coordinate_change(self, warmup_family):
+        base = [BitString.zeros(3), BitString.zeros(3)]
+        variants = []
+        for player in range(2):
+            for mask in range(1, 8):
+                changed = list(base)
+                changed[player] = BitString(3, mask)
+                variants.append(changed)
+        verify_locality(warmup_family, base, variants)
+
+
+class TestExhaustiveTinyK:
+    def test_k2_t2_all_promise_inputs(self):
+        """k=2 via truncation: only the first 2 codewords are used."""
+        params = GadgetParameters(ell=2, alpha=1, t=2, k=2)
+        family = LinearMaxISFamily(params, warmup=True)
+        for inputs, is_disjoint in all_promise_inputs(2, 2):
+            graph = family.build(inputs)
+            assert family.predicate(graph) == is_disjoint
+
+    def test_three_players_exhaustive_k2(self):
+        """Every promise input for t=3 at truncated k=2 (meaningful gap)."""
+        params = GadgetParameters(ell=4, alpha=1, t=3, k=2)
+        assert params.linear_gap_is_meaningful()
+        family = LinearMaxISFamily(params)
+        checked = 0
+        for inputs, is_disjoint in all_promise_inputs(2, 3):
+            graph = family.build(inputs)
+            assert family.predicate(graph) == is_disjoint
+            checked += 1
+        assert checked > 20
+
+    def test_k1_degenerate(self):
+        """k=1: a single index; the promise sides are x=(1,1) vs rest."""
+        params = GadgetParameters(ell=2, alpha=1, t=2, k=1)
+        family = LinearMaxISFamily(params, warmup=True)
+        for inputs, is_disjoint in all_promise_inputs(1, 2):
+            optimum = max_weight_independent_set(family.build(inputs)).weight
+            if not is_disjoint:
+                assert optimum >= params.linear_high_threshold()

@@ -1,0 +1,93 @@
+"""Tests for the end-to-end experiment pipelines."""
+
+import pytest
+
+from repro.core import (
+    GapMeasurement,
+    LinearLowerBoundExperiment,
+    QuadraticLowerBoundExperiment,
+)
+from repro.gadgets import GadgetParameters
+
+
+class TestGapMeasurement:
+    def test_ratios(self):
+        gap = GapMeasurement([10, 12], [6, 7], high_threshold=10, low_threshold=7)
+        assert gap.min_intersecting == 10
+        assert gap.max_disjoint == 7
+        assert gap.measured_ratio == pytest.approx(0.7)
+        assert gap.claimed_ratio == pytest.approx(0.7)
+        assert gap.claims_hold
+
+    def test_violations_detected(self):
+        gap = GapMeasurement([9], [8], high_threshold=10, low_threshold=7)
+        assert not gap.high_side_holds
+        assert not gap.low_side_holds
+        assert not gap.claims_hold
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            GapMeasurement([], [1], 2, 1)
+
+
+class TestLinearExperiment:
+    def test_warmup_run(self, figure_params):
+        report = LinearLowerBoundExperiment(figure_params, warmup=True).run(
+            num_samples=2
+        )
+        assert report.gap.claims_hold
+        assert report.name.startswith("Lemma 1")
+        assert report.cut == report.expected_cut == 18
+        assert report.num_nodes == 24
+
+    def test_meaningful_t3_run(self, meaningful_params_t3):
+        report = LinearLowerBoundExperiment(meaningful_params_t3).run(num_samples=2)
+        assert report.gap.claims_hold
+        assert report.gap.measured_ratio < 1
+        assert report.round_bound.value > 0
+
+    def test_deterministic_given_seed(self, figure_params):
+        a = LinearLowerBoundExperiment(figure_params, warmup=True, seed=3).run(2)
+        b = LinearLowerBoundExperiment(figure_params, warmup=True, seed=3).run(2)
+        assert a.gap.intersecting_optima == b.gap.intersecting_optima
+        assert a.gap.disjoint_optima == b.gap.disjoint_optima
+
+    def test_summary_rows_complete(self, figure_params):
+        report = LinearLowerBoundExperiment(figure_params, warmup=True).run(2)
+        labels = [label for label, _ in report.summary_rows()]
+        assert "cut (measured)" in labels
+        assert "measured gap ratio" in labels
+        assert "Corollary 1 round bound" in labels
+
+    def test_alpha_two_parameters(self):
+        """The message length alpha = 2 regime: k = q^2 = 49 indices."""
+        params = GadgetParameters(ell=5, alpha=2, t=2)
+        assert params.linear_gap_is_meaningful()
+        report = LinearLowerBoundExperiment(params).run(num_samples=2)
+        assert report.gap.claims_hold
+        assert report.num_nodes == 196
+
+    def test_measured_ratio_shrinks_with_t(self):
+        """The headline shape: more players push the gap toward 1/2."""
+        ratios = []
+        for t in (2, 3, 4):
+            params = GadgetParameters(ell=t + 1, alpha=1, t=t)
+            report = LinearLowerBoundExperiment(params).run(num_samples=2)
+            ratios.append(report.gap.measured_ratio)
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestQuadraticExperiment:
+    def test_run_figure_scale(self, figure_params):
+        report = QuadraticLowerBoundExperiment(figure_params).run(num_samples=2)
+        assert report.name.startswith("Theorem 2")
+        assert report.gap.claims_hold  # both inequalities, even if gap loose
+        assert report.num_nodes == 48
+
+    def test_round_bound_uses_k_squared(self, figure_params):
+        report = QuadraticLowerBoundExperiment(figure_params).run(num_samples=1)
+        assert report.round_bound.input_length == figure_params.k ** 2
+
+    def test_measured_ratio_below_one(self, figure_params):
+        report = QuadraticLowerBoundExperiment(figure_params).run(num_samples=2)
+        assert report.gap.measured_ratio < 1

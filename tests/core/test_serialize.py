@@ -1,0 +1,78 @@
+"""Tests for JSON serialization of experiment outputs."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    LinearLowerBoundExperiment,
+    claim_check_to_dict,
+    claim_checks_to_json,
+    gap_from_dict,
+    gap_to_dict,
+    parameters_from_dict,
+    parameters_to_dict,
+    report_to_dict,
+    report_to_json,
+    verify_all_linear,
+)
+from repro.core.claims import ClaimCheck
+from repro.core.experiments import GapMeasurement
+from repro.gadgets import GadgetParameters
+
+
+class TestParameters:
+    def test_roundtrip(self):
+        params = GadgetParameters(ell=3, alpha=2, t=4, k=10)
+        assert parameters_from_dict(parameters_to_dict(params)) == params
+
+    def test_dict_fields(self):
+        data = parameters_to_dict(GadgetParameters(ell=2, alpha=1, t=2))
+        assert data == {"ell": 2, "alpha": 1, "t": 2, "k": 3, "q": 3}
+
+    def test_from_dict_without_k(self):
+        params = parameters_from_dict({"ell": 2, "alpha": 1, "t": 2})
+        assert params.k == 3
+
+
+class TestGap:
+    def test_roundtrip_preserves_derived_values(self):
+        gap = GapMeasurement([10, 11], [7, 8], high_threshold=10, low_threshold=9)
+        rebuilt = gap_from_dict(gap_to_dict(gap))
+        assert rebuilt.measured_ratio == gap.measured_ratio
+        assert rebuilt.claims_hold == gap.claims_hold
+
+    def test_json_serializable(self):
+        gap = GapMeasurement([10], [7], 10, 9)
+        json.dumps(gap_to_dict(gap))
+
+
+class TestClaimChecks:
+    def test_dict_fields(self):
+        check = ClaimCheck("Claim 3", True, 27, 27, ">=", detail="x")
+        data = claim_check_to_dict(check)
+        assert data["name"] == "Claim 3"
+        assert data["direction"] == ">="
+
+    def test_batch_json(self, figure_params):
+        checks = verify_all_linear(figure_params, num_samples=1)
+        parsed = json.loads(claim_checks_to_json(checks))
+        assert len(parsed) == len(checks)
+        assert all(entry["holds"] for entry in parsed)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self, figure_params):
+        return LinearLowerBoundExperiment(figure_params, warmup=True).run(2)
+
+    def test_dict_structure(self, report):
+        data = report_to_dict(report)
+        assert data["num_nodes"] == 24
+        assert data["gap"]["claims_hold"] is True
+        assert data["round_bound"]["cut"] == report.cut
+
+    def test_json_parses(self, report):
+        parsed = json.loads(report_to_json(report))
+        assert parsed["parameters"]["ell"] == 2
+        assert parsed["cut"] == parsed["expected_cut"]

@@ -1,0 +1,75 @@
+"""Tests for the one-shot reproduction suite."""
+
+import json
+
+import pytest
+
+from repro.core import SuiteResult, run_reproduction_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_reproduction_suite(max_t=3, num_samples=2, seed=1)
+
+
+class TestSuite:
+    def test_everything_holds(self, suite):
+        assert suite.all_claims_hold
+
+    def test_claims_present(self, suite):
+        names = {check.name for check in suite.claim_checks}
+        assert {"Property 1", "Claim 3", "Claim 5", "Claim 6", "Claim 7"} <= names
+
+    def test_linear_sweep_length(self, suite):
+        assert [r.params.t for r in suite.linear_reports] == [2, 3]
+
+    def test_quadratic_sweep(self, suite):
+        assert [r.params.t for r in suite.quadratic_reports] == [2, 3]
+
+    def test_linear_ratios_descend(self, suite):
+        ratios = [r.gap.measured_ratio for r in suite.linear_reports]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_simulation_consistent(self, suite):
+        assert suite.simulation_rows
+        assert all(row[-1] for row in suite.simulation_rows)
+
+    def test_render(self, suite):
+        text = suite.render()
+        assert "REPRODUCTION SUITE" in text
+        assert "Theorem 1" in text
+        assert "ALL CLAIMS HOLD" in text
+
+    def test_json(self, suite):
+        parsed = json.loads(suite.to_json())
+        assert parsed["all_claims_hold"] is True
+        assert len(parsed["linear"]) == 2
+
+    def test_skip_simulation(self):
+        quick = run_reproduction_suite(
+            max_t=2, num_samples=1, include_simulation=False
+        )
+        assert quick.simulation_rows == []
+        assert quick.all_claims_hold
+
+    def test_failure_detected_by_flag(self):
+        result = SuiteResult()
+        from repro.core.claims import ClaimCheck
+
+        result.claim_checks.append(ClaimCheck("fake", False, 1, 0, "<="))
+        assert not result.all_claims_hold
+
+
+class TestCliReport:
+    def test_cli_report_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--max-t", "2", "--samples", "1"]) == 0
+        assert "ALL CLAIMS HOLD" in capsys.readouterr().out
+
+    def test_cli_report_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--max-t", "2", "--samples", "1", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["all_claims_hold"] is True

@@ -1,0 +1,45 @@
+"""Tests for the vertex-cover dual view of the families."""
+
+import pytest
+
+from repro.core import DualClaimMeasurement, measure_dual_claims
+from repro.gadgets import GadgetParameters
+
+
+class TestDualClaims:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            GadgetParameters(ell=3, alpha=1, t=2),
+            GadgetParameters(ell=4, alpha=1, t=3),
+        ],
+        ids=repr,
+    )
+    def test_dual_claims_hold(self, params):
+        measurement = measure_dual_claims(params, num_samples=3, seed=2)
+        assert measurement.dual_claim3_holds
+        assert measurement.dual_claim5_holds
+        assert measurement.holds
+
+    def test_warmup_variant(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        measurement = measure_dual_claims(params, num_samples=3, warmup=True)
+        assert measurement.holds
+
+    def test_absolute_covers_do_not_separate(self):
+        """The paper's point: the IS gap does not transfer to VC for free."""
+        params = GadgetParameters(ell=4, alpha=1, t=3)
+        measurement = measure_dual_claims(params, num_samples=4, seed=0)
+        assert measurement.absolute_covers_overlap
+
+    def test_rows_are_complement_consistent(self):
+        """Each row satisfies VC = W − IS implicitly: bound arithmetic."""
+        params = GadgetParameters(ell=3, alpha=1, t=2)
+        measurement = measure_dual_claims(params, num_samples=2, seed=5)
+        for total, cover, bound in measurement.intersecting_rows:
+            # dual bound = W − high: the cover leaves at least `high` weight.
+            assert total - cover >= total - bound
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            DualClaimMeasurement([], [(1, 1, 1)])

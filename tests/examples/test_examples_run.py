@@ -1,0 +1,71 @@
+"""Smoke-run every example script end to end.
+
+Examples are part of the public deliverable; these tests pin that each
+one runs cleanly and emits its headline output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Claims 1-2 hold exactly" in result.stdout
+
+    def test_linear_lower_bound(self):
+        result = _run("linear_lower_bound.py", "3")
+        assert result.returncode == 0, result.stderr
+        assert "descends toward 1/2" in result.stdout
+        assert "[ok]" in result.stdout
+        assert "VIOLATED" not in result.stdout
+
+    def test_quadratic_lower_bound(self):
+        result = _run("quadratic_lower_bound.py")
+        assert result.returncode == 0, result.stderr
+        assert "toward 3/4" in result.stdout
+        assert "VIOLATED" not in result.stdout
+
+    def test_congest_playground(self):
+        result = _run("congest_playground.py")
+        assert result.returncode == 0, result.stderr
+        assert "Luby MIS" in result.stdout
+        assert "Full collection" in result.stdout
+
+    def test_beyond_alice_and_bob(self):
+        result = _run("beyond_alice_and_bob.py")
+        assert result.returncode == 0, result.stderr
+        assert "Theorem 5" in result.stdout
+        assert "Omega(n / log^3 n)" in result.stdout
+
+    def test_randomized_protocols(self):
+        result = _run("randomized_protocols.py")
+        assert result.returncode == 0, result.stderr
+        assert "Theorem 3 floor" in result.stdout
+
+    def test_claim7_walkthrough(self):
+        result = _run("claim7_walkthrough.py")
+        assert result.returncode == 0, result.stderr
+        assert "Equivalence classes" in result.stdout
+        assert "VIOLATED" not in result.stdout
+
+    def test_export_figures(self, tmp_path):
+        result = _run("export_figures.py", str(tmp_path / "figs"))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "figs" / "figure1_base_graph.dot").exists()
+        assert (tmp_path / "figs" / "linear_instance.json").exists()

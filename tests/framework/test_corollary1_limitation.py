@@ -1,0 +1,100 @@
+"""Tests for Corollary 1's round bounds and the limitation protocol."""
+
+import math
+import random
+
+import pytest
+
+from repro.commcc import pairwise_disjoint_inputs, uniquely_intersecting_inputs
+from repro.framework import (
+    RoundLowerBound,
+    bachrach_linear_rounds,
+    bachrach_quadratic_rounds,
+    run_local_optima_exchange,
+    theorem1_asymptotic_rounds,
+    theorem2_asymptotic_rounds,
+    universal_upper_bound_rounds,
+)
+from repro.gadgets import GadgetParameters, LinearMaxISFamily, QuadraticMaxISFamily
+
+
+class TestRoundLowerBound:
+    def test_formula(self):
+        bound = RoundLowerBound(k=64, t=2, cut=8, num_nodes=64)
+        # cc = 64 / (2 * 1) = 32; rounds = 32 / (8 * 6).
+        assert bound.value == pytest.approx(32 / 48)
+
+    def test_quadratic_input_length(self):
+        linear = RoundLowerBound(k=16, t=2, cut=8, num_nodes=64)
+        quadratic = RoundLowerBound(
+            k=16, t=2, cut=8, num_nodes=64, input_length=16 * 16
+        )
+        assert quadratic.value == pytest.approx(16 * linear.value)
+
+    def test_smaller_cut_stronger_bound(self):
+        small = RoundLowerBound(k=64, t=2, cut=4, num_nodes=64)
+        large = RoundLowerBound(k=64, t=2, cut=16, num_nodes=64)
+        assert small.value > large.value
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RoundLowerBound(k=4, t=2, cut=0, num_nodes=10)
+        with pytest.raises(ValueError):
+            RoundLowerBound(k=4, t=2, cut=1, num_nodes=1)
+
+
+class TestAsymptoticFormulas:
+    def test_theorem1_value(self):
+        n = 1024.0
+        assert theorem1_asymptotic_rounds(n) == pytest.approx(n / 1000)
+
+    def test_theorem2_is_n_times_theorem1(self):
+        n = 4096.0
+        assert theorem2_asymptotic_rounds(n) == pytest.approx(
+            n * theorem1_asymptotic_rounds(n)
+        )
+
+    def test_improvement_over_bachrach(self):
+        """The paper's bounds dominate the prior work's by polylog factors."""
+        for n in (2 ** 12, 2 ** 16, 2 ** 20):
+            assert theorem1_asymptotic_rounds(n) > bachrach_linear_rounds(n)
+            assert theorem2_asymptotic_rounds(n) > bachrach_quadratic_rounds(n)
+
+    def test_lower_bounds_below_universal_upper_bound(self):
+        for n in (2 ** 10, 2 ** 16):
+            assert theorem2_asymptotic_rounds(n) < universal_upper_bound_rounds(n)
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            theorem1_asymptotic_rounds(1)
+        with pytest.raises(ValueError):
+            universal_upper_bound_rounds(0)
+
+
+class TestLimitation:
+    def test_linear_family_ratio_at_least_one_over_t(self):
+        params = GadgetParameters(ell=3, alpha=1, t=2)
+        family = LinearMaxISFamily(params, warmup=True)
+        for seed in range(3):
+            rng = random.Random(seed)
+            inputs = uniquely_intersecting_inputs(params.k, params.t, rng=rng)
+            report = run_local_optima_exchange(family, inputs)
+            assert report.achieved_ratio >= report.guaranteed_ratio - 1e-9
+
+    def test_t3_family(self):
+        params = GadgetParameters(ell=2, alpha=1, t=3)
+        family = LinearMaxISFamily(params)
+        inputs = pairwise_disjoint_inputs(params.k, params.t, rng=random.Random(1))
+        report = run_local_optima_exchange(family, inputs)
+        assert report.num_players == 3
+        assert report.achieved_ratio >= 1 / 3 - 1e-9
+
+    def test_cost_is_logarithmic(self):
+        """The protocol's cost is t * O(log W) — trivial next to Omega(k)."""
+        params = GadgetParameters(ell=3, alpha=1, t=2)
+        family = LinearMaxISFamily(params, warmup=True)
+        inputs = pairwise_disjoint_inputs(params.k, params.t, rng=random.Random(2))
+        report = run_local_optima_exchange(family, inputs)
+        graph = family.build(inputs)
+        width = math.ceil(math.log2(graph.total_weight() + 1))
+        assert report.cost_bits <= params.t * (width + 1)

@@ -1,0 +1,149 @@
+"""Tests for Definition 4's machine-checked conditions."""
+
+import random
+from typing import List, Sequence, Set
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    pairwise_disjoint_inputs,
+    promise_pairwise_disjointness,
+    uniquely_intersecting_inputs,
+)
+from repro.framework import (
+    FamilyViolation,
+    LowerBoundFamily,
+    player_subgraph_view,
+    verify_locality,
+    verify_partition,
+    verify_predicate_matches_function,
+)
+from repro.gadgets import GadgetParameters, LinearMaxISFamily
+from repro.graphs import Node, WeightedGraph
+
+
+class _CheatingFamily(LowerBoundFamily):
+    """A deliberately broken family: player 0's weight leaks player 1's input."""
+
+    num_players = 2
+    input_length = 3
+
+    def build(self, inputs: Sequence[BitString]) -> WeightedGraph:
+        graph = WeightedGraph()
+        graph.add_node(("p", 0), weight=1 + inputs[1][0])  # the leak
+        graph.add_node(("p", 1), weight=1)
+        graph.add_edge(("p", 0), ("p", 1))
+        return graph
+
+    def partition(self) -> List[Set[Node]]:
+        return [{("p", 0)}, {("p", 1)}]
+
+    def function_value(self, inputs) -> bool:
+        return promise_pairwise_disjointness(inputs)
+
+    def predicate(self, graph) -> bool:
+        return True
+
+
+class _BadPartitionFamily(_CheatingFamily):
+    def build(self, inputs):
+        graph = super().build(inputs)
+        graph.add_node(("p", 2))  # not covered by the partition
+        return graph
+
+
+class _WrongPredicateFamily(_CheatingFamily):
+    def build(self, inputs):
+        graph = WeightedGraph()
+        graph.add_node(("p", 0), weight=1)
+        graph.add_node(("p", 1), weight=1)
+        return graph
+
+    def predicate(self, graph):
+        return False  # never matches f on disjoint inputs
+
+
+def _perturbations(k, t, base, rng):
+    """Variants of `base` changing one player's coordinate at a time."""
+    variants = []
+    for i in range(t):
+        changed = list(base)
+        changed[i] = BitString.from_indices(k, [rng.randrange(k)])
+        variants.append(changed)
+    return variants
+
+
+class TestVerifyPartition:
+    def test_linear_family_partition_ok(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        graph = family.build([BitString.zeros(figure_params.k)] * 2)
+        verify_partition(family, graph)
+
+    def test_uncovered_node_detected(self):
+        family = _BadPartitionFamily()
+        graph = family.build([BitString.zeros(3)] * 2)
+        with pytest.raises(FamilyViolation):
+            verify_partition(family, graph)
+
+
+class TestVerifyLocality:
+    def test_linear_family_is_local(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        rng = random.Random(0)
+        base = pairwise_disjoint_inputs(figure_params.k, 2, rng=rng)
+        variants = _perturbations(figure_params.k, 2, base, rng)
+        verify_locality(family, base, variants)
+
+    def test_cheating_family_detected(self):
+        family = _CheatingFamily()
+        base = [BitString.zeros(3), BitString.zeros(3)]
+        leak = [BitString.zeros(3), BitString.from_indices(3, [0])]
+        with pytest.raises(FamilyViolation):
+            verify_locality(family, base, [leak])
+
+    def test_unchanged_variant_passes(self):
+        family = _CheatingFamily()
+        base = [BitString.zeros(3), BitString.zeros(3)]
+        verify_locality(family, base, [list(base)])
+
+
+class TestVerifyPredicate:
+    def test_linear_family_condition2(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        rng = random.Random(1)
+        samples = [
+            uniquely_intersecting_inputs(figure_params.k, 2, rng=rng),
+            pairwise_disjoint_inputs(figure_params.k, 2, rng=rng),
+        ]
+        verify_predicate_matches_function(family, samples)
+
+    def test_wrong_predicate_detected(self):
+        family = _WrongPredicateFamily()
+        disjoint = [
+            BitString.from_indices(3, [0]),
+            BitString.from_indices(3, [1]),
+        ]
+        with pytest.raises(FamilyViolation):
+            verify_predicate_matches_function(family, [disjoint])
+
+
+class TestPlayerView:
+    def test_view_contains_only_own_part(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        graph = family.build([BitString.ones(figure_params.k)] * 2)
+        weights, edges = player_subgraph_view(family, graph, 0)
+        part = family.partition()[0]
+        assert set(weights) == part
+        for edge in edges:
+            assert edge <= part
+
+    def test_check_inputs_wrong_count(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        with pytest.raises(ValueError):
+            family.check_inputs([BitString.zeros(figure_params.k)])
+
+    def test_check_inputs_wrong_length(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        with pytest.raises(ValueError):
+            family.check_inputs([BitString.zeros(99)] * 2)

@@ -1,0 +1,136 @@
+"""Negative tests: the verifiers must catch every way a family can cheat."""
+
+from typing import List, Sequence, Set
+
+import pytest
+
+from repro.commcc import BitString, promise_pairwise_disjointness
+from repro.framework import (
+    FamilyViolation,
+    LowerBoundFamily,
+    verify_locality,
+    verify_partition,
+)
+from repro.graphs import Node, WeightedGraph
+
+
+class _BaseFamily(LowerBoundFamily):
+    """A minimal honest family used as the mutation baseline."""
+
+    num_players = 2
+    input_length = 2
+
+    def build(self, inputs: Sequence[BitString]) -> WeightedGraph:
+        graph = WeightedGraph()
+        graph.add_node(("p", 0), weight=1 + inputs[0][0])
+        graph.add_node(("p", 1), weight=1 + inputs[1][0])
+        graph.add_edge(("p", 0), ("p", 1))
+        return graph
+
+    def partition(self) -> List[Set[Node]]:
+        return [{("p", 0)}, {("p", 1)}]
+
+    def function_value(self, inputs) -> bool:
+        return promise_pairwise_disjointness(inputs)
+
+    def predicate(self, graph) -> bool:
+        return True
+
+
+class _CutChangesWithInput(_BaseFamily):
+    """The cut gains an edge when player 0's second bit is set."""
+
+    def build(self, inputs):
+        graph = WeightedGraph()
+        graph.add_node(("p", 0))
+        graph.add_node(("p", 1))
+        graph.add_node(("q", 0))
+        if inputs[0][1]:
+            graph.add_edge(("q", 0), ("p", 1))
+        return graph
+
+    def partition(self):
+        return [{("p", 0), ("q", 0)}, {("p", 1)}]
+
+
+class _NodeSetChangesWithInput(_BaseFamily):
+    def build(self, inputs):
+        graph = super().build(inputs)
+        if inputs[0][1]:
+            graph.add_node(("extra", 0))
+        return graph
+
+    def partition(self):
+        return [{("p", 0), ("extra", 0)}, {("p", 1)}]
+
+
+class _EdgeLeakFamily(_BaseFamily):
+    """Player 1's internal edge appears based on player 0's input."""
+
+    def build(self, inputs):
+        graph = WeightedGraph()
+        graph.add_node(("p", 0))
+        graph.add_node(("p", 1))
+        graph.add_node(("r", 1))
+        if inputs[0][0]:
+            graph.add_edge(("p", 1), ("r", 1))
+        return graph
+
+    def partition(self):
+        return [{("p", 0)}, {("p", 1), ("r", 1)}]
+
+
+def _base_inputs():
+    return [BitString.zeros(2), BitString.zeros(2)]
+
+
+def _flip(player: int, bit: int):
+    inputs = _base_inputs()
+    inputs[player] = BitString.from_indices(2, [bit])
+    return inputs
+
+
+class TestCutStability:
+    def test_input_dependent_cut_detected(self):
+        family = _CutChangesWithInput()
+        with pytest.raises(FamilyViolation, match="cut"):
+            verify_locality(family, _base_inputs(), [_flip(0, 1)])
+
+    def test_honest_family_passes(self):
+        verify_locality(_BaseFamily(), _base_inputs(), [_flip(0, 0), _flip(1, 0)])
+
+
+class TestNodeSetStability:
+    def test_input_dependent_node_set_detected(self):
+        family = _NodeSetChangesWithInput()
+        with pytest.raises(FamilyViolation, match="node set"):
+            verify_locality(family, _base_inputs(), [_flip(0, 1)])
+
+
+class TestEdgeLocality:
+    def test_cross_player_edge_leak_detected(self):
+        family = _EdgeLeakFamily()
+        with pytest.raises(FamilyViolation, match="internal edges"):
+            verify_locality(family, _base_inputs(), [_flip(0, 0)])
+
+
+class TestPartitionShape:
+    def test_wrong_part_count_detected(self):
+        class ThreeParts(_BaseFamily):
+            def partition(self):
+                return [{("p", 0)}, {("p", 1)}, set()]
+
+        family = ThreeParts()
+        graph = family.build(_base_inputs())
+        with pytest.raises(FamilyViolation, match="parts"):
+            verify_partition(family, graph)
+
+    def test_overlapping_parts_detected(self):
+        class Overlap(_BaseFamily):
+            def partition(self):
+                return [{("p", 0), ("p", 1)}, {("p", 1)}]
+
+        family = Overlap()
+        graph = family.build(_base_inputs())
+        with pytest.raises(FamilyViolation, match="overlap"):
+            verify_partition(family, graph)

@@ -1,0 +1,89 @@
+"""Tests for gap predicates and cut computation."""
+
+import pytest
+
+from repro.framework import (
+    GapPredicate,
+    GapViolation,
+    cut_edges,
+    cut_size,
+    node_membership,
+    pairwise_cut_sizes,
+)
+from repro.graphs import WeightedGraph, clique
+
+
+class TestGapPredicate:
+    def _graph_with_opt(self, weight):
+        graph = WeightedGraph(nodes={"a": weight})
+        return graph
+
+    def test_low_side(self):
+        gap = GapPredicate(low_threshold=5, high_threshold=10)
+        assert gap.evaluate(self._graph_with_opt(4)) is True
+
+    def test_high_side(self):
+        gap = GapPredicate(low_threshold=5, high_threshold=10)
+        assert gap.evaluate(self._graph_with_opt(12)) is False
+
+    def test_boundaries_inclusive(self):
+        gap = GapPredicate(low_threshold=5, high_threshold=10)
+        assert gap.evaluate(self._graph_with_opt(5)) is True
+        assert gap.evaluate(self._graph_with_opt(10)) is False
+
+    def test_strict_raises_inside_gap(self):
+        gap = GapPredicate(low_threshold=5, high_threshold=10)
+        with pytest.raises(GapViolation):
+            gap.evaluate(self._graph_with_opt(7))
+
+    def test_non_strict_rounds_to_nearest(self):
+        gap = GapPredicate(low_threshold=5, high_threshold=10, strict=False)
+        assert gap.evaluate(self._graph_with_opt(6)) is True
+        assert gap.evaluate(self._graph_with_opt(9)) is False
+
+    def test_gamma_and_meaningful(self):
+        gap = GapPredicate(low_threshold=5, high_threshold=10)
+        assert gap.gamma == 0.5
+        assert gap.is_meaningful
+        assert not GapPredicate(low_threshold=10, high_threshold=10).is_meaningful
+
+    def test_custom_solver(self):
+        gap = GapPredicate(low_threshold=1, high_threshold=2, solver=lambda g: 0)
+        assert gap.evaluate(WeightedGraph()) is True
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            GapPredicate(low_threshold=-1, high_threshold=5)
+        with pytest.raises(ValueError):
+            GapPredicate(low_threshold=1, high_threshold=0)
+
+
+class TestCut:
+    def test_membership(self):
+        membership = node_membership([{"a"}, {"b", "c"}])
+        assert membership == {"a": 0, "b": 1, "c": 1}
+
+    def test_membership_overlap_raises(self):
+        with pytest.raises(ValueError):
+            node_membership([{"a"}, {"a"}])
+
+    def test_cut_edges(self):
+        graph = WeightedGraph(edges=[("a", "b"), ("a", "c"), ("b", "c")])
+        crossing = cut_edges(graph, [{"a"}, {"b", "c"}])
+        assert len(crossing) == 2
+
+    def test_cut_size_zero_within_part(self):
+        graph = clique(["a", "b", "c"])
+        assert cut_size(graph, [{"a", "b", "c"}]) == 0
+
+    def test_uncovered_endpoint_raises(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            cut_edges(graph, [{"a"}])
+
+    def test_pairwise_cut_sizes(self):
+        graph = WeightedGraph(
+            edges=[("a", "b"), ("a", "c"), ("b", "c"), ("a", "a2")]
+        )
+        sizes = pairwise_cut_sizes(graph, [{"a", "a2"}, {"b"}, {"c"}])
+        assert sizes == {(0, 1): 1, (0, 2): 1, (1, 2): 1}

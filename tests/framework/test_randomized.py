@@ -1,0 +1,82 @@
+"""Tests for success-probability estimation of randomized deciders."""
+
+import random
+
+import pytest
+
+from repro.commcc import promise_inputs
+from repro.congest import FullGraphCollection
+from repro.framework import SuccessEstimate, estimate_success_probability
+from repro.gadgets import GadgetParameters, LinearMaxISFamily
+from repro.maxis import max_independent_set_weight
+
+
+@pytest.fixture(scope="module")
+def family():
+    return LinearMaxISFamily(GadgetParameters(ell=2, alpha=1, t=2), warmup=True)
+
+
+def _sampler(params):
+    def sample(rng: random.Random):
+        return promise_inputs(
+            params.k, params.t, intersecting=rng.random() < 0.5, rng=rng
+        )
+
+    return sample
+
+
+class TestSuccessEstimate:
+    def test_probability(self):
+        estimate = SuccessEstimate(15, 20)
+        assert estimate.probability == 0.75
+        assert estimate.meets_two_thirds
+
+    def test_below_threshold(self):
+        assert not SuccessEstimate(1, 2).meets_two_thirds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuccessEstimate(5, 0)
+        with pytest.raises(ValueError):
+            SuccessEstimate(5, 4)
+
+
+class TestEstimation:
+    def test_exact_decider_is_always_right(self, family):
+        low = family.gap.low_threshold
+
+        def decider():
+            return FullGraphCollection(
+                evaluate=lambda graph: max_independent_set_weight(graph) <= low
+            )
+
+        estimate = estimate_success_probability(
+            family, decider, _sampler(family.params), trials=6, seed=1
+        )
+        assert estimate.probability == 1.0
+
+    def test_one_sided_decider_scores_about_half(self, family):
+        """A decider that ignores the graph is right only on one side."""
+
+        def decider():
+            return FullGraphCollection(evaluate=lambda graph: True)
+
+        estimate = estimate_success_probability(
+            family, decider, _sampler(family.params), trials=12, seed=2
+        )
+        assert 0.0 < estimate.probability < 1.0
+        assert estimate.trials == 12
+
+    def test_anti_decider_is_always_wrong(self, family):
+        low = family.gap.low_threshold
+
+        def decider():
+            return FullGraphCollection(
+                evaluate=lambda graph: max_independent_set_weight(graph) > low
+            )
+
+        estimate = estimate_success_probability(
+            family, decider, _sampler(family.params), trials=5, seed=3
+        )
+        assert estimate.probability == 0.0
+        assert not estimate.meets_two_thirds

@@ -1,0 +1,77 @@
+"""Tests for the reduction-as-protocol wrapper."""
+
+import random
+
+import pytest
+
+from repro.commcc import (
+    CandidateIndexProtocol,
+    promise_inputs,
+    promise_pairwise_disjointness,
+)
+from repro.congest import FullGraphCollection
+from repro.framework import ReductionProtocol
+from repro.gadgets import GadgetParameters, LinearMaxISFamily
+from repro.maxis import max_independent_set_weight
+
+
+@pytest.fixture(scope="module")
+def family():
+    return LinearMaxISFamily(GadgetParameters(ell=2, alpha=1, t=2), warmup=True)
+
+
+@pytest.fixture(scope="module")
+def protocol(family):
+    low = family.gap.low_threshold
+    return ReductionProtocol(
+        family,
+        lambda: FullGraphCollection(
+            evaluate=lambda graph: max_independent_set_weight(graph) <= low
+        ),
+    )
+
+
+class TestReductionProtocol:
+    @pytest.mark.parametrize("intersecting", [True, False])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_computes_f(self, family, protocol, intersecting, seed):
+        inputs = promise_inputs(
+            family.params.k, family.params.t, intersecting, rng=random.Random(seed)
+        )
+        result = protocol.run(inputs)
+        assert result.output == promise_pairwise_disjointness(inputs)
+
+    def test_cost_is_cut_traffic(self, family, protocol):
+        inputs = promise_inputs(
+            family.params.k, family.params.t, True, rng=random.Random(5)
+        )
+        result = protocol.run(inputs)
+        assert result.cost_bits == protocol.last_report.blackboard_bits
+        assert result.cost_bits <= protocol.last_report.analytic_bit_bound
+
+    def test_wrong_player_count_rejected(self, protocol):
+        from repro.commcc import BitString
+
+        with pytest.raises(ValueError):
+            protocol.run([BitString.zeros(3)] * 3)
+
+    def test_vastly_more_expensive_than_direct_protocol(self, family, protocol):
+        """The reduction with the trivial O(n^2) decider costs orders of
+        magnitude more than the direct promise-exploiting protocol —
+        which is exactly why a *fast* CONGEST algorithm would break
+        Theorem 3."""
+        params = family.params
+        inputs = promise_inputs(params.k, params.t, False, rng=random.Random(7))
+        reduction_cost = protocol.run(inputs).cost_bits
+        direct_cost = CandidateIndexProtocol().run(inputs).cost_bits
+        assert reduction_cost > 100 * direct_cost
+
+    def test_worst_case_cost_interface(self, family, protocol):
+        params = family.params
+        tuples = [
+            promise_inputs(params.k, params.t, side, rng=random.Random(seed))
+            for side in (True, False)
+            for seed in range(2)
+        ]
+        worst = protocol.worst_case_cost(tuples)
+        assert worst > 0

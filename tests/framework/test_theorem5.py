@@ -1,0 +1,87 @@
+"""Tests for the Theorem 5 simulation: players simulate a CONGEST run."""
+
+import random
+
+import pytest
+
+from repro.commcc import Blackboard, pairwise_disjoint_inputs, uniquely_intersecting_inputs
+from repro.congest import FullGraphCollection
+from repro.framework import simulate_congest_via_players
+from repro.gadgets import LinearMaxISFamily
+from repro.maxis import max_independent_set_weight
+
+
+@pytest.fixture(scope="module")
+def warmup_family():
+    from repro.gadgets import GadgetParameters
+
+    return LinearMaxISFamily(GadgetParameters(ell=2, alpha=1, t=2), warmup=True)
+
+
+def _decider_factory(low_threshold):
+    return lambda: FullGraphCollection(
+        evaluate=lambda graph: max_independent_set_weight(graph) <= low_threshold
+    )
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_decides_the_function(self, warmup_family, intersecting):
+        params = warmup_family.params
+        gen = (
+            uniquely_intersecting_inputs if intersecting else pairwise_disjoint_inputs
+        )
+        inputs = gen(params.k, params.t, rng=random.Random(3))
+        report = simulate_congest_via_players(
+            warmup_family,
+            inputs,
+            _decider_factory(warmup_family.gap.low_threshold),
+        )
+        assert report.predicate_output == report.function_value
+        assert report.function_value == (not intersecting)
+        assert report.is_consistent
+
+    def test_blackboard_bits_within_analytic_bound(self, warmup_family):
+        params = warmup_family.params
+        inputs = pairwise_disjoint_inputs(params.k, params.t, rng=random.Random(4))
+        report = simulate_congest_via_players(
+            warmup_family,
+            inputs,
+            _decider_factory(warmup_family.gap.low_threshold),
+        )
+        assert 0 < report.blackboard_bits <= report.analytic_bit_bound
+
+    def test_external_blackboard_receives_writes(self, warmup_family):
+        params = warmup_family.params
+        inputs = pairwise_disjoint_inputs(params.k, params.t, rng=random.Random(5))
+        board = Blackboard()
+        report = simulate_congest_via_players(
+            warmup_family,
+            inputs,
+            _decider_factory(warmup_family.gap.low_threshold),
+            blackboard=board,
+        )
+        assert board.total_bits == report.blackboard_bits
+        # Every write is attributed to a player index.
+        assert {entry.player for entry in board.entries()} <= {0, 1}
+
+    def test_cut_matches_construction(self, warmup_family):
+        params = warmup_family.params
+        inputs = pairwise_disjoint_inputs(params.k, params.t, rng=random.Random(6))
+        report = simulate_congest_via_players(
+            warmup_family,
+            inputs,
+            _decider_factory(warmup_family.gap.low_threshold),
+        )
+        assert report.cut_edges == warmup_family.construction.expected_cut_size()
+
+    def test_non_uniform_outputs_rejected(self, warmup_family):
+        params = warmup_family.params
+        inputs = pairwise_disjoint_inputs(params.k, params.t, rng=random.Random(7))
+        counter = iter(range(10_000))
+        with pytest.raises(ValueError):
+            simulate_congest_via_players(
+                warmup_family,
+                inputs,
+                lambda: FullGraphCollection(evaluate=lambda g: next(counter)),
+            )

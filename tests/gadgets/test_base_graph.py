@@ -1,0 +1,132 @@
+"""Tests for the base graph H (Section 4.1, Figure 1)."""
+
+import pytest
+
+from repro.codes import code_mapping_for_parameters
+from repro.gadgets import GadgetParameters, build_base_graph
+from repro.gadgets.base_graph import add_base_graph
+from repro.graphs import WeightedGraph
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    """H at the figure's parameters: ell=2, alpha=1, k=3."""
+    params = GadgetParameters(ell=2, alpha=1, t=2)
+    code = code_mapping_for_parameters(params.ell, params.alpha)
+    graph, layout = build_base_graph(params, code)
+    return params, code, graph, layout
+
+
+class TestStructure:
+    def test_node_count(self, fig1):
+        params, _, graph, _ = fig1
+        assert graph.num_nodes == params.k + params.q ** 2 == 12
+
+    def test_a_is_clique(self, fig1):
+        _, _, graph, layout = fig1
+        assert graph.is_clique(layout.a_nodes)
+
+    def test_each_code_clique_is_clique(self, fig1):
+        _, _, graph, layout = fig1
+        for clique_nodes in layout.code_cliques:
+            assert graph.is_clique(clique_nodes)
+
+    def test_no_edges_between_different_code_cliques(self, fig1):
+        _, _, graph, layout = fig1
+        for h1 in range(3):
+            for h2 in range(h1 + 1, 3):
+                for u in layout.code_cliques[h1]:
+                    for v in layout.code_cliques[h2]:
+                        assert not graph.has_edge(u, v)
+
+    def test_edge_count(self, fig1):
+        """|E| = C(k,2) + q*C(q,2) + k*q*(q-1) at these parameters.
+
+        Each v_m is connected to Code minus Code_m: q^2 - q nodes.
+        """
+        params, _, graph, _ = fig1
+        k, q = params.k, params.q
+        expected = (
+            k * (k - 1) // 2
+            + q * (q * (q - 1) // 2)
+            + k * (q * q - q)
+        )
+        assert graph.num_edges == expected
+
+    def test_all_weights_one(self, fig1):
+        _, _, graph, _ = fig1
+        assert all(graph.weight(v) == 1 for v in graph.nodes())
+
+
+class TestCodeWiring:
+    def test_vm_disconnected_from_own_codeword(self, fig1):
+        _, code, graph, layout = fig1
+        for m in range(3):
+            for node in layout.code_set(m):
+                assert not graph.has_edge(layout.a_node(m), node)
+
+    def test_vm_connected_to_rest_of_code(self, fig1):
+        _, code, graph, layout = fig1
+        for m in range(3):
+            own = set(layout.code_set(m))
+            for node in layout.all_code_nodes():
+                if node not in own:
+                    assert graph.has_edge(layout.a_node(m), node)
+
+    def test_code_set_is_one_node_per_clique(self, fig1):
+        params, code, _, layout = fig1
+        for m in range(params.k):
+            nodes = layout.code_set(m)
+            assert len(nodes) == params.q
+            cliques = [node[2] for node in nodes]  # ("C", player, h, r)
+            assert cliques == list(range(params.q))
+
+    def test_code_set_spells_codeword(self, fig1):
+        params, code, _, layout = fig1
+        for m in range(params.k):
+            word = code.codeword(m)
+            for h, node in enumerate(layout.code_set(m)):
+                assert node == ("C", 0, h, word[h])
+
+    def test_vm_with_own_code_set_is_independent(self, fig1):
+        """The within-copy half of Property 1."""
+        _, _, graph, layout = fig1
+        for m in range(3):
+            assert graph.is_independent_set(
+                [layout.a_node(m)] + layout.code_set(m)
+            )
+
+
+class TestBuilderValidation:
+    def test_code_with_wrong_block_length_rejected(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        wrong = code_mapping_for_parameters(3, 1)  # block length 4 != 3
+        with pytest.raises(ValueError):
+            build_base_graph(params, wrong)
+
+    def test_code_with_too_few_words_rejected(self):
+        params = GadgetParameters(ell=2, alpha=2, t=2)  # k = 16
+        small = code_mapping_for_parameters(2, 1)  # only 3 codewords but q=3 != 4
+        with pytest.raises(ValueError):
+            build_base_graph(params, small)
+
+    def test_custom_namers(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        code = code_mapping_for_parameters(2, 1)
+        graph = WeightedGraph()
+        layout = add_base_graph(
+            graph,
+            params,
+            code,
+            a_namer=lambda m: f"a{m}",
+            c_namer=lambda h, r: f"c{h}.{r}",
+        )
+        assert "a0" in graph
+        assert "c2.1" in graph
+        assert layout.a_node(1) == "a1"
+
+    def test_groups_labelled(self, fig1):
+        _, _, _, layout = fig1
+        groups = layout.groups()
+        assert set(groups) == {"A", "C_0", "C_1", "C_2"}
+        assert len(groups["A"]) == 3

@@ -1,0 +1,118 @@
+"""Tests for the executable Claim 7 case analysis."""
+
+import random
+
+import pytest
+
+from repro.commcc import BitString, pairwise_disjoint_inputs
+from repro.gadgets import (
+    GadgetParameters,
+    QuadraticConstruction,
+    analyze_claim7_case2,
+    build_case2_independent_set,
+    case2_applies,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = GadgetParameters(ell=2, alpha=1, t=3)
+    return params, QuadraticConstruction(params)
+
+
+def _case2_instances(params, construction, max_instances=4):
+    found = []
+    for seed in range(40):
+        inputs = pairwise_disjoint_inputs(
+            params.k ** 2, params.t, rng=random.Random(seed)
+        )
+        graph = construction.apply_inputs(inputs)
+        iset = build_case2_independent_set(construction, graph, inputs)
+        if iset is not None:
+            found.append((inputs, graph, iset))
+            if len(found) >= max_instances:
+                break
+    return found
+
+
+class TestCase2Detection:
+    def test_empty_set_is_not_case2(self, setup):
+        params, construction = setup
+        assert not case2_applies(construction, set())
+
+    def test_built_sets_are_case2(self, setup):
+        params, construction = setup
+        instances = _case2_instances(params, construction)
+        assert instances, "no case-2 instance found in 40 seeds"
+        for _, graph, iset in instances:
+            assert graph.is_independent_set(iset)
+            assert case2_applies(construction, iset)
+
+
+class TestBreakdown:
+    def test_propositions_hold_on_case2_sets(self, setup):
+        params, construction = setup
+        for _, graph, iset in _case2_instances(params, construction):
+            breakdown = analyze_claim7_case2(construction, graph, iset)
+            assert breakdown.propositions_hold, breakdown
+            assert breakdown.claim_holds, breakdown
+
+    def test_group_weights_sum_to_total(self, setup):
+        params, construction = setup
+        for _, graph, iset in _case2_instances(params, construction):
+            breakdown = analyze_claim7_case2(construction, graph, iset)
+            assert sum(breakdown.group_weights) == breakdown.total_weight
+
+    def test_classes_partition_players(self, setup):
+        params, construction = setup
+        for _, graph, iset in _case2_instances(params, construction):
+            breakdown = analyze_claim7_case2(construction, graph, iset)
+            players = sorted(p for cls in breakdown.classes for p in cls)
+            assert players == list(range(params.t))
+
+    def test_pairs_are_distinct_under_disjointness(self, setup):
+        """Pairwise-disjoint strings force all (m1, m2) pairs distinct."""
+        params, construction = setup
+        for _, graph, iset in _case2_instances(params, construction):
+            breakdown = analyze_claim7_case2(construction, graph, iset)
+            assert len(set(breakdown.pairs)) == len(breakdown.pairs)
+
+    def test_within_class_second_indices_distinct(self, setup):
+        """The proof's key observation inside each equivalence class."""
+        params, construction = setup
+        for _, graph, iset in _case2_instances(params, construction):
+            breakdown = analyze_claim7_case2(construction, graph, iset)
+            for cls in breakdown.classes:
+                seconds = [breakdown.pairs[p][1] for p in cls]
+                assert len(set(seconds)) == len(seconds)
+
+
+class TestValidation:
+    def test_non_independent_rejected(self, setup):
+        params, construction = setup
+        graph = construction.apply_inputs(
+            [BitString.ones(params.k ** 2)] * params.t
+        )
+        clique_pair = {
+            construction.a_node(0, 0, 0),
+            construction.a_node(0, 0, 1),
+        }
+        with pytest.raises(ValueError):
+            analyze_claim7_case2(construction, graph, clique_pair)
+
+    def test_non_case2_rejected(self, setup):
+        params, construction = setup
+        graph = construction.apply_inputs(
+            [BitString.ones(params.k ** 2)] * params.t
+        )
+        with pytest.raises(ValueError, match="case 2"):
+            analyze_claim7_case2(
+                construction, graph, {construction.a_node(0, 0, 0)}
+            )
+
+    def test_no_case2_set_for_allzero_inputs(self, setup):
+        """All-zero strings: no non-edge pair exists for any player."""
+        params, construction = setup
+        inputs = [BitString.zeros(params.k ** 2)] * params.t
+        graph = construction.apply_inputs(inputs)
+        assert build_case2_independent_set(construction, graph, inputs) is None

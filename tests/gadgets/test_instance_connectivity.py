@@ -1,0 +1,82 @@
+"""Connectivity and diameter of the hard instances.
+
+The paper notes its bounds hold "even for constant diameter graphs".
+The linear construction is always connected with small diameter.  The
+quadratic construction's two halves are joined only by *input* edges,
+so degenerate inputs (all-ones: no zero bits at all) disconnect it —
+documented here — while promise-respecting sampled inputs keep it
+connected with constant diameter.
+"""
+
+import random
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    pairwise_disjoint_inputs,
+    uniquely_intersecting_inputs,
+)
+from repro.gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    QuadraticConstruction,
+)
+
+
+class TestLinearDiameter:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            GadgetParameters(ell=2, alpha=1, t=2),
+            GadgetParameters(ell=3, alpha=1, t=2),
+            GadgetParameters(ell=2, alpha=1, t=3),
+        ],
+        ids=repr,
+    )
+    def test_fixed_graph_connected_constant_diameter(self, params):
+        construction = LinearConstruction(params)
+        assert construction.graph.is_connected()
+        assert construction.graph.diameter() <= 4
+
+    def test_weights_do_not_change_topology(self, figure_params):
+        construction = LinearConstruction(figure_params)
+        inputs = uniquely_intersecting_inputs(
+            figure_params.k, 2, rng=random.Random(0)
+        )
+        graph = construction.apply_inputs(inputs)
+        assert graph.diameter() == construction.graph.diameter()
+
+
+class TestQuadraticConnectivity:
+    def test_fixed_graph_is_two_components(self, quadratic_fig):
+        """Before input edges, G^1 and G^2 are separate components."""
+        components = quadratic_fig.graph.connected_components()
+        assert len(components) == 2
+
+    def test_all_ones_inputs_stay_disconnected(self, quadratic_fig, figure_params):
+        """The degenerate all-ones input adds no edges at all."""
+        k = figure_params.k
+        graph = quadratic_fig.apply_inputs([BitString.ones(k * k)] * 2)
+        assert not graph.is_connected()
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_sampled_promise_inputs_connect_with_constant_diameter(
+        self, quadratic_fig, figure_params, seed, intersecting
+    ):
+        k = figure_params.k
+        gen = (
+            uniquely_intersecting_inputs if intersecting else pairwise_disjoint_inputs
+        )
+        inputs = gen(k * k, 2, rng=random.Random(seed))
+        graph = quadratic_fig.apply_inputs(inputs)
+        assert graph.is_connected()
+        assert graph.diameter() <= 8
+
+    def test_single_zero_bit_connects(self, quadratic_fig, figure_params):
+        k = figure_params.k
+        length = k * k
+        x0 = BitString.ones(length) ^ BitString.from_indices(length, [0])
+        graph = quadratic_fig.apply_inputs([x0, BitString.ones(length)])
+        assert graph.is_connected()

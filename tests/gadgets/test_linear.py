@@ -1,0 +1,192 @@
+"""Tests for the linear construction G and family G_x (Section 4, Figs 2-3)."""
+
+import random
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    pairwise_disjoint_inputs,
+    uniquely_intersecting_inputs,
+)
+from repro.framework import cut_size, pairwise_cut_sizes
+from repro.gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    LinearMaxISFamily,
+)
+
+
+class TestFixedGraph:
+    def test_node_count(self, linear_fig, figure_params):
+        assert linear_fig.graph.num_nodes == figure_params.linear_nodes == 24
+
+    def test_partition_covers_everything(self, linear_fig):
+        parts = linear_fig.partition()
+        assert len(parts) == 2
+        union = set()
+        for part in parts:
+            assert not (union & part)
+            union |= part
+        assert union == linear_fig.graph.node_set()
+
+    def test_no_edges_between_a_cliques(self, linear_fig, figure_params):
+        for m1 in range(figure_params.k):
+            for m2 in range(figure_params.k):
+                assert not linear_fig.graph.has_edge(
+                    linear_fig.a_node(0, m1), linear_fig.a_node(1, m2)
+                )
+
+    def test_no_edges_between_ai_and_codej(self, linear_fig, figure_params):
+        for m in range(figure_params.k):
+            for node in linear_fig.layouts[1].all_code_nodes():
+                assert not linear_fig.graph.has_edge(
+                    linear_fig.a_node(0, m), node
+                )
+
+    def test_figure2_intercopy_wiring(self, linear_fig, figure_params):
+        """sigma^i_(h,r) connects to all of C^j_h except sigma^j_(h,r)."""
+        q = figure_params.q
+        for h in range(q):
+            for r in range(q):
+                u = linear_fig.layouts[0].code_node(h, r)
+                for s in range(q):
+                    v = linear_fig.layouts[1].code_node(h, s)
+                    assert linear_fig.graph.has_edge(u, v) == (r != s)
+
+    def test_no_intercopy_edges_between_different_h(self, linear_fig, figure_params):
+        q = figure_params.q
+        for h1 in range(q):
+            for h2 in range(q):
+                if h1 == h2:
+                    continue
+                u = linear_fig.layouts[0].code_node(h1, 0)
+                v = linear_fig.layouts[1].code_node(h2, 0)
+                assert not linear_fig.graph.has_edge(u, v)
+
+    def test_all_fixed_weights_one(self, linear_fig):
+        assert all(
+            linear_fig.graph.weight(v) == 1 for v in linear_fig.graph.nodes()
+        )
+
+    def test_cut_matches_closed_form(self, linear_fig, linear_fig_t3):
+        for construction in (linear_fig, linear_fig_t3):
+            measured = cut_size(construction.graph, construction.partition())
+            assert measured == construction.expected_cut_size()
+
+    def test_cut_is_symmetric_across_pairs(self, linear_fig_t3):
+        sizes = pairwise_cut_sizes(
+            linear_fig_t3.graph, linear_fig_t3.partition()
+        )
+        assert len(set(sizes.values())) == 1
+        assert len(sizes) == 3  # C(3, 2) pairs
+
+    def test_constant_diameter(self, linear_fig):
+        """The paper notes the hard instances have constant diameter."""
+        assert linear_fig.graph.diameter() <= 4
+
+    def test_groups_for_rendering(self, linear_fig):
+        groups = linear_fig.groups()
+        assert set(groups) == {"A^0", "A^1", "Code^0", "Code^1"}
+
+
+class TestApplyInputs:
+    def test_weight_ell_iff_bit_set(self, linear_fig, figure_params):
+        k, t, ell = figure_params.k, figure_params.t, figure_params.ell
+        inputs = [
+            BitString.from_indices(k, [0, 2]),
+            BitString.from_indices(k, [1]),
+        ]
+        graph = linear_fig.apply_inputs(inputs)
+        assert graph.weight(linear_fig.a_node(0, 0)) == ell
+        assert graph.weight(linear_fig.a_node(0, 1)) == 1
+        assert graph.weight(linear_fig.a_node(0, 2)) == ell
+        assert graph.weight(linear_fig.a_node(1, 1)) == ell
+        assert graph.weight(linear_fig.a_node(1, 0)) == 1
+
+    def test_code_nodes_stay_weight_one(self, linear_fig, figure_params):
+        inputs = [BitString.ones(figure_params.k)] * 2
+        graph = linear_fig.apply_inputs(inputs)
+        for layout in linear_fig.layouts:
+            for node in layout.all_code_nodes():
+                assert graph.weight(node) == 1
+
+    def test_edges_unchanged(self, linear_fig, figure_params):
+        inputs = [BitString.ones(figure_params.k)] * 2
+        graph = linear_fig.apply_inputs(inputs)
+        assert graph.edge_set() == linear_fig.graph.edge_set()
+
+    def test_fixed_graph_not_mutated(self, linear_fig, figure_params):
+        inputs = [BitString.ones(figure_params.k)] * 2
+        linear_fig.apply_inputs(inputs)
+        assert all(
+            linear_fig.graph.weight(v) == 1 for v in linear_fig.graph.nodes()
+        )
+
+    def test_wrong_input_count_raises(self, linear_fig, figure_params):
+        with pytest.raises(ValueError):
+            linear_fig.apply_inputs([BitString.ones(figure_params.k)])
+
+    def test_wrong_input_length_raises(self, linear_fig):
+        with pytest.raises(ValueError):
+            linear_fig.apply_inputs([BitString.ones(5), BitString.ones(5)])
+
+
+class TestFamily:
+    def test_family_shape(self, meaningful_params_t3):
+        family = LinearMaxISFamily(meaningful_params_t3)
+        assert family.num_players == 3
+        assert family.input_length == meaningful_params_t3.k
+
+    def test_warmup_requires_t2(self, meaningful_params_t3):
+        with pytest.raises(ValueError):
+            LinearMaxISFamily(meaningful_params_t3, warmup=True)
+
+    def test_warmup_thresholds(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        assert family.gap.low_threshold == 9
+        assert family.gap.high_threshold == 10
+        assert family.gap.is_meaningful
+
+    def test_function_value_matches_promise(self, figure_params, rng):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        disjoint = pairwise_disjoint_inputs(figure_params.k, 2, rng=rng)
+        assert family.function_value(disjoint) is True
+        intersecting = uniquely_intersecting_inputs(figure_params.k, 2, rng=rng)
+        assert family.function_value(intersecting) is False
+
+    def test_predicate_matches_function_warmup(self, figure_params):
+        """Definition 4 condition 2 at figure scale, sampled."""
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        rng = random.Random(5)
+        for intersecting in (True, False):
+            for _ in range(4):
+                gen = (
+                    uniquely_intersecting_inputs
+                    if intersecting
+                    else pairwise_disjoint_inputs
+                )
+                inputs = gen(figure_params.k, 2, rng=rng)
+                graph = family.build(inputs)
+                assert family.predicate(graph) == family.function_value(inputs)
+
+    def test_predicate_matches_function_t3(self, meaningful_params_t3):
+        family = LinearMaxISFamily(meaningful_params_t3)
+        rng = random.Random(6)
+        params = meaningful_params_t3
+        for intersecting in (True, False):
+            gen = (
+                uniquely_intersecting_inputs
+                if intersecting
+                else pairwise_disjoint_inputs
+            )
+            inputs = gen(params.k, params.t, rng=rng)
+            graph = family.build(inputs)
+            assert family.predicate(graph) == family.function_value(inputs)
+
+    def test_part_of(self, figure_params):
+        family = LinearMaxISFamily(figure_params, warmup=True)
+        assert family.part_of(("A", 0, 1)) == 0
+        assert family.part_of(("C", 1, 0, 0)) == 1
+        with pytest.raises(ValueError):
+            family.part_of("stranger")

@@ -1,0 +1,70 @@
+"""Tests for the structured node identity helpers."""
+
+import pytest
+
+from repro.gadgets import (
+    copy_of,
+    is_clique_node,
+    is_code_node,
+    linear_clique_node,
+    linear_code_node,
+    player_of,
+    quad_clique_node,
+    quad_code_node,
+)
+
+
+class TestConstructors:
+    def test_linear_nodes(self):
+        assert linear_clique_node(1, 2) == ("A", 1, 2)
+        assert linear_code_node(0, 3, 4) == ("C", 0, 3, 4)
+
+    def test_quadratic_nodes(self):
+        assert quad_clique_node(1, 0, 2) == ("A", 1, 0, 2)
+        assert quad_code_node(2, 1, 3, 0) == ("C", 2, 1, 3, 0)
+
+    def test_invalid_copy_rejected(self):
+        with pytest.raises(ValueError):
+            quad_clique_node(0, 2, 0)
+        with pytest.raises(ValueError):
+            quad_code_node(0, -1, 0, 0)
+
+
+class TestPredicates:
+    def test_is_clique_node(self):
+        assert is_clique_node(linear_clique_node(0, 0))
+        assert is_clique_node(quad_clique_node(0, 1, 0))
+        assert not is_clique_node(linear_code_node(0, 0, 0))
+        assert not is_clique_node("not a node")
+
+    def test_is_code_node(self):
+        assert is_code_node(linear_code_node(0, 0, 0))
+        assert is_code_node(quad_code_node(0, 0, 0, 0))
+        assert not is_code_node(linear_clique_node(0, 0))
+        assert not is_code_node(42)
+
+
+class TestAccessors:
+    def test_player_of_linear(self):
+        assert player_of(linear_clique_node(3, 0)) == 3
+        assert player_of(linear_code_node(2, 0, 0)) == 2
+
+    def test_player_of_quadratic(self):
+        assert player_of(quad_clique_node(1, 0, 5)) == 1
+        assert player_of(quad_code_node(4, 1, 0, 0)) == 4
+
+    def test_player_of_foreign_rejected(self):
+        with pytest.raises(ValueError):
+            player_of(("X", 1))
+        with pytest.raises(ValueError):
+            player_of("plain")
+
+    def test_copy_of(self):
+        assert copy_of(quad_clique_node(0, 1, 2)) == 1
+        assert copy_of(quad_code_node(0, 0, 1, 2)) == 0
+
+    def test_copy_of_linear_rejected(self):
+        with pytest.raises(ValueError):
+            copy_of(linear_clique_node(0, 0))
+        with pytest.raises(ValueError):
+            copy_of(linear_code_node(0, 0, 0))

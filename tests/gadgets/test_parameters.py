@@ -1,0 +1,165 @@
+"""Tests for gadget parameters and the threshold formulas."""
+
+import pytest
+
+from repro.gadgets import (
+    GadgetParameters,
+    feasible_parameter_sweep,
+    figure_parameters,
+    smallest_meaningful_linear_parameters,
+    t_for_epsilon_linear,
+    t_for_epsilon_quadratic,
+)
+
+
+class TestValidation:
+    def test_defaults_to_full_k(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        assert params.k == 3
+        assert params.full_k == 3
+
+    def test_alpha2(self):
+        params = GadgetParameters(ell=2, alpha=2, t=2)
+        assert params.q == 4
+        assert params.k == 16
+
+    def test_truncated_k(self):
+        params = GadgetParameters(ell=2, alpha=2, t=2, k=5)
+        assert params.k == 5
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            GadgetParameters(ell=2, alpha=1, t=2, k=4)
+        with pytest.raises(ValueError):
+            GadgetParameters(ell=2, alpha=1, t=2, k=0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ell": 0, "alpha": 1, "t": 2},
+        {"ell": 1, "alpha": 0, "t": 2},
+        {"ell": 1, "alpha": 1, "t": 1},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            GadgetParameters(**kwargs)
+
+    def test_equality_and_hash(self):
+        a = GadgetParameters(ell=2, alpha=1, t=2)
+        b = GadgetParameters(ell=2, alpha=1, t=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != GadgetParameters(ell=3, alpha=1, t=2)
+
+
+class TestDerivedQuantities:
+    def test_node_counts(self):
+        params = figure_parameters()
+        # H: k + q^2 = 3 + 9 = 12; G: t * 12 = 24; F: 48.
+        assert params.base_graph_nodes == 12
+        assert params.linear_nodes == 24
+        assert params.quadratic_nodes == 48
+
+    def test_rs_availability(self):
+        assert GadgetParameters(ell=2, alpha=1, t=2).has_rs_code  # q=3
+        assert GadgetParameters(ell=3, alpha=1, t=2).has_rs_code  # q=4
+        assert not GadgetParameters(ell=5, alpha=1, t=2).has_rs_code  # q=6
+
+
+class TestThresholds:
+    def test_linear_thresholds_figure_params(self):
+        params = figure_parameters()  # ell=2, alpha=1, t=2
+        assert params.linear_high_threshold() == 2 * (4 + 1)  # t(2l+a) = 10
+        assert params.linear_low_threshold() == 3 * 2 + 1 * 4  # (t+1)l + at^2 = 10
+
+    def test_two_party_warmup_threshold(self):
+        params = figure_parameters()
+        assert params.two_party_low_threshold() == 3 * 2 + 2 * 1 + 1  # 9
+
+    def test_warmup_threshold_needs_t2(self):
+        with pytest.raises(ValueError):
+            GadgetParameters(ell=2, alpha=1, t=3).two_party_low_threshold()
+
+    def test_linear_gap_meaningful_iff_ell_gt_alpha_t(self):
+        for t in (2, 3, 4):
+            for alpha in (1, 2):
+                for ell in range(1, 12):
+                    params = GadgetParameters(ell=ell, alpha=alpha, t=t)
+                    assert params.linear_gap_is_meaningful() == (ell > alpha * t)
+
+    def test_linear_gap_ratio_tends_to_half(self):
+        # With ell >> alpha t, the ratio approaches (t+1)/(2t).
+        ratios = []
+        for t in (2, 4, 8):
+            params = GadgetParameters(ell=100 * t, alpha=1, t=t)
+            ratios.append(params.linear_gap_ratio())
+        assert ratios == sorted(ratios, reverse=True)
+        assert abs(ratios[-1] - (8 + 1) / 16) < 0.02
+
+    def test_quadratic_thresholds(self):
+        params = figure_parameters()
+        assert params.quadratic_high_threshold() == 2 * (8 + 2)  # 20
+        assert params.quadratic_low_threshold() == 3 * 3 * 2 + 3 * 8  # 42
+
+    def test_quadratic_claimed_gap_vacuous_at_small_scale(self):
+        assert not figure_parameters().quadratic_gap_is_meaningful()
+
+    def test_quadratic_gap_meaningful_at_huge_ell(self):
+        params = GadgetParameters(ell=200, alpha=1, t=4, k=1)
+        assert params.quadratic_gap_is_meaningful()
+
+
+class TestPlayerCountRules:
+    def test_linear_paper_rule(self):
+        assert t_for_epsilon_linear(0.25) == 8
+        assert t_for_epsilon_linear(0.1) == 20
+
+    def test_linear_tight_rule(self):
+        assert t_for_epsilon_linear(0.25, paper_rule=False) == 4
+
+    def test_linear_epsilon_range(self):
+        with pytest.raises(ValueError):
+            t_for_epsilon_linear(0.0)
+        with pytest.raises(ValueError):
+            t_for_epsilon_linear(0.5)
+
+    def test_quadratic_rule_satisfies_gap(self):
+        for epsilon in (0.01, 0.05, 0.1, 0.2):
+            t = t_for_epsilon_quadratic(epsilon)
+            # The asymptotic ratio 3(t+2)/(4(t-1)) must be within 3/4 + eps.
+            assert 3 * (t + 2) / (4 * (t - 1)) <= 0.75 + epsilon + 1e-9
+
+    def test_quadratic_epsilon_range(self):
+        with pytest.raises(ValueError):
+            t_for_epsilon_quadratic(0.25)
+
+
+class TestPresets:
+    def test_smallest_meaningful(self):
+        for t in (2, 3, 5):
+            params = smallest_meaningful_linear_parameters(t)
+            assert params.linear_gap_is_meaningful()
+            smaller = GadgetParameters(ell=params.ell - 1, alpha=1, t=t)
+            assert not smaller.linear_gap_is_meaningful()
+
+    def test_prime_power_preference(self):
+        # t = 8 would give ell = 9 (q = 10, composite); the preference
+        # bumps to ell = 10 (q = 11, prime).
+        params = smallest_meaningful_linear_parameters(8)
+        assert params.ell == 10
+        assert params.has_rs_code
+
+    def test_prime_power_preference_disabled(self):
+        params = smallest_meaningful_linear_parameters(8, prefer_prime_power=False)
+        assert params.ell == 9
+        assert not params.has_rs_code
+
+    def test_sweep_respects_budget(self):
+        sweep = feasible_parameter_sweep(max_linear_nodes=300)
+        assert sweep
+        for params in sweep:
+            assert params.linear_nodes <= 300
+            assert params.linear_gap_is_meaningful()
+
+    def test_sweep_sorted_by_size(self):
+        sweep = feasible_parameter_sweep(max_linear_nodes=400)
+        sizes = [params.linear_nodes for params in sweep]
+        assert sizes == sorted(sizes)

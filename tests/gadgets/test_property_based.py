@@ -1,0 +1,107 @@
+"""Hypothesis property tests over the gadget families.
+
+Sampled and exhaustive tests elsewhere pin specific parameters; here
+hypothesis roams the (parameter, input) space and asserts the claims as
+universal invariants.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcc import promise_inputs
+from repro.gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    linear_intersecting_witness,
+    property2_matching_size,
+)
+from repro.maxis import max_weight_independent_set
+
+# Small parameter space keeps each example fast while varying the shape.
+_PARAMS = st.sampled_from(
+    [
+        GadgetParameters(ell=2, alpha=1, t=2),
+        GadgetParameters(ell=3, alpha=1, t=2),
+        GadgetParameters(ell=2, alpha=1, t=3),
+        GadgetParameters(ell=4, alpha=1, t=3),
+    ]
+)
+
+_CONSTRUCTIONS = {}
+
+
+def _construction(params):
+    if params not in _CONSTRUCTIONS:
+        _CONSTRUCTIONS[params] = LinearConstruction(params)
+    return _CONSTRUCTIONS[params]
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=_PARAMS, seed=st.integers(0, 10_000))
+def test_claim5_disjoint_optimum_bounded(params, seed):
+    """Pairwise-disjoint inputs never exceed (t+1)l + a t^2."""
+    construction = _construction(params)
+    inputs = promise_inputs(
+        params.k, params.t, intersecting=False, rng=random.Random(seed)
+    )
+    optimum = max_weight_independent_set(construction.apply_inputs(inputs)).weight
+    assert optimum <= params.linear_low_threshold()
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=_PARAMS, seed=st.integers(0, 10_000))
+def test_claim3_intersecting_optimum_reaches_threshold(params, seed):
+    """Uniquely-intersecting inputs always admit weight t(2l + a)."""
+    construction = _construction(params)
+    rng = random.Random(seed)
+    common = rng.randrange(params.k)
+    from repro.commcc import uniquely_intersecting_inputs
+
+    inputs = uniquely_intersecting_inputs(
+        params.k, params.t, rng=rng, common_index=common
+    )
+    graph = construction.apply_inputs(inputs)
+    witness = linear_intersecting_witness(construction, common)
+    assert graph.is_independent_set(witness)
+    assert graph.total_weight(witness) >= params.linear_high_threshold()
+    assert (
+        max_weight_independent_set(graph).weight >= params.linear_high_threshold()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    params=_PARAMS,
+    data=st.data(),
+)
+def test_property2_matching_always_at_least_ell(params, data):
+    construction = _construction(params)
+    i = data.draw(st.integers(0, params.t - 2))
+    j = data.draw(st.integers(i + 1, params.t - 1))
+    m1 = data.draw(st.integers(0, params.k - 1))
+    m2 = data.draw(
+        st.integers(0, params.k - 1).filter(lambda m: m != m1)
+    )
+    assert property2_matching_size(construction, i, j, m1, m2) >= params.ell
+
+
+@settings(max_examples=25, deadline=None)
+@given(params=_PARAMS, seed=st.integers(0, 10_000), flip=st.booleans())
+def test_gap_sides_never_cross(params, seed, flip):
+    """The disjoint-side optimum never reaches the intersecting witness.
+
+    This is the semantic heart of the family: the two promise sides are
+    separated at *every* feasible parameter set, not just asymptotically
+    (the claimed thresholds may touch, but the measured sides do not).
+    """
+    construction = _construction(params)
+    rng = random.Random(seed)
+    disjoint = promise_inputs(params.k, params.t, intersecting=False, rng=rng)
+    intersecting = promise_inputs(params.k, params.t, intersecting=True, rng=rng)
+    low = max_weight_independent_set(construction.apply_inputs(disjoint)).weight
+    high = max_weight_independent_set(
+        construction.apply_inputs(intersecting)
+    ).weight
+    assert low < high

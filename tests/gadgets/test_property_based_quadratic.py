@@ -1,0 +1,73 @@
+"""Hypothesis property tests for the quadratic construction."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcc import promise_inputs, uniquely_intersecting_inputs
+from repro.gadgets import (
+    GadgetParameters,
+    QuadraticConstruction,
+    quadratic_intersecting_witness,
+)
+from repro.maxis import max_weight_independent_set
+
+_PARAMS = st.sampled_from(
+    [
+        GadgetParameters(ell=2, alpha=1, t=2),
+        GadgetParameters(ell=3, alpha=1, t=2),
+        GadgetParameters(ell=2, alpha=1, t=3),
+    ]
+)
+
+_CONSTRUCTIONS = {}
+
+
+def _construction(params):
+    if params not in _CONSTRUCTIONS:
+        _CONSTRUCTIONS[params] = QuadraticConstruction(params)
+    return _CONSTRUCTIONS[params]
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=_PARAMS, seed=st.integers(0, 10_000))
+def test_claim7_disjoint_optimum_bounded(params, seed):
+    construction = _construction(params)
+    inputs = promise_inputs(
+        params.k ** 2, params.t, intersecting=False, rng=random.Random(seed)
+    )
+    optimum = max_weight_independent_set(construction.apply_inputs(inputs)).weight
+    assert optimum <= params.quadratic_low_threshold()
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=_PARAMS, data=st.data())
+def test_claim6_witness_for_any_common_pair(params, data):
+    construction = _construction(params)
+    m1 = data.draw(st.integers(0, params.k - 1))
+    m2 = data.draw(st.integers(0, params.k - 1))
+    seed = data.draw(st.integers(0, 10_000))
+    flat = m1 * params.k + m2
+    inputs = uniquely_intersecting_inputs(
+        params.k ** 2, params.t, rng=random.Random(seed), common_index=flat
+    )
+    graph = construction.apply_inputs(inputs)
+    witness = quadratic_intersecting_witness(construction, m1, m2)
+    assert graph.is_independent_set(witness)
+    assert graph.total_weight(witness) == params.quadratic_high_threshold()
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=_PARAMS, seed=st.integers(0, 10_000))
+def test_quadratic_gap_sides_never_cross(params, seed):
+    construction = _construction(params)
+    rng = random.Random(seed)
+    length = params.k ** 2
+    disjoint = promise_inputs(length, params.t, intersecting=False, rng=rng)
+    intersecting = promise_inputs(length, params.t, intersecting=True, rng=rng)
+    low = max_weight_independent_set(construction.apply_inputs(disjoint)).weight
+    high = max_weight_independent_set(
+        construction.apply_inputs(intersecting)
+    ).weight
+    assert low < high

@@ -1,0 +1,172 @@
+"""Tests for the quadratic construction F and family F_x (Section 5, Figs 4-6)."""
+
+import random
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    index_pair_to_flat,
+    pairwise_disjoint_inputs,
+    uniquely_intersecting_inputs,
+)
+from repro.framework import cut_size
+from repro.gadgets import GadgetParameters, QuadraticConstruction, QuadraticMaxISFamily
+
+
+class TestFixedGraph:
+    def test_node_count(self, quadratic_fig, figure_params):
+        assert quadratic_fig.graph.num_nodes == figure_params.quadratic_nodes == 48
+
+    def test_fixed_weights(self, quadratic_fig, figure_params):
+        """w_F: ell on every A node, 1 on every code node (Section 5.1)."""
+        ell = figure_params.ell
+        for b in (0, 1):
+            for i in range(figure_params.t):
+                layout = quadratic_fig.layouts[b][i]
+                for node in layout.a_nodes:
+                    assert quadratic_fig.graph.weight(node) == ell
+                for node in layout.all_code_nodes():
+                    assert quadratic_fig.graph.weight(node) == 1
+
+    def test_partition_groups_both_copies_per_player(self, quadratic_fig):
+        parts = quadratic_fig.partition()
+        assert len(parts) == 2
+        part0 = parts[0]
+        assert quadratic_fig.a_node(0, 0, 0) in part0
+        assert quadratic_fig.a_node(0, 1, 0) in part0
+        assert quadratic_fig.a_node(1, 0, 0) not in part0
+
+    def test_no_fixed_edges_between_copies(self, quadratic_fig, figure_params):
+        """Before inputs, G^1 and G^2 are disconnected from each other."""
+        for u in quadratic_fig.player_nodes(0) + quadratic_fig.player_nodes(1):
+            for v in quadratic_fig.graph.neighbors(u):
+                # ("A", i, b, m) / ("C", i, b, h, r): copy is index 2.
+                assert u[2] == v[2]
+
+    def test_intercopy_wiring_inside_each_copy(self, quadratic_fig, figure_params):
+        q = figure_params.q
+        for b in (0, 1):
+            for h in range(q):
+                for r in range(q):
+                    u = quadratic_fig.layouts[b][0].code_node(h, r)
+                    for s in range(q):
+                        v = quadratic_fig.layouts[b][1].code_node(h, s)
+                        assert quadratic_fig.graph.has_edge(u, v) == (r != s)
+
+    def test_cut_matches_closed_form(self, quadratic_fig):
+        measured = cut_size(quadratic_fig.graph, quadratic_fig.partition())
+        assert measured == quadratic_fig.expected_cut_size()
+        # Exactly twice the per-copy wiring.
+        assert measured == 2 * 18
+
+    def test_groups_for_rendering(self, quadratic_fig):
+        groups = quadratic_fig.groups()
+        assert "A^(0,0)" in groups and "Code^(1,1)" in groups
+        assert len(groups) == 8
+
+
+class TestApplyInputs:
+    def _flat(self, m1, m2, k):
+        return index_pair_to_flat(m1, m2, k)
+
+    def test_figure6_edge_iff_bit_zero(self, quadratic_fig, figure_params):
+        k = figure_params.k
+        length = k * k
+        # Player 0: only bit (0,0) cleared; player 1: all ones.
+        x0 = BitString.ones(length) ^ BitString.from_indices(
+            length, [self._flat(0, 0, k)]
+        )
+        x1 = BitString.ones(length)
+        graph = quadratic_fig.apply_inputs([x0, x1])
+        assert graph.has_edge(
+            quadratic_fig.a_node(0, 0, 0), quadratic_fig.a_node(0, 1, 0)
+        )
+        assert not graph.has_edge(
+            quadratic_fig.a_node(0, 0, 0), quadratic_fig.a_node(0, 1, 1)
+        )
+        for m1 in range(k):
+            for m2 in range(k):
+                assert not graph.has_edge(
+                    quadratic_fig.a_node(1, 0, m1), quadratic_fig.a_node(1, 1, m2)
+                )
+
+    def test_all_zero_inputs_add_full_biclique(self, quadratic_fig, figure_params):
+        k = figure_params.k
+        inputs = [BitString.zeros(k * k)] * 2
+        graph = quadratic_fig.apply_inputs(inputs)
+        for i in range(2):
+            for m1 in range(k):
+                for m2 in range(k):
+                    assert graph.has_edge(
+                        quadratic_fig.a_node(i, 0, m1),
+                        quadratic_fig.a_node(i, 1, m2),
+                    )
+
+    def test_input_edges_stay_within_player(self, quadratic_fig, figure_params):
+        """Definition 4 condition 1: x^i only adds edges inside V^i."""
+        k = figure_params.k
+        inputs = [BitString.zeros(k * k)] * 2
+        graph = quadratic_fig.apply_inputs(inputs)
+        new_edges = graph.edge_set() - quadratic_fig.graph.edge_set()
+        parts = quadratic_fig.partition()
+        for edge in new_edges:
+            u, v = tuple(edge)
+            assert (u in parts[0]) == (v in parts[0])
+
+    def test_fixed_graph_not_mutated(self, quadratic_fig, figure_params):
+        k = figure_params.k
+        baseline = quadratic_fig.graph.num_edges
+        quadratic_fig.apply_inputs([BitString.zeros(k * k)] * 2)
+        assert quadratic_fig.graph.num_edges == baseline
+
+    def test_wrong_length_raises(self, quadratic_fig, figure_params):
+        with pytest.raises(ValueError):
+            quadratic_fig.apply_inputs([BitString.ones(figure_params.k)] * 2)
+
+    def test_wrong_count_raises(self, quadratic_fig, figure_params):
+        k = figure_params.k
+        with pytest.raises(ValueError):
+            quadratic_fig.apply_inputs([BitString.ones(k * k)])
+
+
+class TestFamily:
+    def test_shape(self, figure_params):
+        family = QuadraticMaxISFamily(figure_params)
+        assert family.num_players == 2
+        assert family.input_length == figure_params.k ** 2
+
+    def test_default_thresholds_are_paper_claims(self, figure_params):
+        family = QuadraticMaxISFamily(figure_params)
+        assert family.gap.high_threshold == figure_params.quadratic_high_threshold()
+        assert family.gap.low_threshold == figure_params.quadratic_low_threshold()
+
+    def test_custom_thresholds(self, figure_params):
+        family = QuadraticMaxISFamily(
+            figure_params, low_threshold=18.5, high_threshold=20
+        )
+        assert family.gap.is_meaningful
+
+    def test_calibrated_predicate_matches_function(self, figure_params):
+        """With a measured threshold the family separates at figure scale."""
+        family = QuadraticMaxISFamily(
+            figure_params, low_threshold=19, high_threshold=20
+        )
+        rng = random.Random(8)
+        length = figure_params.k ** 2
+        for intersecting in (True, False):
+            gen = (
+                uniquely_intersecting_inputs
+                if intersecting
+                else pairwise_disjoint_inputs
+            )
+            inputs = gen(length, 2, rng=rng)
+            graph = family.build(inputs)
+            assert family.predicate(graph) == family.function_value(inputs)
+
+    def test_function_value(self, figure_params, rng):
+        family = QuadraticMaxISFamily(figure_params)
+        length = figure_params.k ** 2
+        assert family.function_value(
+            pairwise_disjoint_inputs(length, 2, rng=rng)
+        )

@@ -1,0 +1,135 @@
+"""Tests for the Remark 1 unweighted conversion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commcc import uniquely_intersecting_inputs
+from repro.gadgets import GadgetParameters, LinearConstruction, UnweightedExpansion
+from repro.graphs import WeightedGraph, random_graph
+from repro.maxis import max_weight_independent_set
+
+
+class TestStructure:
+    def test_weight_one_nodes_single_replica(self):
+        graph = WeightedGraph(nodes={"a": 1})
+        expansion = UnweightedExpansion(graph)
+        assert expansion.replicas("a") == [("U", "a", 0)]
+
+    def test_heavy_node_replicated(self):
+        graph = WeightedGraph(nodes={"a": 4})
+        expansion = UnweightedExpansion(graph)
+        assert len(expansion.replicas("a")) == 4
+        assert expansion.graph.num_nodes == 4
+
+    def test_replicas_are_independent(self):
+        graph = WeightedGraph(nodes={"a": 3})
+        expansion = UnweightedExpansion(graph)
+        assert expansion.graph.is_independent_set(expansion.replicas("a"))
+
+    def test_heavy_light_edge_becomes_star(self):
+        graph = WeightedGraph(nodes={"a": 3, "b": 1})
+        graph.add_edge("a", "b")
+        expansion = UnweightedExpansion(graph)
+        (b_replica,) = expansion.replicas("b")
+        for replica in expansion.replicas("a"):
+            assert expansion.graph.has_edge(replica, b_replica)
+
+    def test_heavy_heavy_edge_becomes_biclique(self):
+        graph = WeightedGraph(nodes={"a": 2, "b": 3})
+        graph.add_edge("a", "b")
+        expansion = UnweightedExpansion(graph)
+        assert expansion.graph.num_edges == 6
+
+    def test_all_expansion_weights_one(self):
+        graph = WeightedGraph(nodes={"a": 5, "b": 2})
+        expansion = UnweightedExpansion(graph)
+        assert all(
+            expansion.graph.weight(v) == 1 for v in expansion.graph.nodes()
+        )
+
+    def test_non_integer_weight_rejected(self):
+        graph = WeightedGraph(nodes={"a": 1.5})
+        with pytest.raises(ValueError):
+            UnweightedExpansion(graph)
+
+    def test_zero_weight_rejected(self):
+        graph = WeightedGraph(nodes={"a": 0})
+        with pytest.raises(ValueError):
+            UnweightedExpansion(graph)
+
+    def test_original_of(self):
+        graph = WeightedGraph(nodes={"a": 2})
+        expansion = UnweightedExpansion(graph)
+        assert expansion.original_of(("U", "a", 1)) == "a"
+        with pytest.raises(ValueError):
+            expansion.original_of("a")
+
+    def test_blow_up_factor(self):
+        graph = WeightedGraph(nodes={"a": 3, "b": 1})
+        expansion = UnweightedExpansion(graph)
+        assert expansion.blow_up_factor == 2.0
+
+
+class TestOptimumPreservation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_weighted_graphs(self, seed):
+        graph = random_graph(
+            10, 0.4, rng=random.Random(seed), weight_range=(1, 4)
+        )
+        expansion = UnweightedExpansion(graph)
+        weighted = max_weight_independent_set(graph).weight
+        unweighted = max_weight_independent_set(expansion.graph).weight
+        assert weighted == unweighted
+
+    def test_lift_preserves_weight_and_independence(self):
+        graph = random_graph(8, 0.5, rng=random.Random(9), weight_range=(1, 5))
+        expansion = UnweightedExpansion(graph)
+        optimal = max_weight_independent_set(graph)
+        lifted = expansion.expand_set(optimal.nodes)
+        assert expansion.graph.is_independent_set(lifted)
+        assert len(lifted) == optimal.weight
+
+    def test_project_roundtrip(self):
+        graph = WeightedGraph(nodes={"a": 2, "b": 1})
+        expansion = UnweightedExpansion(graph)
+        lifted = expansion.expand_set({"a", "b"})
+        assert expansion.project_set(lifted) == {"a", "b"}
+
+    def test_gadget_instance_remark1(self, figure_params):
+        """Remark 1 applied to a hard instance: gap preserved, n = Theta(k l)."""
+        construction = LinearConstruction(figure_params)
+        inputs = uniquely_intersecting_inputs(
+            figure_params.k, 2, rng=random.Random(4)
+        )
+        weighted_graph = construction.apply_inputs(inputs)
+        expansion = UnweightedExpansion(weighted_graph)
+        weighted_opt = max_weight_independent_set(weighted_graph).weight
+        unweighted_opt = max_weight_independent_set(expansion.graph).weight
+        assert weighted_opt == unweighted_opt
+        assert expansion.graph.num_nodes > weighted_graph.num_nodes
+
+    def test_expand_partition(self, figure_params):
+        construction = LinearConstruction(figure_params)
+        expansion = UnweightedExpansion(construction.graph)
+        lifted = expansion.expand_partition(construction.partition())
+        assert len(lifted) == 2
+        total = sum(len(part) for part in lifted)
+        assert total == expansion.graph.num_nodes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 8),
+    p=st.floats(0, 1),
+    seed=st.integers(0, 500),
+)
+def test_hypothesis_expansion_preserves_optimum(n, p, seed):
+    graph = random_graph(n, p, rng=random.Random(seed), weight_range=(1, 3))
+    expansion = UnweightedExpansion(graph)
+    assert (
+        max_weight_independent_set(graph).weight
+        == max_weight_independent_set(expansion.graph).weight
+    )

@@ -1,0 +1,99 @@
+"""Tests for the Remark 1 family (fixed node set, edge-toggled replicas)."""
+
+import random
+
+import pytest
+
+from repro.commcc import (
+    BitString,
+    pairwise_disjoint_inputs,
+    uniquely_intersecting_inputs,
+)
+from repro.framework import (
+    verify_locality,
+    verify_partition,
+    verify_predicate_matches_function,
+)
+from repro.gadgets import (
+    GadgetParameters,
+    LinearMaxISFamily,
+    UnweightedLinearMaxISFamily,
+)
+from repro.maxis import max_weight_independent_set
+
+
+@pytest.fixture(scope="module")
+def params():
+    return GadgetParameters(ell=3, alpha=1, t=2)
+
+
+@pytest.fixture(scope="module")
+def family(params):
+    return UnweightedLinearMaxISFamily(params)
+
+
+class TestStructure:
+    def test_node_count_is_theta_k_ell(self, family, params):
+        # t * (k * ell + q^2)
+        expected = params.t * (params.k * params.ell + params.q ** 2)
+        assert family.num_nodes == expected
+
+    def test_replica_groups(self, family, params):
+        group = family.replica_group(0, 1)
+        assert len(group) == params.ell
+        assert all(node[0] == "R" for node in group)
+
+    def test_all_weights_one(self, family, params):
+        graph = family.build([BitString.zeros(params.k)] * params.t)
+        assert all(graph.weight(v) == 1 for v in graph.nodes())
+
+    def test_zero_bit_makes_replica_clique(self, family, params):
+        inputs = [BitString.zeros(params.k)] * params.t
+        graph = family.build(inputs)
+        assert graph.is_clique(family.replica_group(0, 0))
+
+    def test_one_bit_makes_replica_independent(self, family, params):
+        inputs = [BitString.ones(params.k)] * params.t
+        graph = family.build(inputs)
+        assert graph.is_independent_set(family.replica_group(0, 0))
+
+    def test_partition_valid(self, family, params):
+        graph = family.build([BitString.zeros(params.k)] * params.t)
+        verify_partition(family, graph)
+
+
+class TestEquivalenceWithWeighted:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_optimum_matches_weighted_family(self, params, family, seed, intersecting):
+        weighted = LinearMaxISFamily(params)
+        gen = (
+            uniquely_intersecting_inputs if intersecting else pairwise_disjoint_inputs
+        )
+        inputs = gen(params.k, params.t, rng=random.Random(seed))
+        unweighted_opt = max_weight_independent_set(family.build(inputs)).weight
+        weighted_opt = max_weight_independent_set(weighted.build(inputs)).weight
+        assert unweighted_opt == weighted_opt
+
+
+class TestDefinition4Conditions:
+    def test_locality(self, family, params):
+        rng = random.Random(5)
+        base = pairwise_disjoint_inputs(params.k, params.t, rng=rng)
+        variants = []
+        for i in range(params.t):
+            changed = list(base)
+            changed[i] = BitString.from_indices(params.k, [rng.randrange(params.k)])
+            variants.append(changed)
+        verify_locality(family, base, variants)
+
+    def test_condition2_on_meaningful_gap(self):
+        # Needs ell > alpha * t for the claimed thresholds to separate.
+        params = GadgetParameters(ell=4, alpha=1, t=3)
+        family = UnweightedLinearMaxISFamily(params)
+        rng = random.Random(6)
+        samples = [
+            uniquely_intersecting_inputs(params.k, params.t, rng=rng),
+            pairwise_disjoint_inputs(params.k, params.t, rng=rng),
+        ]
+        verify_predicate_matches_function(family, samples)

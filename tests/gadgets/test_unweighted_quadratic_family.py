@@ -1,0 +1,79 @@
+"""Tests for the quadratic unweighted family (Remark 1 for Theorem 2)."""
+
+import random
+
+import pytest
+
+from repro.commcc import BitString, pairwise_disjoint_inputs, promise_inputs
+from repro.framework import verify_locality, verify_partition
+from repro.gadgets import (
+    GadgetParameters,
+    QuadraticMaxISFamily,
+    UnweightedQuadraticMaxISFamily,
+)
+from repro.maxis import max_weight_independent_set
+
+
+@pytest.fixture(scope="module")
+def params():
+    return GadgetParameters(ell=2, alpha=1, t=2)
+
+
+@pytest.fixture(scope="module")
+def family(params):
+    return UnweightedQuadraticMaxISFamily(params)
+
+
+class TestStructure:
+    def test_node_count(self, family, params):
+        expected = 2 * params.t * (params.k * params.ell + params.q ** 2)
+        assert family.num_nodes == expected
+
+    def test_all_weights_one(self, family, params):
+        graph = family.build([BitString.ones(params.k ** 2)] * params.t)
+        assert all(graph.weight(v) == 1 for v in graph.nodes())
+
+    def test_replica_groups_always_independent(self, family, params):
+        graph = family.build([BitString.zeros(params.k ** 2)] * params.t)
+        for copy in (0, 1):
+            for m in range(params.k):
+                assert graph.is_independent_set(family.replica_group(0, copy, m))
+
+    def test_zero_bit_becomes_group_biclique(self, family, params):
+        length = params.k ** 2
+        x0 = BitString.ones(length) ^ BitString.from_indices(length, [0])
+        graph = family.build([x0, BitString.ones(length)])
+        for a in family.replica_group(0, 0, 0):
+            for b in family.replica_group(0, 1, 0):
+                assert graph.has_edge(a, b)
+
+    def test_partition_valid(self, family, params):
+        graph = family.build([BitString.ones(params.k ** 2)] * params.t)
+        verify_partition(family, graph)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("intersecting", [True, False])
+    def test_optimum_matches_weighted(self, params, family, seed, intersecting):
+        weighted = QuadraticMaxISFamily(params)
+        inputs = promise_inputs(
+            params.k ** 2, params.t, intersecting, rng=random.Random(seed)
+        )
+        assert (
+            max_weight_independent_set(family.build(inputs)).weight
+            == max_weight_independent_set(weighted.build(inputs)).weight
+        )
+
+
+class TestLocality:
+    def test_input_edges_stay_in_own_part(self, family, params):
+        rng = random.Random(4)
+        length = params.k ** 2
+        base = pairwise_disjoint_inputs(length, params.t, rng=rng)
+        variants = []
+        for i in range(params.t):
+            changed = list(base)
+            changed[i] = BitString.from_indices(length, [rng.randrange(length)])
+            variants.append(changed)
+        verify_locality(family, base, variants)

@@ -1,0 +1,64 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.gadgets import GadgetParameters, LinearConstruction
+from repro.graphs import WeightedGraph, clique, to_dot
+
+
+class TestToDot:
+    def test_basic_structure(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        dot = to_dot(graph)
+        assert dot.startswith('graph "G" {')
+        assert dot.endswith("}")
+        assert '"\'a\'" -- "\'b\'";' in dot
+
+    def test_each_edge_once(self):
+        graph = clique(["a", "b", "c"])
+        dot = to_dot(graph)
+        assert dot.count("--") == 3
+
+    def test_weights_labelled(self):
+        graph = WeightedGraph(nodes={"a": 5})
+        dot = to_dot(graph)
+        assert "w=5" in dot
+
+    def test_weights_suppressed(self):
+        graph = WeightedGraph(nodes={"a": 5})
+        dot = to_dot(graph, show_weights=False)
+        assert "w=5" not in dot
+
+    def test_unit_weights_not_labelled(self):
+        graph = WeightedGraph(nodes={"a": 1})
+        assert "w=1" not in to_dot(graph)
+
+    def test_groups_become_clusters(self):
+        graph = WeightedGraph(nodes=["a", "b"])
+        dot = to_dot(graph, groups={"left": ["a"], "right": ["b"]})
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+        assert 'label="left";' in dot
+
+    def test_deterministic(self):
+        graph = clique([3, 1, 2])
+        assert to_dot(graph) == to_dot(graph)
+
+    def test_quoting(self):
+        graph = WeightedGraph(nodes=['he said "hi"'])
+        dot = to_dot(graph)
+        assert '\\"hi\\"' in dot
+
+    def test_gadget_export_renders_all_nodes(self):
+        construction = LinearConstruction(GadgetParameters(ell=2, alpha=1, t=2))
+        dot = to_dot(construction.graph, groups=construction.groups())
+        for node in construction.graph.nodes():
+            assert f'"{_fmt(node)}"' in dot
+
+    def test_custom_name(self):
+        graph = WeightedGraph(nodes=["a"])
+        assert to_dot(graph, name="H").startswith('graph "H" {')
+
+
+def _fmt(node):
+    from repro.graphs import format_node
+
+    return format_node(node)

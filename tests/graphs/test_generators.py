@@ -1,0 +1,161 @@
+"""Tests for the graph generators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.graphs import (
+    biclique_minus_matching_edges,
+    clique,
+    clique_edges,
+    complete_bipartite_edges,
+    cycle_graph,
+    independent_set_graph,
+    path_graph,
+    random_bipartite_graph,
+    random_graph,
+    star_graph,
+    union_of_cliques,
+)
+
+
+class TestClique:
+    def test_clique_edge_count(self):
+        graph = clique(list(range(5)))
+        assert graph.num_edges == 10
+
+    def test_clique_is_clique(self):
+        graph = clique(["a", "b", "c"])
+        assert graph.is_clique(["a", "b", "c"])
+
+    def test_clique_weight(self):
+        graph = clique(["a", "b"], weight=4)
+        assert graph.weight("a") == 4
+
+    def test_single_node_clique(self):
+        graph = clique(["a"])
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    def test_clique_edges_helper(self):
+        assert len(clique_edges(list(range(4)))) == 6
+
+
+class TestIndependentSetGraph:
+    def test_no_edges(self):
+        graph = independent_set_graph(list(range(6)))
+        assert graph.num_edges == 0
+        assert graph.is_independent_set(range(6))
+
+
+class TestBipartite:
+    def test_complete_bipartite_count(self):
+        edges = complete_bipartite_edges(["a", "b"], [1, 2, 3])
+        assert len(edges) == 6
+
+    def test_biclique_minus_matching_count(self):
+        edges = biclique_minus_matching_edges([0, 1, 2], ["x", "y", "z"])
+        assert len(edges) == 6  # 9 - 3
+
+    def test_biclique_minus_matching_excludes_matched_pairs(self):
+        edges = set(biclique_minus_matching_edges([0, 1], ["x", "y"]))
+        assert (0, "x") not in edges
+        assert (1, "y") not in edges
+        assert (0, "y") in edges
+        assert (1, "x") in edges
+
+    def test_biclique_minus_matching_unequal_sides_raises(self):
+        with pytest.raises(ValueError):
+            biclique_minus_matching_edges([0], ["x", "y"])
+
+    def test_figure2_shape(self):
+        """Figure 2: each left node connects to all but its matched partner."""
+        left = [f"i{r}" for r in range(3)]
+        right = [f"j{r}" for r in range(3)]
+        edges = biclique_minus_matching_edges(left, right)
+        for r in range(3):
+            partners = {v for u, v in edges if u == left[r]}
+            assert partners == set(right) - {right[r]}
+
+
+class TestPathCycleStar:
+    def test_path_edges(self):
+        graph = path_graph(["a", "b", "c"])
+        assert graph.num_edges == 2
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("a", "c")
+
+    def test_cycle_closes(self):
+        graph = cycle_graph(["a", "b", "c", "d"])
+        assert graph.num_edges == 4
+        assert graph.has_edge("d", "a")
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(ValueError):
+            cycle_graph(["a", "b"])
+
+    def test_star(self):
+        graph = star_graph("hub", ["a", "b", "c"])
+        assert graph.degree("hub") == 3
+        assert graph.degree("a") == 1
+
+
+class TestRandomGraphs:
+    def test_random_graph_p0(self):
+        graph = random_graph(10, 0.0, rng=random.Random(1))
+        assert graph.num_edges == 0
+
+    def test_random_graph_p1(self):
+        graph = random_graph(10, 1.0, rng=random.Random(1))
+        assert graph.num_edges == 45
+
+    def test_random_graph_deterministic_given_seed(self):
+        a = random_graph(15, 0.4, rng=random.Random(7))
+        b = random_graph(15, 0.4, rng=random.Random(7))
+        assert a == b
+
+    def test_random_graph_weight_range(self):
+        graph = random_graph(20, 0.2, rng=random.Random(3), weight_range=(2, 5))
+        assert all(2 <= graph.weight(v) <= 5 for v in graph.nodes())
+
+    def test_random_graph_bad_probability(self):
+        with pytest.raises(ValueError):
+            random_graph(5, 1.5)
+
+    def test_random_graph_bad_weight_range(self):
+        with pytest.raises(ValueError):
+            random_graph(5, 0.5, weight_range=(5, 2))
+
+    def test_random_graph_node_factory(self):
+        graph = random_graph(3, 0.0, node_factory=lambda i: ("n", i))
+        assert ("n", 2) in graph
+
+    def test_random_bipartite_sides(self):
+        graph, left, right = random_bipartite_graph(4, 5, 0.5, rng=random.Random(2))
+        assert len(left) == 4 and len(right) == 5
+        for u, v in graph.edges():
+            assert (u in left) != (v in left)
+
+    def test_random_bipartite_bad_probability(self):
+        with pytest.raises(ValueError):
+            random_bipartite_graph(2, 2, -0.1)
+
+
+class TestUnionOfCliques:
+    def test_structure(self):
+        graph = union_of_cliques([["a", "b"], ["c", "d", "e"]])
+        assert graph.num_edges == 1 + 3
+        assert not graph.has_edge("a", "c")
+
+    def test_code_gadget_shape(self):
+        """The Code gadget is q cliques of size q: q * C(q,2) edges."""
+        q = 4
+        groups = [[(h, r) for r in range(q)] for h in range(q)]
+        graph = union_of_cliques(groups)
+        assert graph.num_nodes == q * q
+        assert graph.num_edges == q * (q * (q - 1) // 2)
+
+    def test_overlapping_groups_raise(self):
+        with pytest.raises(ValueError):
+            union_of_cliques([["a", "b"], ["b", "c"]])

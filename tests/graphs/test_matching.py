@@ -1,0 +1,135 @@
+"""Tests for Hopcroft–Karp maximum bipartite matching."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    NotBipartiteError,
+    WeightedGraph,
+    biclique_minus_matching_edges,
+    greedy_matching_size,
+    is_matching,
+    maximum_bipartite_matching,
+    maximum_matching_size,
+    random_bipartite_graph,
+)
+
+
+def _graph_from_edges(left_size, right_size, edges):
+    graph = WeightedGraph()
+    left = [("L", i) for i in range(left_size)]
+    right = [("R", j) for j in range(right_size)]
+    graph.add_nodes(left)
+    graph.add_nodes(right)
+    for i, j in edges:
+        graph.add_edge(("L", i), ("R", j))
+    return graph, left, right
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        graph, left, right = _graph_from_edges(3, 3, [])
+        assert maximum_matching_size(graph, left, right) == 0
+
+    def test_perfect_matching(self):
+        graph, left, right = _graph_from_edges(3, 3, [(i, i) for i in range(3)])
+        assert maximum_matching_size(graph, left, right) == 3
+
+    def test_star_matches_once(self):
+        graph, left, right = _graph_from_edges(1, 4, [(0, j) for j in range(4)])
+        assert maximum_matching_size(graph, left, right) == 1
+
+    def test_augmenting_path_needed(self):
+        # Greedy taking (0,0) first must be undone via augmenting path.
+        graph, left, right = _graph_from_edges(2, 2, [(0, 0), (0, 1), (1, 0)])
+        assert maximum_matching_size(graph, left, right) == 2
+
+    def test_matching_dict_is_symmetric(self):
+        graph, left, right = _graph_from_edges(2, 2, [(0, 1), (1, 0)])
+        match = maximum_bipartite_matching(graph, left, right)
+        for u, v in match.items():
+            assert match[v] == u
+
+    def test_matching_uses_real_edges(self):
+        graph, left, right = _graph_from_edges(3, 3, [(0, 1), (1, 2), (2, 0)])
+        match = maximum_bipartite_matching(graph, left, right)
+        pairs = [(u, v) for u, v in match.items() if u[0] == "L"]
+        assert is_matching(graph, pairs)
+
+    def test_overlapping_sides_raise(self):
+        graph, left, right = _graph_from_edges(2, 2, [])
+        with pytest.raises(NotBipartiteError):
+            maximum_bipartite_matching(graph, left, left)
+
+    def test_edge_inside_side_raises(self):
+        graph, left, right = _graph_from_edges(2, 2, [])
+        graph.add_edge(("L", 0), ("L", 1))
+        with pytest.raises(NotBipartiteError):
+            maximum_bipartite_matching(graph, left, right)
+
+    def test_biclique_minus_matching_has_full_matching(self):
+        """The Figure 2 wiring still contains a perfect matching for q >= 2."""
+        for q in (2, 3, 5):
+            left = [("L", r) for r in range(q)]
+            right = [("R", r) for r in range(q)]
+            graph = WeightedGraph(nodes=left + right)
+            graph.add_edges(biclique_minus_matching_edges(left, right))
+            assert maximum_matching_size(graph, left, right) == q
+
+
+class TestIsMatching:
+    def test_valid(self):
+        graph, left, right = _graph_from_edges(2, 2, [(0, 0), (1, 1)])
+        assert is_matching(graph, [(("L", 0), ("R", 0)), (("L", 1), ("R", 1))])
+
+    def test_rejects_shared_endpoint(self):
+        graph, left, right = _graph_from_edges(1, 2, [(0, 0), (0, 1)])
+        assert not is_matching(graph, [(("L", 0), ("R", 0)), (("L", 0), ("R", 1))])
+
+    def test_rejects_non_edge(self):
+        graph, left, right = _graph_from_edges(2, 2, [(0, 0)])
+        assert not is_matching(graph, [(("L", 1), ("R", 1))])
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances_match_networkx(self, seed):
+        rng = random.Random(seed)
+        graph, left, right = random_bipartite_graph(6, 7, 0.35, rng=rng)
+        ours = maximum_matching_size(graph, left, right)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(left, bipartite=0)
+        nx_graph.add_nodes_from(right, bipartite=1)
+        nx_graph.add_edges_from(graph.edges())
+        theirs = len(nx.bipartite.maximum_matching(nx_graph, top_nodes=left)) // 2
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_greedy_is_at_least_half(self, seed):
+        rng = random.Random(seed + 100)
+        graph, left, right = random_bipartite_graph(8, 8, 0.3, rng=rng)
+        maximum = maximum_matching_size(graph, left, right)
+        greedy = greedy_matching_size(graph, left, right)
+        assert greedy <= maximum
+        assert 2 * greedy >= maximum
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    edges=st.sets(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=25
+    )
+)
+def test_hypothesis_matching_equals_networkx(edges):
+    graph, left, right = _graph_from_edges(6, 6, edges)
+    ours = maximum_matching_size(graph, left, right)
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(left, bipartite=0)
+    nx_graph.add_nodes_from(right, bipartite=1)
+    nx_graph.add_edges_from(graph.edges())
+    theirs = len(nx.bipartite.maximum_matching(nx_graph, top_nodes=left)) // 2
+    assert ours == theirs

@@ -1,0 +1,87 @@
+"""Tests for the text renderers used by the figure benches."""
+
+from repro.graphs import (
+    WeightedGraph,
+    adjacency_listing,
+    clique,
+    cross_group_edge_counts,
+    cross_group_table,
+    format_node,
+    group_summary,
+    render_figure,
+)
+
+
+class TestFormatNode:
+    def test_tagged_tuple(self):
+        assert format_node(("A", 0, 2)) == "A[0,2]"
+
+    def test_code_node(self):
+        assert format_node(("C", 1, 0, 2)) == "C[1,0,2]"
+
+    def test_plain_value_falls_back_to_repr(self):
+        assert format_node(7) == "7"
+
+    def test_untagged_tuple_falls_back(self):
+        assert format_node((1, 2)) == "(1, 2)"
+
+
+class TestAdjacencyListing:
+    def test_lists_weights_and_neighbors(self):
+        graph = WeightedGraph(nodes={"a": 2})
+        graph.add_edge("a", "b")
+        listing = adjacency_listing(graph)
+        assert "'a' (w=2): 'b'" in listing
+
+    def test_max_nodes_truncates(self):
+        graph = clique(list(range(10)))
+        listing = adjacency_listing(graph, max_nodes=2)
+        assert len(listing.splitlines()) == 2
+
+
+class TestGroupSummary:
+    def test_detects_clique(self):
+        graph = clique(["a", "b", "c"])
+        summary = group_summary(graph, {"G": ["a", "b", "c"]})
+        assert "clique" in summary
+        assert "3 nodes" in summary
+
+    def test_detects_independent(self):
+        graph = WeightedGraph(nodes=["a", "b"])
+        summary = group_summary(graph, {"G": ["a", "b"]})
+        assert "independent" in summary
+
+    def test_detects_mixed(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        graph.add_node("c")
+        summary = group_summary(graph, {"G": ["a", "b", "c"]})
+        assert "mixed" in summary
+
+
+class TestCrossGroups:
+    def test_counts(self):
+        graph = WeightedGraph(edges=[("a", "x"), ("b", "x"), ("a", "b")])
+        counts = cross_group_edge_counts(
+            graph, {"L": ["a", "b"], "R": ["x"]}
+        )
+        assert counts == {("L", "R"): 2}
+
+    def test_table_contains_counts(self):
+        graph = WeightedGraph(edges=[("a", "x")])
+        table = cross_group_table(graph, {"L": ["a"], "R": ["x"]})
+        assert "L -- R" in table
+
+    def test_table_empty(self):
+        graph = WeightedGraph(nodes=["a"])
+        assert "no cross-group edges" in cross_group_table(graph, {"L": ["a"]})
+
+
+class TestRenderFigure:
+    def test_contains_title_counts_and_notes(self):
+        graph = clique(["a", "b"])
+        text = render_figure(
+            "Figure X", graph, {"G": ["a", "b"]}, notes=["hello"]
+        )
+        assert "Figure X" in text
+        assert "|V| = 2" in text
+        assert "hello" in text

@@ -1,0 +1,70 @@
+"""Tests for graph JSON (de)serialization."""
+
+import json
+import random
+
+import pytest
+
+from repro.gadgets import GadgetParameters, LinearConstruction
+from repro.graphs import (
+    WeightedGraph,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    random_graph,
+)
+
+
+class TestRoundTrip:
+    def test_simple_graph(self):
+        graph = WeightedGraph(nodes={"a": 2, "b": 1})
+        graph.add_edge("a", "b")
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+    def test_tuple_node_ids(self):
+        graph = WeightedGraph()
+        graph.add_edge(("A", 0, 1), ("C", 0, 2, 1))
+        restored = graph_from_json(graph_to_json(graph))
+        assert restored == graph
+        assert restored.has_edge(("A", 0, 1), ("C", 0, 2, 1))
+
+    def test_nested_tuples(self):
+        graph = WeightedGraph(nodes=[("U", ("A", 0, 1), 2)])
+        restored = graph_from_json(graph_to_json(graph))
+        assert ("U", ("A", 0, 1), 2) in restored
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        graph = random_graph(
+            15, 0.4, rng=random.Random(seed), weight_range=(1, 9)
+        )
+        assert graph_from_json(graph_to_json(graph)) == graph
+
+    def test_gadget_instance(self):
+        construction = LinearConstruction(GadgetParameters(ell=2, alpha=1, t=2))
+        restored = graph_from_json(graph_to_json(construction.graph))
+        assert restored == construction.graph
+
+    def test_empty_graph(self):
+        assert graph_from_json(graph_to_json(WeightedGraph())) == WeightedGraph()
+
+
+class TestFormat:
+    def test_json_is_valid_and_sorted(self):
+        graph = WeightedGraph(nodes={"b": 1, "a": 2})
+        parsed = json.loads(graph_to_json(graph))
+        assert set(parsed) == {"nodes", "edges"}
+
+    def test_weights_preserved(self):
+        graph = WeightedGraph(nodes={"x": 7})
+        assert graph_from_dict(graph_to_dict(graph)).weight("x") == 7
+
+    def test_unserializable_node_rejected(self):
+        graph = WeightedGraph(nodes=[frozenset({1})])
+        with pytest.raises(TypeError):
+            graph_to_dict(graph)
+
+    def test_malformed_encoded_node_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"nodes": [{"id": ["bogus"], "weight": 1}], "edges": []})

@@ -1,0 +1,141 @@
+"""Tests for structural graph parameters."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    WeightedGraph,
+    clique,
+    clique_cover_bound,
+    core_numbers,
+    count_triangles,
+    cycle_graph,
+    degeneracy_ordering,
+    greedy_clique_cover,
+    independence_number_lower_bound,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+from repro.maxis import max_weight_independent_set
+
+
+class TestDegeneracy:
+    def test_path_degeneracy_one(self):
+        _, d = degeneracy_ordering(path_graph(list(range(6))))
+        assert d == 1
+
+    def test_cycle_degeneracy_two(self):
+        _, d = degeneracy_ordering(cycle_graph(list(range(6))))
+        assert d == 2
+
+    def test_clique_degeneracy(self):
+        _, d = degeneracy_ordering(clique(list(range(5))))
+        assert d == 4
+
+    def test_star_degeneracy_one(self):
+        _, d = degeneracy_ordering(star_graph("hub", list(range(6))))
+        assert d == 1
+
+    def test_empty_graph(self):
+        ordering, d = degeneracy_ordering(WeightedGraph())
+        assert ordering == [] and d == 0
+
+    def test_ordering_is_permutation(self):
+        graph = random_graph(15, 0.3, rng=random.Random(1))
+        ordering, _ = degeneracy_ordering(graph)
+        assert sorted(map(repr, ordering)) == sorted(map(repr, graph.nodes()))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_max_core_number(self, seed):
+        graph = random_graph(18, 0.3, rng=random.Random(seed))
+        _, d = degeneracy_ordering(graph)
+        cores = core_numbers(graph)
+        assert d == max(cores.values())
+
+
+class TestCoreNumbers:
+    def test_clique_cores(self):
+        cores = core_numbers(clique(list(range(5))))
+        assert set(cores.values()) == {4}
+
+    def test_star_cores(self):
+        cores = core_numbers(star_graph("hub", list(range(4))))
+        assert cores["hub"] == 1
+        assert all(cores[i] == 1 for i in range(4))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        graph = random_graph(16, 0.3, rng=random.Random(seed + 20))
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_edges_from(graph.edges())
+        assert core_numbers(graph) == nx.core_number(nx_graph)
+
+
+class TestCliqueCover:
+    def test_cover_is_a_partition_of_cliques(self):
+        graph = random_graph(15, 0.4, rng=random.Random(3))
+        cover = greedy_clique_cover(graph)
+        seen = set()
+        for clique_set in cover:
+            assert graph.is_clique(clique_set)
+            assert not (seen & clique_set)
+            seen |= clique_set
+        assert seen == graph.node_set()
+
+    def test_clique_graph_covered_by_one(self):
+        assert len(greedy_clique_cover(clique(list(range(6))))) == 1
+
+    def test_edgeless_needs_n_cliques(self):
+        graph = WeightedGraph(nodes=list(range(5)))
+        assert len(greedy_clique_cover(graph)) == 5
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_dominates_optimum(self, seed):
+        graph = random_graph(14, 0.4, rng=random.Random(seed), weight_range=(1, 6))
+        assert clique_cover_bound(graph) >= max_weight_independent_set(graph).weight
+
+
+class TestTriangles:
+    def test_triangle_free(self):
+        assert count_triangles(cycle_graph(list(range(6)))) == 0
+
+    def test_single_triangle(self):
+        assert count_triangles(clique(["a", "b", "c"])) == 1
+
+    def test_k4_has_four(self):
+        assert count_triangles(clique(list(range(4)))) == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        graph = random_graph(16, 0.35, rng=random.Random(seed + 80))
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes())
+        nx_graph.add_edges_from(graph.edges())
+        assert count_triangles(graph) == sum(nx.triangles(nx_graph).values()) // 3
+
+
+class TestIndependenceBound:
+    def test_empty(self):
+        assert independence_number_lower_bound(WeightedGraph()) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lower_bounds_alpha(self, seed):
+        graph = random_graph(14, 0.35, rng=random.Random(seed + 200))
+        bound = independence_number_lower_bound(graph)
+        alpha = len(max_weight_independent_set(graph).nodes)
+        assert bound <= alpha
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 14), p=st.floats(0, 1), seed=st.integers(0, 1000))
+def test_hypothesis_cover_bound_vs_alpha(n, p, seed):
+    graph = random_graph(n, p, rng=random.Random(seed))
+    cover = greedy_clique_cover(graph)
+    alpha = len(max_weight_independent_set(graph).nodes)
+    assert len(cover) >= alpha

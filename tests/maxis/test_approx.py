@@ -1,0 +1,119 @@
+"""Tests for the greedy approximations and partition local optima."""
+
+import random
+
+import pytest
+
+from repro.graphs import WeightedGraph, clique, random_graph, star_graph
+from repro.maxis import (
+    best_greedy,
+    brute_force_max_weight_independent_set,
+    greedy_by_degree,
+    greedy_by_weight,
+    greedy_by_weight_degree_ratio,
+    local_optima_over_partition,
+    max_weight_independent_set,
+    random_maximal_independent_set,
+)
+
+GREEDIES = [greedy_by_weight, greedy_by_degree, greedy_by_weight_degree_ratio]
+
+
+class TestGreedyVariants:
+    @pytest.mark.parametrize("greedy", GREEDIES)
+    def test_result_is_maximal_independent(self, greedy):
+        graph = random_graph(20, 0.3, rng=random.Random(3), weight_range=(1, 5))
+        result = greedy(graph)
+        assert graph.is_independent_set(result.nodes)
+        covered = set(result.nodes)
+        for node in result.nodes:
+            covered |= graph.neighbors(node)
+        assert covered == graph.node_set()
+
+    def test_greedy_by_weight_prefers_heavy(self):
+        graph = WeightedGraph(nodes={"heavy": 10, "l1": 1, "l2": 1})
+        graph.add_edge("heavy", "l1")
+        graph.add_edge("heavy", "l2")
+        assert "heavy" in greedy_by_weight(graph).nodes
+
+    def test_greedy_by_degree_beats_weight_on_star(self):
+        # Star with heavy center: degree greedy takes the leaves.
+        graph = star_graph("hub", [f"leaf{i}" for i in range(5)])
+        graph.set_weight("hub", 3)
+        degree_result = greedy_by_degree(graph)
+        assert degree_result.weight == 5
+
+    def test_ratio_rule_guarantee(self):
+        # Weighted Turán: result >= sum w(v)/(deg(v)+1).
+        graph = random_graph(18, 0.4, rng=random.Random(5), weight_range=(1, 9))
+        bound = sum(
+            graph.weight(v) / (graph.degree(v) + 1) for v in graph.nodes()
+        )
+        assert greedy_by_weight_degree_ratio(graph).weight >= bound - 1e-9
+
+    def test_best_greedy_dominates_each(self):
+        graph = random_graph(15, 0.35, rng=random.Random(7), weight_range=(1, 6))
+        best = best_greedy(graph).weight
+        for greedy in GREEDIES:
+            assert best >= greedy(graph).weight
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_never_beats_exact(self, seed):
+        graph = random_graph(14, 0.4, rng=random.Random(seed), weight_range=(1, 7))
+        optimum = max_weight_independent_set(graph).weight
+        assert best_greedy(graph).weight <= optimum
+
+
+class TestRandomMaximal:
+    def test_is_maximal_independent(self):
+        graph = random_graph(25, 0.3, rng=random.Random(11))
+        result = random_maximal_independent_set(graph, rng=random.Random(2))
+        assert graph.is_independent_set(result.nodes)
+        covered = set(result.nodes)
+        for node in result.nodes:
+            covered |= graph.neighbors(node)
+        assert covered == graph.node_set()
+
+    def test_varies_with_rng(self):
+        graph = random_graph(20, 0.3, rng=random.Random(13))
+        sets = {
+            random_maximal_independent_set(graph, rng=random.Random(s)).nodes
+            for s in range(10)
+        }
+        assert len(sets) > 1
+
+
+class TestLocalOptimaOverPartition:
+    def test_two_part_guarantee(self):
+        graph = random_graph(16, 0.4, rng=random.Random(17), weight_range=(1, 5))
+        nodes = graph.node_list()
+        parts = [nodes[:8], nodes[8:]]
+        best, index = local_optima_over_partition(
+            graph, parts, max_weight_independent_set
+        )
+        optimum = max_weight_independent_set(graph).weight
+        assert best.weight >= optimum / 2
+        assert index in (0, 1)
+
+    def test_t_part_guarantee(self):
+        graph = random_graph(18, 0.5, rng=random.Random(19), weight_range=(1, 5))
+        nodes = graph.node_list()
+        parts = [nodes[i::3] for i in range(3)]
+        best, _ = local_optima_over_partition(
+            graph, parts, max_weight_independent_set
+        )
+        optimum = max_weight_independent_set(graph).weight
+        assert best.weight >= optimum / 3
+
+    def test_result_valid_in_whole_graph(self):
+        graph = random_graph(12, 0.5, rng=random.Random(23))
+        nodes = graph.node_list()
+        best, _ = local_optima_over_partition(
+            graph, [nodes[:6], nodes[6:]], max_weight_independent_set
+        )
+        assert graph.is_independent_set(best.nodes)
+
+    def test_empty_parts_raise(self):
+        graph = WeightedGraph(nodes=["a"])
+        with pytest.raises(ValueError):
+            local_optima_over_partition(graph, [], max_weight_independent_set)

@@ -1,0 +1,57 @@
+"""Tests for the brute-force oracle."""
+
+import pytest
+
+from repro.graphs import WeightedGraph, clique, cycle_graph, path_graph
+from repro.maxis import (
+    brute_force_max_weight_independent_set,
+    count_independent_sets,
+)
+
+
+class TestBruteForce:
+    def test_triangle(self):
+        graph = clique(["a", "b", "c"])
+        graph.set_weight("b", 3)
+        result = brute_force_max_weight_independent_set(graph)
+        assert result.nodes == frozenset({"b"})
+
+    def test_empty(self):
+        result = brute_force_max_weight_independent_set(WeightedGraph())
+        assert result.weight == 0
+
+    def test_size_limit(self):
+        graph = WeightedGraph(nodes=range(30))
+        with pytest.raises(ValueError):
+            brute_force_max_weight_independent_set(graph)
+
+    def test_path4(self):
+        graph = path_graph(["a", "b", "c", "d"])
+        assert brute_force_max_weight_independent_set(graph).weight == 2
+
+
+class TestCounting:
+    def test_empty_graph_counts_empty_set(self):
+        assert count_independent_sets(WeightedGraph()) == 1
+
+    def test_single_node(self):
+        assert count_independent_sets(WeightedGraph(nodes=["a"])) == 2
+
+    def test_single_edge(self):
+        # {}, {a}, {b}
+        assert count_independent_sets(WeightedGraph(edges=[("a", "b")])) == 3
+
+    def test_triangle(self):
+        # {}, three singletons.
+        assert count_independent_sets(clique(["a", "b", "c"])) == 4
+
+    def test_cycle4(self):
+        # {}, 4 singletons, 2 diagonal pairs.
+        assert count_independent_sets(cycle_graph(list(range(4)))) == 7
+
+    def test_independent_nodes(self):
+        assert count_independent_sets(WeightedGraph(nodes=range(4))) == 16
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            count_independent_sets(WeightedGraph(nodes=range(40)))

@@ -1,0 +1,54 @@
+"""Tests for the max-weight clique wrapper."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import WeightedGraph, clique, cycle_graph, random_graph
+from repro.maxis import max_weight_clique
+
+
+class TestMaxWeightClique:
+    def test_clique_graph_takes_everything(self):
+        graph = clique(["a", "b", "c"], weight=2)
+        result = max_weight_clique(graph)
+        assert result.nodes == frozenset({"a", "b", "c"})
+        assert result.weight == 6
+
+    def test_edgeless_takes_heaviest_single(self):
+        graph = WeightedGraph(nodes={"a": 1, "b": 5})
+        result = max_weight_clique(graph)
+        assert result.nodes == frozenset({"b"})
+
+    def test_triangle_in_cycle(self):
+        graph = cycle_graph(list(range(5)))
+        result = max_weight_clique(graph)
+        assert len(result.nodes) == 2  # best clique in C5 is an edge
+
+    def test_weighted_choice(self):
+        # Two triangles sharing nothing; the heavy one wins.
+        graph = WeightedGraph()
+        for name, weight in [("a", 1), ("b", 1), ("c", 1), ("x", 3), ("y", 3), ("z", 3)]:
+            graph.add_node(name, weight=weight)
+        graph.add_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        graph.add_edges([("x", "y"), ("y", "z"), ("z", "x")])
+        assert max_weight_clique(graph).weight == 9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_against_networkx(self, seed):
+        graph = random_graph(
+            13, 0.45, rng=random.Random(seed), weight_range=(1, 6)
+        )
+        ours = max_weight_clique(graph).weight
+        nx_graph = nx.Graph()
+        for node in graph.nodes():
+            nx_graph.add_node(node, w=int(graph.weight(node)))
+        nx_graph.add_edges_from(graph.edges())
+        _, theirs = nx.max_weight_clique(nx_graph, weight="w")
+        assert ours == theirs
+
+    def test_result_is_clique(self):
+        graph = random_graph(12, 0.5, rng=random.Random(9))
+        result = max_weight_clique(graph)
+        assert graph.is_clique(result.nodes)

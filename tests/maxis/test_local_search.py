@@ -1,0 +1,74 @@
+"""Tests for (1,2)-swap local search."""
+
+import random
+
+import pytest
+
+from repro.graphs import WeightedGraph, path_graph, random_graph, star_graph
+from repro.maxis import (
+    IndependentSetResult,
+    greedy_by_weight,
+    improve_by_swaps,
+    max_weight_independent_set,
+)
+
+
+class TestImproveBySwaps:
+    def test_never_worsens(self):
+        for seed in range(6):
+            graph = random_graph(
+                18, 0.35, rng=random.Random(seed), weight_range=(1, 7)
+            )
+            seed_set = greedy_by_weight(graph)
+            improved = improve_by_swaps(graph, seed_set)
+            assert improved.weight >= seed_set.weight
+
+    def test_never_beats_optimum(self):
+        for seed in range(6):
+            graph = random_graph(
+                14, 0.4, rng=random.Random(seed + 30), weight_range=(1, 7)
+            )
+            improved = improve_by_swaps(graph, greedy_by_weight(graph))
+            assert improved.weight <= max_weight_independent_set(graph).weight
+
+    def test_result_is_independent(self):
+        graph = random_graph(20, 0.3, rng=random.Random(9), weight_range=(1, 5))
+        improved = improve_by_swaps(graph, greedy_by_weight(graph))
+        assert graph.is_independent_set(improved.nodes)
+
+    def test_adds_free_vertices(self):
+        graph = WeightedGraph(nodes=["a", "b", "c"])
+        partial = IndependentSetResult(graph, ["a"])
+        improved = improve_by_swaps(graph, partial)
+        assert improved.nodes == frozenset({"a", "b", "c"})
+
+    def test_swaps_hub_for_leaves(self):
+        """Star: starting from the hub, a (1,2)-swap reaches the leaves."""
+        graph = star_graph("hub", ["x", "y", "z"])
+        start = IndependentSetResult(graph, ["hub"])
+        improved = improve_by_swaps(graph, start)
+        assert improved.nodes == frozenset({"x", "y", "z"})
+
+    def test_weighted_swap_respects_gain(self):
+        """No swap when the single vertex outweighs any pair."""
+        graph = star_graph("hub", ["x", "y"])
+        graph.set_weight("hub", 10)
+        start = IndependentSetResult(graph, ["hub"])
+        improved = improve_by_swaps(graph, start)
+        assert improved.nodes == frozenset({"hub"})
+
+    def test_path_reaches_a_maximal_local_optimum(self):
+        """P7 from node 1: additions give {1, 3, 5}, a genuine (1,2)-swap
+        local optimum (reaching alpha = 4 needs a coordinated 2-swap)."""
+        graph = path_graph(list(range(7)))
+        start = IndependentSetResult(graph, [1])
+        improved = improve_by_swaps(graph, start)
+        assert improved.nodes == frozenset({1, 3, 5})
+        # Running it again changes nothing: it is a fixed point.
+        assert improve_by_swaps(graph, improved).nodes == improved.nodes
+
+    def test_empty_start(self):
+        graph = random_graph(10, 0.4, rng=random.Random(5))
+        start = IndependentSetResult(graph, [])
+        improved = improve_by_swaps(graph, start)
+        assert improved.weight > 0

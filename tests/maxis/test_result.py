@@ -1,0 +1,40 @@
+"""Tests for the result type and approximation-ratio helper."""
+
+import pytest
+
+from repro.graphs import WeightedGraph
+from repro.maxis import IndependentSetResult, approximation_ratio
+
+
+class TestIndependentSetResult:
+    def test_validates_independence(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            IndependentSetResult(graph, ["a", "b"])
+
+    def test_weight_computed(self):
+        graph = WeightedGraph(nodes={"a": 3, "b": 4})
+        result = IndependentSetResult(graph, ["a", "b"])
+        assert result.weight == 7
+        assert len(result) == 2
+
+    def test_empty_set(self):
+        result = IndependentSetResult(WeightedGraph(nodes=["a"]), [])
+        assert result.weight == 0
+
+
+class TestApproximationRatio:
+    def test_exact(self):
+        assert approximation_ratio(10, 10) == 1.0
+
+    def test_half(self):
+        assert approximation_ratio(5, 10) == 0.5
+
+    def test_zero_optimum(self):
+        assert approximation_ratio(0, 0) == 1.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(-1, 5)
+        with pytest.raises(ValueError):
+            approximation_ratio(1, -5)

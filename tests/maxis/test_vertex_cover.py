@@ -1,0 +1,87 @@
+"""Tests for minimum vertex cover (the MaxIS complement)."""
+
+import random
+
+import pytest
+
+from repro.graphs import WeightedGraph, clique, cycle_graph, path_graph, random_graph
+from repro.maxis import (
+    VertexCoverResult,
+    complement_identity_check,
+    is_vertex_cover,
+    matching_vertex_cover,
+    min_weight_vertex_cover,
+)
+
+
+class TestIsVertexCover:
+    def test_full_node_set_covers(self):
+        graph = clique(list(range(4)))
+        assert is_vertex_cover(graph, graph.nodes())
+
+    def test_empty_cover_only_for_edgeless(self):
+        assert is_vertex_cover(WeightedGraph(nodes=["a"]), [])
+        assert not is_vertex_cover(WeightedGraph(edges=[("a", "b")]), [])
+
+    def test_single_endpoint_covers_edge(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        assert is_vertex_cover(graph, ["a"])
+
+
+class TestExactCover:
+    def test_result_validated(self):
+        graph = WeightedGraph(edges=[("a", "b")])
+        with pytest.raises(ValueError):
+            VertexCoverResult(graph, [])
+
+    def test_star_covers_with_hub(self):
+        from repro.graphs import star_graph
+
+        graph = star_graph("hub", [f"l{i}" for i in range(5)])
+        cover = min_weight_vertex_cover(graph)
+        assert cover.nodes == frozenset({"hub"})
+
+    def test_cycle5_needs_three(self):
+        graph = cycle_graph(list(range(5)))
+        assert len(min_weight_vertex_cover(graph)) == 3
+
+    def test_clique_needs_all_but_one(self):
+        graph = clique(list(range(6)))
+        assert len(min_weight_vertex_cover(graph)) == 5
+
+    def test_weighted_choice(self):
+        graph = WeightedGraph(nodes={"a": 10, "b": 1})
+        graph.add_edge("a", "b")
+        cover = min_weight_vertex_cover(graph)
+        assert cover.nodes == frozenset({"b"})
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_complement_identity(self, seed):
+        graph = random_graph(
+            14, 0.4, rng=random.Random(seed), weight_range=(1, 7)
+        )
+        total, independent, cover = complement_identity_check(graph)
+        assert total == independent + cover
+
+
+class TestMatchingApproximation:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_within_factor_two_of_optimum_size(self, seed):
+        graph = random_graph(16, 0.3, rng=random.Random(seed + 50))
+        approx = matching_vertex_cover(graph)
+        exact = min_weight_vertex_cover(graph)
+        assert len(approx) <= 2 * len(exact)
+
+    def test_is_a_cover(self):
+        graph = random_graph(20, 0.3, rng=random.Random(99))
+        approx = matching_vertex_cover(graph)
+        assert is_vertex_cover(graph, approx.nodes)
+
+    def test_path_approximation(self):
+        graph = path_graph(list(range(4)))
+        approx = matching_vertex_cover(graph)
+        assert len(approx) in (2, 4)  # one or two matched edges
+
+    def test_edgeless_empty_cover(self):
+        graph = WeightedGraph(nodes=list(range(3)))
+        assert len(matching_vertex_cover(graph)) == 0

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_prints_summary(self, capsys):
+        assert main(["info", "--ell", "4", "--t", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "linear_nodes" in out
+        assert "90" in out
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            main(["info", "--ell", "0"])
+
+
+class TestFigures:
+    def test_renders_both_constructions(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Linear construction G" in out
+        assert "Quadratic construction F" in out
+        assert "A^0" in out
+
+
+class TestClaims:
+    def test_all_hold(self, capsys):
+        assert main(["claims", "--ell", "2", "--t", "2", "--samples", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Claim 1" in out
+        assert "Claim 5" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["claims", "--ell", "2", "--t", "2", "--samples", "1", "--json"]
+        )
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert all(entry["holds"] for entry in parsed)
+
+    def test_with_quadratic(self, capsys):
+        code = main(
+            ["claims", "--ell", "2", "--t", "2", "--samples", "2", "--quadratic"]
+        )
+        assert code == 0
+        assert "Claim 6" in capsys.readouterr().out
+
+
+class TestTheorems:
+    def test_theorem1_table(self, capsys):
+        assert main(["theorem1", "--max-t", "3", "--samples", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "toward 1/2" in out
+
+    def test_theorem1_json(self, capsys):
+        assert main(["theorem1", "--max-t", "2", "--samples", "1", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["gap"]["claims_hold"] is True
+
+    def test_theorem2_table(self, capsys):
+        assert main(["theorem2", "--max-t", "2", "--samples", "2"]) == 0
+        assert "toward 3/4" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_both_sides_consistent(self, capsys):
+        assert main(["simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "intersecting" in out
+        assert "disjoint" in out
+
+
+class TestProtocols:
+    def test_table_and_floor(self, capsys):
+        assert main(["protocols", "--k", "10", "--t", "2", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "full-reveal" in out
+        assert "Theorem 3 floor" in out
+        assert "fooling-set bound" in out
+
+    def test_no_fooling_line_for_large_k(self, capsys):
+        assert main(["protocols", "--k", "64", "--t", "3", "--trials", "1"]) == 0
+        assert "fooling-set" not in capsys.readouterr().out
+
+
+class TestExport:
+    def test_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "exports"
+        assert (
+            main(["export", "--ell", "2", "--t", "2", "--output", str(out_dir)])
+            == 0
+        )
+        assert (out_dir / "linear.dot").exists()
+        assert (out_dir / "quadratic.dot").exists()
+        assert (out_dir / "linear_fixed.json").exists()
+
+    def test_exported_json_round_trips(self, tmp_path):
+        from repro.gadgets import GadgetParameters, LinearConstruction
+        from repro.graphs import graph_from_json
+
+        out_dir = tmp_path / "exports"
+        main(["export", "--ell", "2", "--t", "2", "--output", str(out_dir)])
+        restored = graph_from_json((out_dir / "linear_fixed.json").read_text())
+        expected = LinearConstruction(GadgetParameters(ell=2, alpha=1, t=2)).graph
+        assert restored == expected
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,68 @@
+"""Public API integrity: every export exists, is importable, documented.
+
+The packages re-export heavily; these meta-tests pin that ``__all__``
+never drifts from reality and that the public surface stays documented.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.codes",
+    "repro.commcc",
+    "repro.congest",
+    "repro.congest.algorithms",
+    "repro.core",
+    "repro.framework",
+    "repro.gadgets",
+    "repro.graphs",
+    "repro.maxis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestAllExports:
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_all_is_sorted_uniquely(self, package_name):
+        package = importlib.import_module(package_name)
+        exported = getattr(package, "__all__", [])
+        assert len(exported) == len(set(exported)), f"{package_name} duplicates"
+
+    def test_public_callables_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if callable(obj) and not inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+            elif inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    undocumented.append(name)
+        assert not undocumented, f"{package_name}: undocumented {undocumented}"
+
+
+class TestTopLevel:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_cli_importable(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+    def test_module_docstrings(self):
+        for package_name in PACKAGES:
+            package = importlib.import_module(package_name)
+            assert (package.__doc__ or "").strip(), f"{package_name} lacks a docstring"

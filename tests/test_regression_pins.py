@@ -1,0 +1,62 @@
+"""Regression pins: fixed-seed experiments reproduce exact numbers.
+
+These values were produced by the initial verified implementation; any
+change to construction wiring, weighting, sampling, or solving that
+alters semantics will trip one of them.  Update deliberately, never
+casually.
+"""
+
+import pytest
+
+from repro.core import LinearLowerBoundExperiment, QuadraticLowerBoundExperiment
+from repro.framework import cut_size
+from repro.gadgets import GadgetParameters, LinearConstruction, QuadraticConstruction
+
+
+class TestStructuralPins:
+    def test_figure_scale_linear_signature(self):
+        construction = LinearConstruction(GadgetParameters(ell=2, alpha=1, t=2))
+        # per copy: C(3,2) + 3*C(3,2) + 3*6 = 3 + 9 + 18 = 30; 2*30 + 18 cut.
+        assert construction.graph.structural_signature() == (24, 78, 24)
+        assert cut_size(construction.graph, construction.partition()) == 18
+
+    def test_figure_scale_quadratic_signature(self):
+        construction = QuadraticConstruction(GadgetParameters(ell=2, alpha=1, t=2))
+        # 48 nodes; 12 heavy nodes at weight 2 -> total weight 36 + 12 = 60.
+        assert construction.graph.structural_signature() == (48, 156, 60)
+
+    def test_meaningful_t3_signature(self):
+        construction = LinearConstruction(GadgetParameters(ell=4, alpha=1, t=3))
+        assert construction.graph.structural_signature() == (90, 780, 90)
+        assert cut_size(construction.graph, construction.partition()) == 300
+
+
+class TestExperimentPins:
+    def test_linear_t3_seed0(self):
+        params = GadgetParameters(ell=4, alpha=1, t=3)
+        report = LinearLowerBoundExperiment(params, seed=0).run(num_samples=2)
+        assert report.gap.min_intersecting == 27
+        assert report.gap.max_disjoint == 21
+        assert report.gap.measured_ratio == pytest.approx(21 / 27)
+
+    def test_warmup_seed42(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        report = LinearLowerBoundExperiment(params, warmup=True, seed=42).run(5)
+        assert report.gap.min_intersecting == 10
+        assert report.gap.max_disjoint == 9
+
+    def test_quadratic_t2_seed0(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        report = QuadraticLowerBoundExperiment(params, seed=0).run(num_samples=2)
+        assert report.gap.min_intersecting == 20
+        assert report.gap.max_disjoint == 18
+
+    def test_round_bound_value_t2(self):
+        params = GadgetParameters(ell=3, alpha=1, t=2)
+        report = LinearLowerBoundExperiment(params, seed=0).run(num_samples=1)
+        # cc = 4/2 = 2; cut = 48; log2(40) -> value = 2 / (48 * log2(40)).
+        import math
+
+        assert report.round_bound.value == pytest.approx(
+            2 / (48 * math.log2(40))
+        )
