@@ -6,18 +6,61 @@ also written to ``benchmarks/results/<name>.txt`` so that a plain
 ``pytest benchmarks/ --benchmark-only`` run leaves the full set of
 reproduced figures/tables on disk (run with ``-s`` to also see them
 inline).
+
+Alongside the text artefact, :func:`publish` writes a machine-readable
+run manifest ``benchmarks/results/<name>.json`` — schema version,
+parameters, and whatever counters/span timings the :mod:`repro.obs`
+recorder accumulated (empty sections when observability is off) — so
+``BENCH_*.json`` trajectory aggregation has a stable record to consume.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Any, Mapping, Optional
+
+from repro.obs import get_recorder
+from repro.obs.manifest import build_manifest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
 
 
-def publish(name: str, text: str) -> None:
-    """Print the artefact and persist it under ``benchmarks/results``."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def publish(
+    name: str,
+    text: str,
+    parameters: Optional[Mapping[str, Any]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> pathlib.Path:
+    """Print the artefact; persist it plus a JSON manifest sidecar.
+
+    Returns the path of the text artefact.  ``parameters`` (the bench's
+    knobs) and ``extra`` entries land in the ``<name>.json`` manifest.
+
+    The manifest snapshots whatever the process-wide recorder holds and
+    then drains it, so counters recorded for one bench never leak into
+    the next bench's manifest.
+    """
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
-    print(f"\n{text}\n[saved to {path}]")
+    merged_extra = {"artifact": path.name}
+    if extra:
+        merged_extra.update(extra)
+    recorder = get_recorder()
+    manifest = build_manifest(
+        name,
+        parameters=parameters,
+        recorder=recorder,
+        extra=merged_extra,
+    )
+    try:
+        recorder.reset()
+    except RuntimeError:
+        pass  # a span is still open (publish called mid-recording)
+    manifest_path = RESULTS_DIR / f"{name}.json"
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    print(f"\n{text}\n[saved to {path}; manifest {manifest_path.name}]")
+    return path

@@ -98,4 +98,15 @@ def test_bench_primitive_table(benchmark):
         "shows (1/2+eps)-approximate MaxIS needs Omega(n/log^3 n): the gap "
         "between what is fast and what is provably slow."
     )
-    publish("congest_primitives", table)
+    publish(
+        "congest_primitives",
+        table,
+        parameters={
+            "ell": 3,
+            "alpha": 1,
+            "t": 2,
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "max_degree": graph.max_degree(),
+        },
+    )

@@ -7,6 +7,7 @@ G(n, p) instances, and charts how far the greedy heuristics fall short.
 
 import random
 
+from repro import obs
 from repro.gadgets import GadgetParameters, LinearConstruction
 from repro.graphs import random_graph
 from repro.maxis import (
@@ -84,4 +85,14 @@ def test_bench_solver_quality_table(benchmark):
         rows,
         title="Solver ablation on G(30, 0.35) with weights in [1, 9]",
     )
-    publish("maxis_solvers", table)
+    # One recorded (untimed) solve so the manifest carries the solver's
+    # nodes-expanded/prune counters.
+    with obs.recording():
+        max_weight_independent_set(
+            random_graph(30, 0.35, rng=random.Random(0), weight_range=(1, 9))
+        )
+    publish(
+        "maxis_solvers",
+        table,
+        parameters={"n": 30, "p": 0.35, "weight_range": [1, 9], "seeds": 6},
+    )

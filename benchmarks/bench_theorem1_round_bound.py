@@ -93,4 +93,8 @@ def test_bench_theorem1_round_bound(benchmark):
         "\n\nnote: the measured cut is Theta(t^2 log^3 k) for this literal "
         "construction, vs the paper's stated t^2 log^2 k (see DESIGN.md)."
     )
-    publish("theorem1_round_bound", table)
+    publish(
+        "theorem1_round_bound",
+        table,
+        parameters={"sweep": [repr(params) for params in SWEEP]},
+    )

@@ -93,4 +93,8 @@ def test_bench_theorem2_round_bound(benchmark):
         asym_rows,
         title="Asymptotics: the bound is nearly tight against the O(n^2) ceiling",
     )
-    publish("theorem2_round_bound", table)
+    publish(
+        "theorem2_round_bound",
+        table,
+        parameters={"sweep": [repr(params) for params in SWEEP]},
+    )

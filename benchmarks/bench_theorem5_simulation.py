@@ -9,6 +9,7 @@ sides.
 
 import random
 
+from repro import obs
 from repro.commcc import pairwise_disjoint_inputs, uniquely_intersecting_inputs
 from repro.congest import FullGraphCollection
 from repro.framework import simulate_congest_via_players
@@ -82,4 +83,12 @@ def test_bench_theorem5_simulation(benchmark):
         "O(T |cut| log |V|) bits; the measured transcript obeys the ceiling "
         "and the decision always equals f(x)."
     )
-    publish("theorem5_simulation", table)
+    # One recorded (untimed) rerun so the manifest carries the simulator's
+    # round/message/bit counters and phase timings.
+    with obs.recording():
+        run_both_sides()
+    publish(
+        "theorem5_simulation",
+        table,
+        parameters={"ell": 2, "alpha": 1, "t": 2, "warmup": True, "seed": 11},
+    )

@@ -14,7 +14,9 @@ The package builds every object the paper's proofs manipulate:
 * :mod:`repro.framework` — families of lower bound graphs, the
   simulation argument, and the round-bound calculator;
 * :mod:`repro.maxis` — exact and approximate MaxIS solvers;
-* :mod:`repro.core` — end-to-end experiment pipelines for Theorems 1-2.
+* :mod:`repro.core` — end-to-end experiment pipelines for Theorems 1-2;
+* :mod:`repro.obs` — observability: spans, counters, sinks, and run
+  manifests across all of the above (disabled by default).
 
 Quickstart::
 
@@ -57,6 +59,7 @@ from .gadgets import (
 )
 from .graphs import WeightedGraph
 from .maxis import max_weight_independent_set
+from . import obs
 
 __version__ = "1.0.0"
 
@@ -80,6 +83,7 @@ __all__ = [
     "__version__",
     "figure_parameters",
     "max_weight_independent_set",
+    "obs",
     "pairwise_disjoint_inputs",
     "promise_pairwise_disjointness",
     "simulate_congest_via_players",

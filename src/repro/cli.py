@@ -10,14 +10,23 @@ Commands
 ``simulate``   run the Theorem 5 player simulation end to end
 ``protocols``  measure disjointness protocols against the Theorem 3 floor
 ``export``     write DOT/JSON snapshots of the constructions
+``report``     run the full reproduction suite
+``stats``      summarize a JSONL observability event file
+
+Observability (see ``docs/OBSERVABILITY.md``): ``report``,
+``theorem1``, ``theorem2``, and ``simulate`` accept ``--profile`` to
+enable the :mod:`repro.obs` recorder and print the span tree and
+counter totals after the run, and ``--profile-json PATH`` to also
+stream the events to a JSONL file that ``stats`` can replay later.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import random
 import sys
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .analysis import (
     instance_summary,
@@ -58,6 +67,62 @@ def _add_parameter_args(parser: argparse.ArgumentParser, default_t: int = 2) -> 
 
 def _params(args: argparse.Namespace) -> GadgetParameters:
     return GadgetParameters(ell=args.ell, alpha=args.alpha, t=args.t, k=args.k)
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record spans/counters via repro.obs and print the profile",
+    )
+    parser.add_argument(
+        "--profile-json",
+        default=None,
+        metavar="PATH",
+        help="also write JSONL events for `repro stats` (implies --profile)",
+    )
+
+
+@contextlib.contextmanager
+def _profiled(args: argparse.Namespace) -> Iterator[Optional[object]]:
+    """Enable the recorder around a command when ``--profile`` is set.
+
+    Yields the recorder (or ``None`` when not profiling) and prints the
+    span tree and counter/gauge totals after the command body finishes.
+    """
+    jsonl_path = getattr(args, "profile_json", None)
+    if not getattr(args, "profile", False) and jsonl_path is None:
+        yield None
+        return
+    from . import obs
+
+    with obs.recording(jsonl_path=jsonl_path) as recorder:
+        with recorder.span(args.command):
+            yield recorder
+    print()
+    print("PROFILE")
+    print("=======")
+    print(recorder.render_span_tree())
+    print()
+    print(recorder.render_summary())
+    if jsonl_path:
+        print(f"\n[events written to {jsonl_path}]")
+
+
+def _profile_simulation_phase(recorder: Optional[object], seed: int) -> None:
+    """Run the Theorem 5 simulation check as a profiled phase.
+
+    The theorem sweeps measure gaps and cut sizes but never run the
+    CONGEST network themselves; under ``--profile`` the full proof
+    chain is exercised, so the simulator's message/bit counters show up
+    in the profile alongside the solver phases.
+    """
+    if recorder is None:
+        return
+    from .core.suite import simulation_check_rows
+
+    with recorder.span("simulate"):
+        simulation_check_rows(seed)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -112,98 +177,105 @@ def cmd_claims(args: argparse.Namespace) -> int:
 def cmd_theorem1(args: argparse.Namespace) -> int:
     rows = []
     exit_code = 0
-    for t in range(2, args.max_t + 1):
-        params = smallest_meaningful_linear_parameters(t)
-        report = LinearLowerBoundExperiment(params, seed=args.seed).run(
-            num_samples=args.samples
-        )
-        if args.json:
-            print(report_to_json(report))
-        if not report.gap.claims_hold:
-            exit_code = 1
-        rows.append(
-            [
-                t,
-                params.ell,
-                report.num_nodes,
-                report.cut,
-                round(report.gap.measured_ratio, 4),
-                round(linear_gap_ratio_asymptotic(t), 4),
-                report.gap.claims_hold,
-            ]
-        )
-    if not args.json:
-        print(
-            render_table(
-                ["t", "ell", "n", "cut", "measured ratio", "asymptotic", "claims hold"],
-                rows,
-                title="Theorem 1: the gap descends toward 1/2",
+    with _profiled(args) as recorder:
+        for t in range(2, args.max_t + 1):
+            params = smallest_meaningful_linear_parameters(t)
+            report = LinearLowerBoundExperiment(params, seed=args.seed).run(
+                num_samples=args.samples
             )
-        )
+            if args.json:
+                print(report_to_json(report))
+            if not report.gap.claims_hold:
+                exit_code = 1
+            rows.append(
+                [
+                    t,
+                    params.ell,
+                    report.num_nodes,
+                    report.cut,
+                    round(report.gap.measured_ratio, 4),
+                    round(linear_gap_ratio_asymptotic(t), 4),
+                    report.gap.claims_hold,
+                ]
+            )
+        _profile_simulation_phase(recorder, args.seed)
+        if not args.json:
+            print(
+                render_table(
+                    ["t", "ell", "n", "cut", "measured ratio", "asymptotic", "claims hold"],
+                    rows,
+                    title="Theorem 1: the gap descends toward 1/2",
+                )
+            )
     return exit_code
 
 
 def cmd_theorem2(args: argparse.Namespace) -> int:
     rows = []
     exit_code = 0
-    for ell, t in [(2, 2), (3, 2), (2, 3), (2, 4)]:
-        if t > args.max_t:
-            continue
-        params = GadgetParameters(ell=ell, alpha=1, t=t)
-        report = QuadraticLowerBoundExperiment(params, seed=args.seed).run(
-            num_samples=max(1, args.samples // 2)
-        )
-        if args.json:
-            print(report_to_json(report))
-        if not report.gap.claims_hold:
-            exit_code = 1
-        rows.append(
-            [
-                t,
-                ell,
-                report.num_nodes,
-                round(report.gap.measured_ratio, 4),
-                round(quadratic_gap_ratio_asymptotic(t), 4),
-                report.gap.claims_hold,
-            ]
-        )
-    if not args.json:
-        print(
-            render_table(
-                ["t", "ell", "n", "measured ratio", "asymptotic", "claims hold"],
-                rows,
-                title="Theorem 2: the gap descends toward 3/4",
+    with _profiled(args) as recorder:
+        for ell, t in [(2, 2), (3, 2), (2, 3), (2, 4)]:
+            if t > args.max_t:
+                continue
+            params = GadgetParameters(ell=ell, alpha=1, t=t)
+            report = QuadraticLowerBoundExperiment(params, seed=args.seed).run(
+                num_samples=max(1, args.samples // 2)
             )
-        )
+            if args.json:
+                print(report_to_json(report))
+            if not report.gap.claims_hold:
+                exit_code = 1
+            rows.append(
+                [
+                    t,
+                    ell,
+                    report.num_nodes,
+                    round(report.gap.measured_ratio, 4),
+                    round(quadratic_gap_ratio_asymptotic(t), 4),
+                    report.gap.claims_hold,
+                ]
+            )
+        _profile_simulation_phase(recorder, args.seed)
+        if not args.json:
+            print(
+                render_table(
+                    ["t", "ell", "n", "measured ratio", "asymptotic", "claims hold"],
+                    rows,
+                    title="Theorem 2: the gap descends toward 3/4",
+                )
+            )
     return exit_code
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    params = GadgetParameters(ell=2, alpha=1, t=2)
-    family = LinearMaxISFamily(params, warmup=True)
-    low = family.gap.low_threshold
-    rng = random.Random(args.seed)
     exit_code = 0
-    for intersecting in (True, False):
-        gen = (
-            uniquely_intersecting_inputs if intersecting else pairwise_disjoint_inputs
-        )
-        inputs = gen(params.k, params.t, rng=rng)
-        report = simulate_congest_via_players(
-            family,
-            inputs,
-            lambda: FullGraphCollection(
-                evaluate=lambda graph: max_independent_set_weight(graph) <= low
-            ),
-        )
-        side = "intersecting" if intersecting else "disjoint"
-        print(
-            f"{side:>12}: rounds={report.rounds} cut={report.cut_edges} "
-            f"bits={report.blackboard_bits} <= {report.analytic_bit_bound} "
-            f"decision={report.predicate_output} f(x)={report.function_value}"
-        )
-        if not report.is_consistent:
-            exit_code = 1
+    with _profiled(args):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        family = LinearMaxISFamily(params, warmup=True)
+        low = family.gap.low_threshold
+        rng = random.Random(args.seed)
+        for intersecting in (True, False):
+            gen = (
+                uniquely_intersecting_inputs
+                if intersecting
+                else pairwise_disjoint_inputs
+            )
+            inputs = gen(params.k, params.t, rng=rng)
+            report = simulate_congest_via_players(
+                family,
+                inputs,
+                lambda: FullGraphCollection(
+                    evaluate=lambda graph: max_independent_set_weight(graph) <= low
+                ),
+            )
+            side = "intersecting" if intersecting else "disjoint"
+            print(
+                f"{side:>12}: rounds={report.rounds} cut={report.cut_edges} "
+                f"bits={report.blackboard_bits} <= {report.analytic_bit_bound} "
+                f"decision={report.predicate_output} f(x)={report.function_value}"
+            )
+            if not report.is_consistent:
+                exit_code = 1
     return exit_code
 
 
@@ -277,14 +349,22 @@ def cmd_export(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from .core import run_reproduction_suite
 
-    suite = run_reproduction_suite(
-        max_t=args.max_t, num_samples=args.samples, seed=args.seed
-    )
-    if args.json:
-        print(suite.to_json())
-    else:
-        print(suite.render())
+    with _profiled(args):
+        suite = run_reproduction_suite(
+            max_t=args.max_t, num_samples=args.samples, seed=args.seed
+        )
+        if args.json:
+            print(suite.to_json())
+        else:
+            print(suite.render())
     return 0 if suite.all_claims_hold else 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from .obs.stats import render_stats_file
+
+    print(render_stats_file(args.events))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -316,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     theorem1.add_argument("--samples", type=int, default=2)
     theorem1.add_argument("--seed", type=int, default=0)
     theorem1.add_argument("--json", action="store_true")
+    _add_profile_args(theorem1)
     theorem1.set_defaults(func=cmd_theorem1)
 
     theorem2 = subparsers.add_parser("theorem2", help="run the Theorem 2 sweep")
@@ -323,12 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
     theorem2.add_argument("--samples", type=int, default=2)
     theorem2.add_argument("--seed", type=int, default=0)
     theorem2.add_argument("--json", action="store_true")
+    _add_profile_args(theorem2)
     theorem2.set_defaults(func=cmd_theorem2)
 
     simulate = subparsers.add_parser(
         "simulate", help="run the Theorem 5 player simulation"
     )
     simulate.add_argument("--seed", type=int, default=0)
+    _add_profile_args(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     protocols = subparsers.add_parser(
@@ -353,7 +436,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--samples", type=int, default=2)
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--json", action="store_true")
+    _add_profile_args(report)
     report.set_defaults(func=cmd_report)
+
+    stats = subparsers.add_parser(
+        "stats", help="summarize a JSONL observability event file"
+    )
+    stats.add_argument(
+        "events", help="path to an events.jsonl written via --profile-json"
+    )
+    stats.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -17,6 +17,10 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import get_recorder
+
+_obs = get_recorder()
+
 
 def is_prime(n: int) -> bool:
     """Return whether ``n`` is prime (trial division; fine for our sizes)."""
@@ -152,6 +156,8 @@ class PrimeField(FiniteField):
         return (-self.check(a)) % self.order
 
     def mul(self, a: int, b: int) -> int:
+        if _obs.enabled:
+            _obs.incr("gf.mul")
         return (self.check(a) * self.check(b)) % self.order
 
     def inv(self, a: int) -> int:
@@ -291,6 +297,8 @@ class ExtensionField(FiniteField):
         return self._from_coeffs([self.base.neg(x) for x in self._to_coeffs(a)])
 
     def mul(self, a: int, b: int) -> int:
+        if _obs.enabled:
+            _obs.incr("gf.mul")
         ca, cb = self._to_coeffs(a), self._to_coeffs(b)
         product = [0] * (2 * self.m - 1)
         for i, x in enumerate(ca):

@@ -24,7 +24,10 @@ import random
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..graphs import WeightedGraph
+from ..obs import get_recorder
 from .message import Message, NodeId, payload_size_bits
+
+_obs = get_recorder()
 
 
 class BandwidthExceededError(RuntimeError):
@@ -220,6 +223,9 @@ class CongestNetwork:
         self.message_log_enabled = False
         self.message_log: List[Tuple[int, Message]] = []
         self._initialized = False
+        if _obs.enabled:
+            _obs.incr("congest.networks_built")
+            _obs.gauge("congest.last_network_nodes", self.num_nodes)
 
     # ------------------------------------------------------------------
     # Internal send path
@@ -313,6 +319,17 @@ class CongestNetwork:
             algorithm.on_round(ctx, inboxes[node])
         stats = RoundStats(self.rounds_executed, len(in_flight), round_bits)
         self.round_stats.append(stats)
+        if _obs.enabled:
+            _obs.incr("congest.rounds")
+            _obs.incr("congest.messages", stats.messages)
+            _obs.incr("congest.bits", stats.bits)
+            for message in in_flight:
+                if message.receiver not in self._crashed:
+                    _obs.incr_keyed(
+                        "congest.edge_bits",
+                        f"{message.sender!r}->{message.receiver!r}",
+                        message.size_bits,
+                    )
         return stats
 
     def run(self, max_rounds: int = 100_000) -> int:

@@ -11,8 +11,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.tables import render_table
+from ..obs import get_recorder
 from .message import NodeId
 from .network import CongestNetwork
+
+_obs = get_recorder()
 
 
 class RoundTraceEntry:
@@ -49,52 +52,62 @@ class ExecutionTrace:
         self.network = network
         self.record_edges = record_edges
         self.entries: List[RoundTraceEntry] = []
+        # Messages logged before the trace attached belong to rounds we
+        # never observed; the cursor lets each traced round consume only
+        # its own suffix of the log (O(total messages) over a full run).
+        self._log_cursor = len(network.message_log)
         if record_edges:
             network.message_log_enabled = True
 
     def run(self, max_rounds: int = 100_000, quiescent: bool = False) -> int:
         """Execute to halt/quiescence, tracing each round."""
         network = self.network
-        if not network._initialized:
-            network._initialize()
-        halted: Set[NodeId] = {
-            node for node, ctx in network.contexts.items() if ctx.halted
-        }
-        while network.rounds_executed < max_rounds:
-            if network.all_halted() and not network._outgoing:
-                break
-            if quiescent and network.rounds_executed and not network._outgoing:
-                break
-            stats = network.run_round()
-            now_halted = {
+        with _obs.span(
+            "congest.trace.run", nodes=network.num_nodes, quiescent=quiescent
+        ):
+            if not network._initialized:
+                network._initialize()
+            halted: Set[NodeId] = {
                 node for node, ctx in network.contexts.items() if ctx.halted
             }
-            edge_traffic: Dict[Tuple[NodeId, NodeId], int] = {}
-            if self.record_edges:
-                for round_number, message in network.message_log:
-                    if round_number == stats.round_number:
+            while network.rounds_executed < max_rounds:
+                if network.all_halted() and not network._outgoing:
+                    break
+                if quiescent and network.rounds_executed and not network._outgoing:
+                    break
+                with _obs.span("congest.trace.round"):
+                    stats = network.run_round()
+                now_halted = {
+                    node for node, ctx in network.contexts.items() if ctx.halted
+                }
+                edge_traffic: Dict[Tuple[NodeId, NodeId], int] = {}
+                if self.record_edges:
+                    log = network.message_log
+                    for index in range(self._log_cursor, len(log)):
+                        message = log[index][1]
                         key = (message.sender, message.receiver)
                         edge_traffic[key] = (
                             edge_traffic.get(key, 0) + message.size_bits
                         )
-            self.entries.append(
-                RoundTraceEntry(
-                    round_number=stats.round_number,
-                    messages=stats.messages,
-                    bits=stats.bits,
-                    newly_halted=sorted(now_halted - halted, key=repr),
-                    edge_traffic=edge_traffic,
+                    self._log_cursor = len(log)
+                self.entries.append(
+                    RoundTraceEntry(
+                        round_number=stats.round_number,
+                        messages=stats.messages,
+                        bits=stats.bits,
+                        newly_halted=sorted(now_halted - halted, key=repr),
+                        edge_traffic=edge_traffic,
+                    )
                 )
-            )
-            halted = now_halted
-        else:
-            raise RuntimeError(f"no termination within {max_rounds} rounds")
-        if quiescent:
-            for node, algorithm in network.algorithms.items():
-                ctx = network.contexts[node]
-                if not ctx.halted:
-                    algorithm.finalize(ctx)
-        return network.rounds_executed
+                halted = now_halted
+            else:
+                raise RuntimeError(f"no termination within {max_rounds} rounds")
+            if quiescent:
+                for node, algorithm in network.algorithms.items():
+                    ctx = network.contexts[node]
+                    if not ctx.halted:
+                        algorithm.finalize(ctx)
+            return network.rounds_executed
 
     # ------------------------------------------------------------------
     # Summaries

@@ -21,7 +21,7 @@ from .experiments import (
     LinearLowerBoundExperiment,
     QuadraticLowerBoundExperiment,
 )
-from .suite import SuiteResult, run_reproduction_suite
+from .suite import SuiteResult, run_reproduction_suite, simulation_check_rows
 from .vertex_cover_view import DualClaimMeasurement, measure_dual_claims
 from .serialize import (
     claim_check_to_dict,
@@ -52,6 +52,7 @@ __all__ = [
     "report_to_dict",
     "report_to_json",
     "run_reproduction_suite",
+    "simulation_check_rows",
     "verify_all_linear",
     "verify_all_quadratic",
     "verify_claim1",

@@ -25,6 +25,9 @@ from ..commcc import (
 from ..framework import RoundLowerBound, cut_size
 from ..gadgets import GadgetParameters, LinearMaxISFamily, QuadraticMaxISFamily
 from ..maxis import max_weight_independent_set
+from ..obs import get_recorder
+
+_obs = get_recorder()
 
 
 class GapMeasurement:
@@ -148,7 +151,8 @@ class LinearLowerBoundExperiment:
         seed: int = 0,
     ) -> None:
         self.params = params
-        self.family = LinearMaxISFamily(params, warmup=warmup)
+        with _obs.span("experiment.build", experiment="linear", t=params.t):
+            self.family = LinearMaxISFamily(params, warmup=warmup)
         self.warmup = warmup
         self.seed = seed
 
@@ -158,31 +162,38 @@ class LinearLowerBoundExperiment:
         params = self.params
         construction = self.family.construction
 
-        intersecting: List[float] = []
-        disjoint: List[float] = []
-        for _ in range(num_samples):
-            inputs = uniquely_intersecting_inputs(params.k, params.t, rng=rng)
-            graph = self.family.build(inputs)
-            intersecting.append(max_weight_independent_set(graph).weight)
-            inputs = pairwise_disjoint_inputs(params.k, params.t, rng=rng)
-            graph = self.family.build(inputs)
-            disjoint.append(max_weight_independent_set(graph).weight)
+        with _obs.span("experiment.run", experiment="linear", t=params.t):
+            intersecting: List[float] = []
+            disjoint: List[float] = []
+            for _ in range(num_samples):
+                with _obs.span("experiment.sample"):
+                    inputs = uniquely_intersecting_inputs(params.k, params.t, rng=rng)
+                    graph = self.family.build(inputs)
+                with _obs.span("experiment.solve"):
+                    intersecting.append(max_weight_independent_set(graph).weight)
+                with _obs.span("experiment.sample"):
+                    inputs = pairwise_disjoint_inputs(params.k, params.t, rng=rng)
+                    graph = self.family.build(inputs)
+                with _obs.span("experiment.solve"):
+                    disjoint.append(max_weight_independent_set(graph).weight)
 
-        gap = GapMeasurement(
-            intersecting,
-            disjoint,
-            high_threshold=self.family.gap.high_threshold,
-            low_threshold=self.family.gap.low_threshold,
-        )
-        fixed = construction.graph
-        cut = cut_size(fixed, construction.partition())
-        round_bound = RoundLowerBound(
-            k=params.k,
-            t=params.t,
-            cut=cut,
-            num_nodes=fixed.num_nodes,
-            input_length=params.k,
-        )
+            with _obs.span("experiment.check"):
+                gap = GapMeasurement(
+                    intersecting,
+                    disjoint,
+                    high_threshold=self.family.gap.high_threshold,
+                    low_threshold=self.family.gap.low_threshold,
+                )
+            with _obs.span("experiment.cut"):
+                fixed = construction.graph
+                cut = cut_size(fixed, construction.partition())
+                round_bound = RoundLowerBound(
+                    k=params.k,
+                    t=params.t,
+                    cut=cut,
+                    num_nodes=fixed.num_nodes,
+                    input_length=params.k,
+                )
         name = "Lemma 1 (two-party warm-up)" if self.warmup else "Theorem 1 (linear)"
         return ExperimentReport(
             name=name,
@@ -206,7 +217,8 @@ class QuadraticLowerBoundExperiment:
 
     def __init__(self, params: GadgetParameters, seed: int = 0) -> None:
         self.params = params
-        self.family = QuadraticMaxISFamily(params)
+        with _obs.span("experiment.build", experiment="quadratic", t=params.t):
+            self.family = QuadraticMaxISFamily(params)
         self.seed = seed
 
     def run(self, num_samples: int = 3) -> ExperimentReport:
@@ -215,31 +227,38 @@ class QuadraticLowerBoundExperiment:
         construction = self.family.construction
         length = params.k * params.k
 
-        intersecting: List[float] = []
-        disjoint: List[float] = []
-        for _ in range(num_samples):
-            inputs = uniquely_intersecting_inputs(length, params.t, rng=rng)
-            graph = self.family.build(inputs)
-            intersecting.append(max_weight_independent_set(graph).weight)
-            inputs = pairwise_disjoint_inputs(length, params.t, rng=rng)
-            graph = self.family.build(inputs)
-            disjoint.append(max_weight_independent_set(graph).weight)
+        with _obs.span("experiment.run", experiment="quadratic", t=params.t):
+            intersecting: List[float] = []
+            disjoint: List[float] = []
+            for _ in range(num_samples):
+                with _obs.span("experiment.sample"):
+                    inputs = uniquely_intersecting_inputs(length, params.t, rng=rng)
+                    graph = self.family.build(inputs)
+                with _obs.span("experiment.solve"):
+                    intersecting.append(max_weight_independent_set(graph).weight)
+                with _obs.span("experiment.sample"):
+                    inputs = pairwise_disjoint_inputs(length, params.t, rng=rng)
+                    graph = self.family.build(inputs)
+                with _obs.span("experiment.solve"):
+                    disjoint.append(max_weight_independent_set(graph).weight)
 
-        gap = GapMeasurement(
-            intersecting,
-            disjoint,
-            high_threshold=self.family.gap.high_threshold,
-            low_threshold=self.family.gap.low_threshold,
-        )
-        fixed = construction.graph
-        cut = cut_size(fixed, construction.partition())
-        round_bound = RoundLowerBound(
-            k=params.k,
-            t=params.t,
-            cut=cut,
-            num_nodes=fixed.num_nodes,
-            input_length=length,
-        )
+            with _obs.span("experiment.check"):
+                gap = GapMeasurement(
+                    intersecting,
+                    disjoint,
+                    high_threshold=self.family.gap.high_threshold,
+                    low_threshold=self.family.gap.low_threshold,
+                )
+            with _obs.span("experiment.cut"):
+                fixed = construction.graph
+                cut = cut_size(fixed, construction.partition())
+                round_bound = RoundLowerBound(
+                    k=params.k,
+                    t=params.t,
+                    cut=cut,
+                    num_nodes=fixed.num_nodes,
+                    input_length=length,
+                )
         return ExperimentReport(
             name="Theorem 2 (quadratic)",
             params=params,

@@ -28,7 +28,10 @@ from ..gadgets import (
     smallest_meaningful_linear_parameters,
 )
 from ..maxis import max_independent_set_weight
+from ..obs import get_recorder
 from .claims import verify_all_linear, verify_all_quadratic
+
+_obs = get_recorder()
 from .experiments import (
     ExperimentReport,
     LinearLowerBoundExperiment,
@@ -140,6 +143,46 @@ class SuiteResult:
         return "\n".join(parts)
 
 
+def simulation_check_rows(seed: int = 0) -> List[List]:
+    """Run the Theorem 5 warm-up simulation on both promise sides.
+
+    Returns one summary row per side (side, rounds, cut, bits, ceiling,
+    consistent) — the "Theorem 5 simulation" table of the suite report.
+    Shared by the suite, the ``simulate`` CLI command's profile phase,
+    and the profiled theorem sweeps.
+    """
+    params = GadgetParameters(ell=2, alpha=1, t=2)
+    family = LinearMaxISFamily(params, warmup=True)
+    low = family.gap.low_threshold
+    rng = random.Random(seed)
+    rows: List[List] = []
+    for intersecting in (True, False):
+        gen = (
+            uniquely_intersecting_inputs
+            if intersecting
+            else pairwise_disjoint_inputs
+        )
+        inputs = gen(params.k, params.t, rng=rng)
+        report = simulate_congest_via_players(
+            family,
+            inputs,
+            lambda: FullGraphCollection(
+                evaluate=lambda graph: max_independent_set_weight(graph) <= low
+            ),
+        )
+        rows.append(
+            [
+                "inter" if intersecting else "disj",
+                report.rounds,
+                report.cut_edges,
+                report.blackboard_bits,
+                report.analytic_bit_bound,
+                report.is_consistent,
+            ]
+        )
+    return rows
+
+
 def run_reproduction_suite(
     max_t: int = 4,
     num_samples: int = 2,
@@ -153,56 +196,33 @@ def run_reproduction_suite(
     """
     result = SuiteResult()
 
-    result.claim_checks.extend(
-        verify_all_linear(GadgetParameters(ell=4, alpha=1, t=3), num_samples)
-    )
-    result.claim_checks.extend(
-        verify_all_quadratic(GadgetParameters(ell=2, alpha=1, t=2), num_samples)
-    )
-
-    for t in range(2, max_t + 1):
-        params = smallest_meaningful_linear_parameters(t)
-        result.linear_reports.append(
-            LinearLowerBoundExperiment(params, seed=seed).run(num_samples)
+    with _obs.span("suite.claims"):
+        result.claim_checks.extend(
+            verify_all_linear(GadgetParameters(ell=4, alpha=1, t=3), num_samples)
+        )
+        result.claim_checks.extend(
+            verify_all_quadratic(GadgetParameters(ell=2, alpha=1, t=2), num_samples)
         )
 
-    for ell, t in [(2, 2), (2, 3)]:
-        if t > max_t:
-            continue
-        params = GadgetParameters(ell=ell, alpha=1, t=t)
-        result.quadratic_reports.append(
-            QuadraticLowerBoundExperiment(params, seed=seed).run(
-                max(1, num_samples // 2)
+    with _obs.span("suite.linear"):
+        for t in range(2, max_t + 1):
+            params = smallest_meaningful_linear_parameters(t)
+            result.linear_reports.append(
+                LinearLowerBoundExperiment(params, seed=seed).run(num_samples)
             )
-        )
+
+    with _obs.span("suite.quadratic"):
+        for ell, t in [(2, 2), (2, 3)]:
+            if t > max_t:
+                continue
+            params = GadgetParameters(ell=ell, alpha=1, t=t)
+            result.quadratic_reports.append(
+                QuadraticLowerBoundExperiment(params, seed=seed).run(
+                    max(1, num_samples // 2)
+                )
+            )
 
     if include_simulation:
-        params = GadgetParameters(ell=2, alpha=1, t=2)
-        family = LinearMaxISFamily(params, warmup=True)
-        low = family.gap.low_threshold
-        rng = random.Random(seed)
-        for intersecting in (True, False):
-            gen = (
-                uniquely_intersecting_inputs
-                if intersecting
-                else pairwise_disjoint_inputs
-            )
-            inputs = gen(params.k, params.t, rng=rng)
-            report = simulate_congest_via_players(
-                family,
-                inputs,
-                lambda: FullGraphCollection(
-                    evaluate=lambda graph: max_independent_set_weight(graph) <= low
-                ),
-            )
-            result.simulation_rows.append(
-                [
-                    "inter" if intersecting else "disj",
-                    report.rounds,
-                    report.cut_edges,
-                    report.blackboard_bits,
-                    report.analytic_bit_bound,
-                    report.is_consistent,
-                ]
-            )
+        with _obs.span("suite.simulation"):
+            result.simulation_rows.extend(simulation_check_rows(seed))
     return result

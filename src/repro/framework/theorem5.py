@@ -19,8 +19,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..commcc import BitString, Blackboard
 from ..congest import CongestNetwork, NodeAlgorithm
 from ..graphs import Node, WeightedGraph
+from ..obs import get_recorder
 from .cut import cut_size, node_membership
 from .family import LowerBoundFamily
+
+_obs = get_recorder()
 
 
 class SimulationReport:
@@ -105,43 +108,56 @@ def simulate_congest_via_players(
     (all nodes must agree); anything else raises ``ValueError``.
     """
     family.check_inputs(inputs)
-    graph = family.build(inputs)
-    partition = family.partition()
-    membership = node_membership(partition)
-    board = blackboard if blackboard is not None else Blackboard()
+    with _obs.span("theorem5.simulate", players=family.num_players):
+        with _obs.span("theorem5.build_instance"):
+            graph = family.build(inputs)
+            partition = family.partition()
+            membership = node_membership(partition)
+        board = blackboard if blackboard is not None else Blackboard()
 
-    network = CongestNetwork(
-        graph,
-        algorithm_factory,
-        bandwidth_multiplier=bandwidth_multiplier,
-        seed=seed,
-    )
-    network.message_log_enabled = True
-    rounds = network.run_until_quiescent(max_rounds=max_rounds)
-
-    for round_number, message in network.message_log:
-        sender_part = membership[message.sender]
-        receiver_part = membership[message.receiver]
-        if sender_part != receiver_part:
-            board.write(
-                sender_part,
-                "0" * message.size_bits,
-                label=f"r{round_number}:{sender_part}->{receiver_part}",
-            )
-
-    outputs = set(network.outputs().values())
-    if len(outputs) != 1 or not isinstance(next(iter(outputs)), bool):
-        raise ValueError(
-            f"the algorithm must decide the predicate uniformly; got {outputs!r}"
+        network = CongestNetwork(
+            graph,
+            algorithm_factory,
+            bandwidth_multiplier=bandwidth_multiplier,
+            seed=seed,
         )
-    decision = next(iter(outputs))
+        network.message_log_enabled = True
+        with _obs.span("theorem5.congest_run"):
+            rounds = network.run_until_quiescent(max_rounds=max_rounds)
 
-    return SimulationReport(
-        predicate_output=decision,
-        function_value=family.function_value(inputs),
-        rounds=rounds,
-        cut_edges=cut_size(graph, partition),
-        blackboard_bits=board.total_bits,
-        bandwidth_bits=network.bandwidth_bits,
-        num_nodes=graph.num_nodes,
-    )
+        cut_messages = 0
+        cut_bits = 0
+        with _obs.span("theorem5.blackboard_replay"):
+            for round_number, message in network.message_log:
+                sender_part = membership[message.sender]
+                receiver_part = membership[message.receiver]
+                if sender_part != receiver_part:
+                    cut_messages += 1
+                    cut_bits += message.size_bits
+                    board.write(
+                        sender_part,
+                        "0" * message.size_bits,
+                        label=f"r{round_number}:{sender_part}->{receiver_part}",
+                    )
+        if _obs.enabled:
+            _obs.incr("theorem5.simulations")
+            _obs.incr("theorem5.rounds", rounds)
+            _obs.incr("theorem5.cut_messages", cut_messages)
+            _obs.incr("theorem5.blackboard_bits", cut_bits)
+
+        outputs = set(network.outputs().values())
+        if len(outputs) != 1 or not isinstance(next(iter(outputs)), bool):
+            raise ValueError(
+                f"the algorithm must decide the predicate uniformly; got {outputs!r}"
+            )
+        decision = next(iter(outputs))
+
+        return SimulationReport(
+            predicate_output=decision,
+            function_value=family.function_value(inputs),
+            rounds=rounds,
+            cut_edges=cut_size(graph, partition),
+            blackboard_bits=board.total_bits,
+            bandwidth_bits=network.bandwidth_bits,
+            num_nodes=graph.num_nodes,
+        )

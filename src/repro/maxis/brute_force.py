@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from ..graphs import WeightedGraph
+from ..obs import get_recorder
 from .result import IndependentSetResult
+
+_obs = get_recorder()
 
 _MAX_BRUTE_FORCE_NODES = 26
 
@@ -38,7 +41,10 @@ def brute_force_max_weight_independent_set(
             search(index + 1, allowed & ~masks[index], weight + weights[index], chosen | bit)
         search(index + 1, allowed, weight, chosen)
 
-    search(0, (1 << n) - 1, 0.0, 0)
+    with _obs.span("maxis.brute_force.search", n=n):
+        search(0, (1 << n) - 1, 0.0, 0)
+    if _obs.enabled:
+        _obs.incr("maxis.brute_force.solves")
     chosen_nodes = [node_list[i] for i in range(n) if (best_set >> i) & 1]
     return IndependentSetResult(graph, chosen_nodes)
 

@@ -19,7 +19,10 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..graphs import Node, WeightedGraph
+from ..obs import get_recorder
 from .result import IndependentSetResult
+
+_obs = get_recorder()
 
 
 class BranchAndBoundStats:
@@ -132,7 +135,12 @@ def max_weight_independent_set(
         # Branch 2: exclude v.
         search(candidates & ~low, current_weight, current_set)
 
-    search(full_mask, 0.0, 0)
+    with _obs.span("maxis.exact.search", n=n):
+        search(full_mask, 0.0, 0)
+    if _obs.enabled:
+        _obs.incr("maxis.exact.solves")
+        _obs.incr("maxis.exact.nodes_expanded", stats.nodes_expanded)
+        _obs.incr("maxis.exact.bound_prunes", stats.bound_prunes)
 
     chosen = [
         node_list[order[pos]] for pos in range(n) if (best_set >> pos) & 1

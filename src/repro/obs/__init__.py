@@ -1,0 +1,118 @@
+"""repro.obs — the zero-dependency instrumentation subsystem.
+
+Hierarchical spans, named counters/gauges, pluggable sinks, and run
+manifests for every layer of the reproduction: the CONGEST simulator
+counts rounds/messages/bits, the MaxIS solvers count expanded nodes,
+the field layer counts multiplications, and the experiment pipelines
+wrap each phase (build -> sample -> solve -> check -> cut) in a span.
+
+One process-wide :class:`~repro.obs.recorder.Recorder` is shared by all
+instrumented code and is **disabled by default**: hot paths pay a single
+attribute check when observability is off.  Turn it on around a region
+of interest::
+
+    from repro import obs
+
+    with obs.recording(jsonl_path="events.jsonl") as recorder:
+        run_reproduction_suite(max_t=2, num_samples=1)
+    print(recorder.render_span_tree())
+    print(recorder.render_summary())
+
+or from the CLI with ``python -m repro report --profile``; replay a
+JSONL event file later with ``python -m repro stats events.jsonl``.
+Naming conventions and the event schema live in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pathlib
+from typing import Iterator, Optional, Union
+
+from .manifest import build_manifest, load_manifest, write_manifest
+from .recorder import NULL_SPAN, Recorder, SCHEMA_VERSION, SpanRecord
+from .sinks import InMemorySink, JsonlSink, Sink, counter_events
+from .stats import load_events, render_stats, render_stats_file
+
+#: The process-wide recorder every instrumented module binds at import.
+#: It is never replaced (so module-level references stay live); enable
+#: and disable it instead.
+_RECORDER = Recorder()
+
+
+def get_recorder() -> Recorder:
+    """Return the process-wide recorder."""
+    return _RECORDER
+
+
+def enable() -> Recorder:
+    """Turn the process-wide recorder on; returns it for chaining."""
+    _RECORDER.enabled = True
+    return _RECORDER
+
+
+def disable() -> Recorder:
+    """Turn the process-wide recorder off; recorded data is kept."""
+    _RECORDER.enabled = False
+    return _RECORDER
+
+
+def is_enabled() -> bool:
+    """Whether the process-wide recorder is currently recording."""
+    return _RECORDER.enabled
+
+
+@contextlib.contextmanager
+def recording(
+    jsonl_path: Optional[Union[str, pathlib.Path]] = None,
+    reset: bool = True,
+) -> Iterator[Recorder]:
+    """Enable the process-wide recorder for the duration of a block.
+
+    Resets previously recorded data first (pass ``reset=False`` to
+    accumulate), optionally streams events to ``jsonl_path``, and on
+    exit restores the previous enabled state and flushes counter totals
+    to the sinks.  The recorded data stays available on the yielded
+    recorder after the block for rendering.
+    """
+    recorder = _RECORDER
+    previous = recorder.enabled
+    if reset:
+        recorder.reset()
+    sink = None
+    if jsonl_path is not None:
+        sink = JsonlSink(jsonl_path)
+        recorder.add_sink(sink)
+    recorder.enabled = True
+    try:
+        yield recorder
+    finally:
+        recorder.enabled = previous
+        recorder.flush()
+        if sink is not None:
+            recorder.remove_sink(sink)
+            sink.close()
+
+
+__all__ = [
+    "InMemorySink",
+    "JsonlSink",
+    "NULL_SPAN",
+    "Recorder",
+    "SCHEMA_VERSION",
+    "Sink",
+    "SpanRecord",
+    "build_manifest",
+    "counter_events",
+    "disable",
+    "enable",
+    "get_recorder",
+    "is_enabled",
+    "load_events",
+    "load_manifest",
+    "recording",
+    "render_stats",
+    "render_stats_file",
+    "write_manifest",
+]

@@ -1,0 +1,79 @@
+"""Run manifests: the machine-readable record of one run.
+
+Every benchmark (via :func:`benchmarks._util.publish`) and any caller
+that wants a durable record of a run writes a *manifest*: a JSON
+document with a schema version, the run's parameters, the recorder's
+counter/gauge totals, and per-phase span timings.  Downstream
+aggregation (``BENCH_*.json`` trajectories, before/after perf
+comparisons) keys off ``schema_version`` so the shape can evolve.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Mapping, Optional, Union
+
+from .recorder import Recorder, SCHEMA_VERSION
+
+
+def build_manifest(
+    name: str,
+    parameters: Optional[Mapping[str, Any]] = None,
+    recorder: Optional[Recorder] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest dict for one named run.
+
+    ``parameters`` are the run's knobs (gadget parameters, seeds, graph
+    sizes); ``recorder`` supplies counters/gauges and per-phase span
+    timings (the process-wide recorder is used when omitted, and an
+    idle/disabled recorder simply yields empty sections); ``extra``
+    entries are merged under the ``"extra"`` key verbatim.
+    """
+    if recorder is None:
+        from . import get_recorder
+
+        recorder = get_recorder()
+    spans = {
+        span_name: {"count": count, "total_s": total}
+        for span_name, (count, total) in recorder.span_aggregates().items()
+    }
+    manifest: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "parameters": dict(parameters or {}),
+        "counters": dict(recorder.counters),
+        "gauges": dict(recorder.gauges),
+        "keyed_counters": {
+            key: dict(bucket) for key, bucket in recorder.keyed_counters.items()
+        },
+        "spans": spans,
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def write_manifest(
+    path: Union[str, pathlib.Path],
+    name: str,
+    parameters: Optional[Mapping[str, Any]] = None,
+    recorder: Optional[Recorder] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> pathlib.Path:
+    """Build a manifest and write it as pretty-printed JSON; return the path."""
+    path = pathlib.Path(path)
+    manifest = build_manifest(name, parameters=parameters, recorder=recorder, extra=extra)
+    path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return path
+
+
+def load_manifest(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Parse a manifest file, checking it carries a schema version."""
+    manifest = json.loads(pathlib.Path(path).read_text())
+    if "schema_version" not in manifest:
+        raise ValueError(f"{path} is not a run manifest: no schema_version")
+    return manifest

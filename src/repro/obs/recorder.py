@@ -1,0 +1,290 @@
+"""The observability recorder: hierarchical spans, counters, gauges.
+
+Every measured quantity in the reproduction flows through a
+:class:`Recorder`: wall-time **spans** (``with recorder.span("solve")``)
+that nest into a tree, monotonically increasing **counters** (messages
+sent, bits delivered, branch-and-bound nodes expanded, field
+multiplications), point-in-time **gauges**, and **keyed counters**
+(per-edge traffic matrices).  Completed spans and final totals are
+forwarded to pluggable sinks (:mod:`repro.obs.sinks`).
+
+The recorder is *disabled by default* and every public mutator checks
+``self.enabled`` first, so an instrumented hot path pays exactly one
+attribute read when observability is off — ``span`` even returns a
+shared no-op context manager to avoid allocating.
+
+This module must stay import-free of the rest of :mod:`repro` at load
+time (the field and simulator layers import it), so table rendering is
+imported lazily inside the render methods.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Version of the span/counter event schema emitted by sinks and
+#: embedded in run manifests.  Bump when the event shape changes.
+SCHEMA_VERSION = 1
+
+
+class SpanRecord:
+    """One span: name, parameters, timing, and position in the tree."""
+
+    __slots__ = ("index", "parent", "depth", "name", "params", "start_s", "duration_s")
+
+    def __init__(
+        self,
+        index: int,
+        parent: Optional[int],
+        depth: int,
+        name: str,
+        params: Dict[str, Any],
+        start_s: float,
+        duration_s: float = 0.0,
+    ) -> None:
+        self.index = index
+        self.parent = parent
+        self.depth = depth
+        self.name = name
+        self.params = params
+        self.start_s = start_s
+        self.duration_s = duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span as a JSONL-ready event dict."""
+        return {
+            "type": "span",
+            "index": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "name": self.name,
+            "params": self.params,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, depth={self.depth}, "
+            f"duration_s={self.duration_s:.6f})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while recording is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager that closes its :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_recorder", "_record")
+
+    def __init__(self, recorder: "Recorder", record: SpanRecord) -> None:
+        self._recorder = recorder
+        self._record = record
+
+    def __enter__(self) -> SpanRecord:
+        return self._record
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self._recorder._close_span(self._record)
+        return False
+
+
+class Recorder:
+    """Collects spans, counters, gauges; forwards events to sinks.
+
+    A recorder holds everything in memory (the in-memory registry of
+    the subsystem); sinks receive each completed span immediately and
+    the counter/gauge totals at :meth:`flush`.  All mutators are no-ops
+    while ``enabled`` is ``False``.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._sinks: List[Any] = []
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.keyed_counters: Dict[str, Dict[str, float]] = {}
+        self._stack: List[SpanRecord] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle and sinks
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all recorded data (sinks are kept).
+
+        Must not be called while spans are open.
+        """
+        if self._stack:
+            raise RuntimeError(
+                f"cannot reset with {len(self._stack)} span(s) still open"
+            )
+        self.spans = []
+        self.counters = {}
+        self.gauges = {}
+        self.keyed_counters = {}
+
+    def add_sink(self, sink: Any) -> None:
+        """Attach a sink; it receives every span closed from now on."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach a previously attached sink."""
+        self._sinks.remove(sink)
+
+    def flush(self) -> None:
+        """Push counter/gauge totals to every sink."""
+        for sink in self._sinks:
+            sink.on_flush(self)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **params: Any):
+        """Open a span; use as ``with recorder.span("phase", key=...)``.
+
+        Returns a shared no-op context manager when disabled.  Spans
+        must be closed in LIFO order, which the ``with`` statement
+        guarantees; calling ``span`` without ``with`` corrupts the tree.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        record = SpanRecord(
+            index=len(self.spans),
+            parent=self._stack[-1].index if self._stack else None,
+            depth=len(self._stack),
+            name=name,
+            params=params,
+            start_s=self._clock(),
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        return _LiveSpan(self, record)
+
+    def _close_span(self, record: SpanRecord) -> None:
+        record.duration_s = self._clock() - record.start_s
+        self._stack.pop()
+        for sink in self._sinks:
+            sink.on_span(record)
+
+    # ------------------------------------------------------------------
+    # Counters and gauges
+    # ------------------------------------------------------------------
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def incr_keyed(self, name: str, key: str, value: float = 1) -> None:
+        """Add ``value`` to ``key`` within the named keyed counter.
+
+        Keyed counters hold per-entity breakdowns, e.g. the per-edge
+        traffic matrix ``congest.edge_bits["u->v"]``.
+        """
+        if not self.enabled:
+            return
+        bucket = self.keyed_counters.setdefault(name, {})
+        bucket[key] = bucket.get(key, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def span_aggregates(self) -> Dict[str, Tuple[int, float]]:
+        """``name -> (count, total seconds)`` in first-seen order."""
+        aggregates: Dict[str, Tuple[int, float]] = {}
+        for record in self.spans:
+            count, total = aggregates.get(record.name, (0, 0.0))
+            aggregates[record.name] = (count + 1, total + record.duration_s)
+        return aggregates
+
+    def render_span_tree(self) -> str:
+        """Render the span hierarchy, merging same-named siblings."""
+        children: Dict[Optional[int], List[SpanRecord]] = {}
+        for record in self.spans:
+            children.setdefault(record.parent, []).append(record)
+        lines: List[str] = []
+
+        def walk(group: List[SpanRecord], depth: int) -> None:
+            by_name: Dict[str, List[SpanRecord]] = {}
+            for record in group:
+                by_name.setdefault(record.name, []).append(record)
+            for name, records in by_name.items():
+                total_ms = sum(r.duration_s for r in records) * 1000.0
+                suffix = f" x{len(records)}" if len(records) > 1 else ""
+                params = ""
+                if len(records) == 1 and records[0].params:
+                    params = " [" + ", ".join(
+                        f"{k}={v}" for k, v in sorted(records[0].params.items())
+                    ) + "]"
+                lines.append(f"{'  ' * depth}{name}{suffix}{params}  {total_ms:.1f}ms")
+                merged: List[SpanRecord] = []
+                for record in records:
+                    merged.extend(children.get(record.index, []))
+                if merged:
+                    walk(merged, depth + 1)
+
+        walk(children.get(None, []), 0)
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+    def render_summary(self, max_keyed_rows: int = 12) -> str:
+        """Aggregate tables: spans by name, counters, gauges, keyed tops."""
+        # Imported lazily: repro.analysis pulls in the gadget/code layers,
+        # which themselves import this module.
+        from ..analysis.tables import render_table
+
+        parts: List[str] = []
+        aggregates = self.span_aggregates()
+        if aggregates:
+            rows = [
+                [name, count, round(total * 1000.0, 3), round(total * 1000.0 / count, 3)]
+                for name, (count, total) in aggregates.items()
+            ]
+            parts.append(
+                render_table(
+                    ["span", "count", "total ms", "mean ms"], rows, title="Spans"
+                )
+            )
+        if self.counters:
+            rows = [[name, value] for name, value in sorted(self.counters.items())]
+            parts.append(render_table(["counter", "total"], rows, title="Counters"))
+        if self.gauges:
+            rows = [[name, value] for name, value in sorted(self.gauges.items())]
+            parts.append(render_table(["gauge", "value"], rows, title="Gauges"))
+        for name, bucket in sorted(self.keyed_counters.items()):
+            top = sorted(bucket.items(), key=lambda item: (-item[1], item[0]))
+            rows = [[key, value] for key, value in top[:max_keyed_rows]]
+            title = f"Top {name} ({len(bucket)} keys)"
+            parts.append(render_table(["key", "total"], rows, title=title))
+        if not parts:
+            return "(nothing recorded)"
+        return "\n\n".join(parts)

@@ -1,0 +1,89 @@
+"""Replay a JSONL observability event file into summary tables.
+
+This backs ``python -m repro stats <events.jsonl>``: read the events a
+:class:`~repro.obs.sinks.JsonlSink` wrote during a ``--profile`` run
+and render the same aggregate tables the live recorder would print —
+spans by name (count/total/mean), counter totals, gauges, and the top
+keyed-counter entries.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Union
+
+from .recorder import SCHEMA_VERSION
+
+
+def load_events(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL event file; blank lines are skipped."""
+    events: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{line_number}: not JSON: {error}") from error
+        if not isinstance(event, dict) or "type" not in event:
+            raise ValueError(f"{path}:{line_number}: not an event object")
+        events.append(event)
+    return events
+
+
+def render_stats(events: List[Dict[str, Any]]) -> str:
+    """Render loaded events as aggregate tables."""
+    from ..analysis.tables import render_table  # lazy: avoids an import cycle
+
+    meta = next((e for e in events if e["type"] == "meta"), None)
+    spans = [e for e in events if e["type"] == "span"]
+    counters = [e for e in events if e["type"] == "counter" and "key" not in e]
+    keyed = [e for e in events if e["type"] == "counter" and "key" in e]
+    gauges = [e for e in events if e["type"] == "gauge"]
+
+    parts: List[str] = []
+    version = meta["schema_version"] if meta else "unknown"
+    parts.append(
+        f"events: {len(events)}  schema_version: {version}"
+        + ("" if meta else f" (no meta line; writer predates v{SCHEMA_VERSION}?)")
+    )
+
+    if spans:
+        aggregates: Dict[str, List[float]] = {}
+        for event in spans:
+            entry = aggregates.setdefault(event["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += float(event.get("duration_s", 0.0))
+        rows = [
+            [name, int(count), round(total * 1000.0, 3), round(total * 1000.0 / count, 3)]
+            for name, (count, total) in aggregates.items()
+        ]
+        parts.append(
+            render_table(["span", "count", "total ms", "mean ms"], rows, title="Spans")
+        )
+    if counters:
+        rows = [[e["name"], e["value"]] for e in sorted(counters, key=lambda e: e["name"])]
+        parts.append(render_table(["counter", "total"], rows, title="Counters"))
+    if gauges:
+        rows = [[e["name"], e["value"]] for e in sorted(gauges, key=lambda e: e["name"])]
+        parts.append(render_table(["gauge", "value"], rows, title="Gauges"))
+    if keyed:
+        keyed.sort(key=lambda e: (e["name"], -e["value"], e["key"]))
+        rows = [[e["name"], e["key"], e["value"]] for e in keyed[:20]]
+        parts.append(
+            render_table(
+                ["counter", "key", "total"],
+                rows,
+                title=f"Keyed counters (top {min(len(keyed), 20)} of {len(keyed)})",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def render_stats_file(path: Union[str, pathlib.Path]) -> str:
+    """Load ``path`` and render its summary tables."""
+    return render_stats(load_events(path))

@@ -75,6 +75,100 @@ class TestTraceAccounting:
             trace.run(max_rounds=5)
 
 
+class TestQuiescentEarlyExit:
+    def test_quiescent_stops_when_no_messages_in_flight(self):
+        graph = path_graph(list(range(5)))
+        net = CongestNetwork(
+            graph, lambda: FloodBroadcast(0, value=7), bandwidth_multiplier=2
+        )
+        trace = ExecutionTrace(net)
+        rounds = trace.run(quiescent=True)
+        # Flooding a 5-path quiesces in ~diameter rounds; without the
+        # early exit the run would hit max_rounds and raise.
+        assert rounds < 10
+        assert len(trace.entries) == rounds
+
+    def test_quiescent_finalizes_unhalted_nodes(self):
+        graph = path_graph(list(range(4)))
+        net = CongestNetwork(
+            graph, lambda: FloodBroadcast(0, value=3), bandwidth_multiplier=2
+        )
+        trace = ExecutionTrace(net)
+        trace.run(quiescent=True)
+        assert net.all_halted()
+        assert all(value == 3 for value in net.outputs().values())
+
+
+class TestEdgeTrafficMatrices:
+    def test_each_entry_holds_only_its_rounds_traffic(self):
+        graph = path_graph(["a", "b", "c"])
+        net = CongestNetwork(
+            graph, lambda: FloodBroadcast("a", value=1), bandwidth_multiplier=2
+        )
+        trace = ExecutionTrace(net, record_edges=True)
+        trace.run(quiescent=True)
+        first, second = trace.entries[0], trace.entries[1]
+        # Round 1 delivers only a's initial send; b relays in round 2.
+        assert set(first.edge_traffic) == {("a", "b")}
+        assert ("b", "c") in second.edge_traffic
+        assert ("a", "b") not in second.edge_traffic
+
+    def test_totals_match_per_round_bits(self):
+        graph = clique(list(range(5)))
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=9)
+        trace = ExecutionTrace(net, record_edges=True)
+        trace.run()
+        for entry in trace.entries:
+            assert sum(entry.edge_traffic.values()) == entry.bits
+
+    def test_log_entries_before_attach_are_not_charged(self):
+        graph = path_graph(["a", "b", "c"])
+        net = CongestNetwork(
+            graph, lambda: FloodBroadcast("a", value=1), bandwidth_multiplier=2
+        )
+        net.message_log_enabled = True
+        net.run_round()  # round 1 happens before the trace attaches
+        trace = ExecutionTrace(net, record_edges=True)
+        trace.run(quiescent=True)
+        assert all(
+            ("a", "b") not in entry.edge_traffic or entry.round_number != 1
+            for entry in trace.entries
+        )
+        # The trace consumed exactly the suffix of the log it observed.
+        assert trace._log_cursor == len(net.message_log)
+
+
+class TestObservability:
+    def test_counters_and_spans_recorded_when_enabled(self):
+        from repro import obs
+
+        graph = clique(list(range(4)))
+        net_factory = lambda: CongestNetwork(
+            graph, LubyMIS, bandwidth_multiplier=2, seed=5
+        )
+        with obs.recording() as recorder:
+            trace = ExecutionTrace(net_factory())
+            trace.run()
+        assert recorder.counters["congest.rounds"] == len(trace.entries)
+        assert recorder.counters["congest.messages"] > 0
+        assert recorder.counters["congest.bits"] == trace.total_bits
+        names = {span.name for span in recorder.spans}
+        assert "congest.trace.run" in names
+        assert "congest.trace.round" in names
+        assert recorder.keyed_counters["congest.edge_bits"]
+
+    def test_disabled_recorder_stays_empty(self):
+        from repro import obs
+
+        recorder = obs.get_recorder()
+        recorder.reset()
+        graph = clique(list(range(4)))
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=5)
+        ExecutionTrace(net).run()
+        assert recorder.spans == []
+        assert recorder.counters == {}
+
+
 class TestRendering:
     def test_render_contains_rounds(self):
         graph = clique(list(range(4)))

@@ -1,0 +1,127 @@
+"""Tests for JSONL sinks, stats replay, run manifests, and bench publish."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import Recorder, SCHEMA_VERSION, build_manifest, load_manifest, write_manifest
+from repro.obs.sinks import JsonlSink
+from repro.obs.stats import load_events, render_stats, render_stats_file
+
+
+def _record_sample_run(path):
+    recorder = Recorder(enabled=True)
+    sink = JsonlSink(path)
+    recorder.add_sink(sink)
+    with recorder.span("pipeline", t=2):
+        with recorder.span("solve"):
+            recorder.incr("maxis.exact.solves", 3)
+        recorder.incr_keyed("congest.edge_bits", "a->b", 16)
+        recorder.gauge("nodes", 12)
+    recorder.flush()
+    sink.close()
+    return recorder
+
+
+class TestJsonlRoundTrip:
+    def test_first_line_is_meta_with_schema_version(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _record_sample_run(path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"type": "meta", "schema_version": SCHEMA_VERSION}
+
+    def test_events_replay_into_tables(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _record_sample_run(path)
+        events = load_events(path)
+        types = {event["type"] for event in events}
+        assert types == {"meta", "span", "counter", "gauge"}
+        text = render_stats(events)
+        assert "Spans" in text
+        assert "pipeline" in text
+        assert "maxis.exact.solves" in text
+        assert "a->b" in text
+        assert f"schema_version: {SCHEMA_VERSION}" in text
+
+    def test_render_stats_file_reads_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _record_sample_run(path)
+        assert "Counters" in render_stats_file(path)
+
+    def test_malformed_line_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta", "schema_version": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="not JSON"):
+            load_events(path)
+
+
+class TestManifest:
+    def test_build_manifest_shape(self):
+        recorder = Recorder(enabled=True)
+        with recorder.span("phase"):
+            recorder.incr("bits", 5)
+        manifest = build_manifest(
+            "my_bench", parameters={"ell": 2}, recorder=recorder, extra={"note": "x"}
+        )
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["name"] == "my_bench"
+        assert manifest["parameters"] == {"ell": 2}
+        assert manifest["counters"] == {"bits": 5}
+        assert manifest["spans"]["phase"]["count"] == 1
+        assert manifest["extra"] == {"note": "x"}
+
+    def test_disabled_recorder_yields_empty_sections(self):
+        manifest = build_manifest("idle", recorder=Recorder())
+        assert manifest["counters"] == {}
+        assert manifest["spans"] == {}
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = write_manifest(
+            tmp_path / "run.json", "run", parameters={"seed": 1}, recorder=Recorder()
+        )
+        manifest = load_manifest(path)
+        assert manifest["name"] == "run"
+        assert manifest["parameters"] == {"seed": 1}
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="schema_version"):
+            load_manifest(path)
+
+
+class TestBenchPublish:
+    def test_publish_writes_text_and_manifest_sidecar(self, tmp_path, monkeypatch, capsys):
+        import benchmarks._util as util
+
+        monkeypatch.setattr(util, "RESULTS_DIR", tmp_path)
+        path = util.publish("demo", "hello table", parameters={"t": 2})
+        assert path == tmp_path / "demo.txt"
+        assert path.read_text() == "hello table\n"
+        manifest = json.loads((tmp_path / "demo.json").read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["parameters"] == {"t": 2}
+        assert manifest["extra"]["artifact"] == "demo.txt"
+        assert "demo.txt" in capsys.readouterr().out
+
+    def test_publish_captures_recorder_counters(self, tmp_path, monkeypatch):
+        import benchmarks._util as util
+
+        monkeypatch.setattr(util, "RESULTS_DIR", tmp_path)
+        with obs.recording():
+            obs.get_recorder().incr("congest.bits", 99)
+        util.publish("counted", "text")
+        manifest = json.loads((tmp_path / "counted.json").read_text())
+        assert manifest["counters"]["congest.bits"] == 99
+
+    def test_publish_drains_recorder_between_benches(self, tmp_path, monkeypatch):
+        import benchmarks._util as util
+
+        monkeypatch.setattr(util, "RESULTS_DIR", tmp_path)
+        with obs.recording():
+            obs.get_recorder().incr("congest.bits", 7)
+        util.publish("first", "text")
+        util.publish("second", "text")
+        second = json.loads((tmp_path / "second.json").read_text())
+        assert second["counters"] == {}

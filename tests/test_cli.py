@@ -110,6 +110,68 @@ class TestExport:
         assert restored == expected
 
 
+class TestProfile:
+    def test_theorem1_profile_prints_span_tree_and_counters(self, capsys):
+        code = main(["theorem1", "--max-t", "2", "--samples", "1", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PROFILE" in out
+        # The profiled run covers the full proof chain: build, sample,
+        # solve, check, cut, plus the Theorem 5 simulation phase.
+        for name in (
+            "experiment.build",
+            "experiment.sample",
+            "experiment.solve",
+            "experiment.check",
+            "theorem5.simulate",
+        ):
+            assert name in out
+        assert "congest.messages" in out
+        assert "congest.bits" in out
+
+    def test_profile_restores_disabled_state(self, capsys):
+        from repro import obs
+
+        main(["theorem1", "--max-t", "2", "--samples", "1", "--profile"])
+        capsys.readouterr()
+        assert obs.is_enabled() is False
+
+    def test_simulate_profile(self, capsys):
+        assert main(["simulate", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem5.simulate" in out
+        assert "congest.rounds" in out
+
+    def test_profile_json_then_stats_round_trip(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "theorem1",
+                "--max-t",
+                "2",
+                "--samples",
+                "1",
+                "--profile",
+                "--profile-json",
+                str(events),
+            ]
+        )
+        assert code == 0
+        assert "events written to" in capsys.readouterr().out
+        assert events.exists()
+
+        assert main(["stats", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "Spans" in out
+        assert "congest.bits" in out
+
+    def test_profile_json_implies_profile(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["simulate", "--profile-json", str(events)]) == 0
+        capsys.readouterr()
+        assert events.exists()
+
+
 class TestParser:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.gadgets",
     "repro.graphs",
     "repro.maxis",
+    "repro.obs",
 ]
 
 
