@@ -39,7 +39,8 @@ def publish(
     knobs) and ``extra`` entries land in the ``<name>.json`` manifest.
 
     The manifest snapshots whatever the process-wide recorder holds and
-    then drains it, so counters recorded for one bench never leak into
+    then clears the closed state (``clear_closed`` — safe even while a
+    span is open), so counters recorded for one bench never leak into
     the next bench's manifest.
     """
     path = RESULTS_DIR / f"{name}.txt"
@@ -54,13 +55,10 @@ def publish(
         recorder=recorder,
         extra=merged_extra,
     )
-    try:
-        recorder.reset()
-    except RuntimeError:
-        pass  # a span is still open (publish called mid-recording)
+    recorder.clear_closed()
     manifest_path = RESULTS_DIR / f"{name}.json"
     manifest_path.write_text(
-        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
     )
     print(f"\n{text}\n[saved to {path}; manifest {manifest_path.name}]")
     return path

@@ -12,12 +12,16 @@ Commands
 ``export``     write DOT/JSON snapshots of the constructions
 ``report``     run the full reproduction suite
 ``stats``      summarize a JSONL observability event file
+``telemetry``  per-round CONGEST traffic distributions vs the Theorem 5 bound
+``bench``      run the curated bench suite / compare BENCH_*.json records
 
 Observability (see ``docs/OBSERVABILITY.md``): ``report``,
 ``theorem1``, ``theorem2``, and ``simulate`` accept ``--profile`` to
 enable the :mod:`repro.obs` recorder and print the span tree and
 counter totals after the run, and ``--profile-json PATH`` to also
 stream the events to a JSONL file that ``stats`` can replay later.
+The bench runner and the ``BENCH_*.json`` trajectory schema are
+documented in ``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
@@ -247,36 +251,162 @@ def cmd_theorem2(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_theorem5_pair(seed: int):
+    """Run the Theorem 5 simulation on both promise sides.
+
+    Yields ``(side, report)`` for the intersecting and disjoint inputs
+    at the paper's figure parameters — the shared body of ``simulate``
+    and ``telemetry``.
+    """
+    params = GadgetParameters(ell=2, alpha=1, t=2)
+    family = LinearMaxISFamily(params, warmup=True)
+    low = family.gap.low_threshold
+    rng = random.Random(seed)
+    for intersecting in (True, False):
+        gen = (
+            uniquely_intersecting_inputs
+            if intersecting
+            else pairwise_disjoint_inputs
+        )
+        inputs = gen(params.k, params.t, rng=rng)
+        report = simulate_congest_via_players(
+            family,
+            inputs,
+            lambda: FullGraphCollection(
+                evaluate=lambda graph: max_independent_set_weight(graph) <= low
+            ),
+        )
+        yield ("intersecting" if intersecting else "disjoint"), report
+
+
+def _cut_traffic_lines(report) -> List[str]:
+    """Per-round cut-traffic statistics next to the predicted ceilings."""
+    from .obs.metrics import Histogram
+
+    summary = Histogram.of(report.cut_round_bits).summary()
+    return [
+        (
+            "              cut traffic/round: "
+            f"p50={summary['p50']:.0f} p90={summary['p90']:.0f} "
+            f"p99={summary['p99']:.0f} max={summary['max']:.0f} "
+            f"mean={summary['mean']:.1f} bits"
+        ),
+        (
+            "              predicted: <= 2*|cut|*B = "
+            f"{report.per_round_bit_bound} bits/round, "
+            f"2*T*|cut|*B = {report.analytic_bit_bound} bits total"
+        ),
+    ]
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     exit_code = 0
-    with _profiled(args):
-        params = GadgetParameters(ell=2, alpha=1, t=2)
-        family = LinearMaxISFamily(params, warmup=True)
-        low = family.gap.low_threshold
-        rng = random.Random(args.seed)
-        for intersecting in (True, False):
-            gen = (
-                uniquely_intersecting_inputs
-                if intersecting
-                else pairwise_disjoint_inputs
-            )
-            inputs = gen(params.k, params.t, rng=rng)
-            report = simulate_congest_via_players(
-                family,
-                inputs,
-                lambda: FullGraphCollection(
-                    evaluate=lambda graph: max_independent_set_weight(graph) <= low
-                ),
-            )
-            side = "intersecting" if intersecting else "disjoint"
+    with _profiled(args) as recorder:
+        for side, report in _run_theorem5_pair(args.seed):
             print(
                 f"{side:>12}: rounds={report.rounds} cut={report.cut_edges} "
                 f"bits={report.blackboard_bits} <= {report.analytic_bit_bound} "
                 f"decision={report.predicate_output} f(x)={report.function_value}"
             )
+            if recorder is not None:
+                for line in _cut_traffic_lines(report):
+                    print(line)
             if not report.is_consistent:
                 exit_code = 1
     return exit_code
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Run the Theorem 5 simulation and table its traffic distributions."""
+    from . import obs
+    from .obs.metrics import render_summary_rows
+
+    exit_code = 0
+    reports = []
+    with obs.recording() as recorder:
+        for side, report in _run_theorem5_pair(args.seed):
+            reports.append((side, report))
+            if not report.is_consistent:
+                exit_code = 1
+    summaries = recorder.histogram_summaries()
+    wanted = [
+        "congest.round_messages",
+        "congest.round_bits",
+        "congest.edge_utilization",
+        "theorem5.cut_round_bits",
+    ]
+    rows = render_summary_rows(
+        {name: summaries[name] for name in wanted if name in summaries}
+    )
+    print(
+        render_table(
+            ["metric", "count", "min", "mean", "p50", "p90", "p99", "max"],
+            rows,
+            title="Per-round CONGEST telemetry (both promise sides)",
+        )
+    )
+    print()
+    bound_rows = [
+        [
+            side,
+            report.rounds,
+            report.cut_edges,
+            report.blackboard_bits,
+            report.per_round_bit_bound,
+            report.analytic_bit_bound,
+            report.blackboard_bits <= report.analytic_bit_bound,
+        ]
+        for side, report in reports
+    ]
+    print(
+        render_table(
+            [
+                "side",
+                "rounds T",
+                "|cut|",
+                "measured bits",
+                "2|cut|B /round",
+                "2T|cut|B total",
+                "within bound",
+            ],
+            bound_rows,
+            title="Observed cut traffic vs the Theorem 5 ceiling",
+        )
+    )
+    return exit_code
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the curated bench suite or compare two trajectory records."""
+    try:
+        from benchmarks import runner
+    except ImportError:
+        print(
+            "repro bench needs the benchmarks/ package importable; "
+            "run from the repository root",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.compare:
+        old_path, new_path = args.compare
+        return runner.compare_files(
+            old_path,
+            new_path,
+            threshold=args.threshold,
+            warn_only=args.warn_only,
+        )
+    warmup, repeats = args.warmup, args.repeats
+    if args.fast:
+        warmup, repeats = 1, 3
+    path, trajectory = runner.run_suite(
+        warmup=warmup,
+        repeats=repeats,
+        only=args.only or None,
+        out_dir=args.out,
+    )
+    print(f"\n[trajectory written to {path}]")
+    return 0
 
 
 def cmd_protocols(args: argparse.Namespace) -> int:
@@ -446,6 +576,53 @@ def build_parser() -> argparse.ArgumentParser:
         "events", help="path to an events.jsonl written via --profile-json"
     )
     stats.set_defaults(func=cmd_stats)
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="per-round CONGEST traffic distributions vs the Theorem 5 bound",
+    )
+    telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.set_defaults(func=cmd_telemetry)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the curated bench suite, or --compare two BENCH_*.json files",
+    )
+    bench.add_argument("--warmup", type=int, default=2, help="warmup runs per bench")
+    bench.add_argument("--repeats", type=int, default=5, help="timed runs per bench")
+    bench.add_argument(
+        "--fast", action="store_true", help="shorthand for --warmup 1 --repeats 3"
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only the named bench (repeatable)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for BENCH_<sha>.json (default benchmarks/results)",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="compare two trajectory records instead of running benches",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative median slowdown treated as a regression (default 0.15)",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (CI non-blocking mode)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

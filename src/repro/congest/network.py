@@ -297,6 +297,7 @@ class CongestNetwork:
         for node in self._crash_schedule.pop(self.rounds_executed + 1, []):
             self._apply_crash(node)
         in_flight = self._outgoing
+        in_flight_edge_bits = self._edge_round_bits
         self._outgoing = []
         self._edge_round_bits = {}
         self.rounds_executed += 1
@@ -323,6 +324,15 @@ class CongestNetwork:
             _obs.incr("congest.rounds")
             _obs.incr("congest.messages", stats.messages)
             _obs.incr("congest.bits", stats.bits)
+            _obs.observe("congest.round_messages", stats.messages)
+            _obs.observe("congest.round_bits", stats.bits)
+            # in_flight_edge_bits is the per-edge-direction usage of the
+            # messages delivered this round; relative to the per-round
+            # budget it is the bandwidth utilization distribution.
+            for used in in_flight_edge_bits.values():
+                _obs.observe(
+                    "congest.edge_utilization", used / self.bandwidth_bits
+                )
             for message in in_flight:
                 if message.receiver not in self._crashed:
                     _obs.incr_keyed(

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.tables import render_table
 from ..obs import get_recorder
+from ..obs.metrics import Histogram, render_summary_rows
 from .message import NodeId
 from .network import CongestNetwork
 
@@ -128,6 +129,29 @@ class ExecutionTrace:
             if node in entry.newly_halted:
                 return entry.round_number
         return None
+
+    def round_histograms(self) -> Dict[str, Histogram]:
+        """Per-round distributions over the trace: messages and bits.
+
+        Computed from the recorded entries, so this works whether or
+        not the process-wide recorder was enabled during the run.
+        """
+        return {
+            "messages_per_round": Histogram.of(e.messages for e in self.entries),
+            "bits_per_round": Histogram.of(e.bits for e in self.entries),
+        }
+
+    def render_telemetry(self) -> str:
+        """Render the per-round traffic distributions as a table."""
+        summaries = {
+            name: histogram.summary()
+            for name, histogram in self.round_histograms().items()
+        }
+        return render_table(
+            ["name", "count", "min", "mean", "p50", "p90", "p99", "max"],
+            render_summary_rows(summaries),
+            title=f"Per-round telemetry ({len(self.entries)} rounds)",
+        )
 
     def render(self, max_rows: int = 50) -> str:
         """Render the trace as an aligned table."""

@@ -8,7 +8,13 @@ from .corollary1 import (
     theorem2_asymptotic_rounds,
     universal_upper_bound_rounds,
 )
-from .cut import cut_edges, cut_size, node_membership, pairwise_cut_sizes
+from .cut import (
+    cut_edges,
+    cut_size,
+    node_membership,
+    pairwise_cut_sizes,
+    per_round_cut_traffic,
+)
 from .family import (
     FamilyViolation,
     LowerBoundFamily,
@@ -40,6 +46,7 @@ __all__ = [
     "cut_size",
     "node_membership",
     "pairwise_cut_sizes",
+    "per_round_cut_traffic",
     "player_subgraph_view",
     "run_local_optima_exchange",
     "simulate_congest_via_players",

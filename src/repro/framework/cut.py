@@ -1,13 +1,17 @@
-"""Cut edges of a partitioned graph.
+"""Cut edges of a partitioned graph, and the traffic that crosses them.
 
 ``cut(G_x) = E_x \\ (V^1 x V^1 ∪ ... ∪ V^t x V^t)`` — the edges crossing
 the player partition.  The round lower bound of Theorem 5 scales
-inversely with the cut size, so the exact measured value matters.
+inversely with the cut size, so the exact measured value matters; the
+simulation argument additionally charges every message crossing the
+cut to the shared blackboard, so :func:`per_round_cut_traffic` folds a
+network message log into the per-round cut-crossing message/bit
+series that ``repro telemetry`` compares against the analytic bound.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
 
 from ..graphs import Node, WeightedGraph
 
@@ -42,6 +46,38 @@ def cut_edges(
 def cut_size(graph: WeightedGraph, partition: Sequence[Set[Node]]) -> int:
     """Return ``|cut(G)|``."""
     return len(cut_edges(graph, partition))
+
+
+def per_round_cut_traffic(
+    message_log: Sequence[Tuple[int, object]],
+    membership: Mapping[Node, int],
+    num_rounds: int = 0,
+) -> List[Tuple[int, int, int]]:
+    """Fold a message log into per-round cut-crossing traffic.
+
+    ``message_log`` is a :class:`~repro.congest.CongestNetwork`'s
+    ``(round_number, message)`` log (``message_log_enabled`` must have
+    been on during the run).  Returns one ``(round_number, messages,
+    bits)`` triple per round from 1 through ``max(num_rounds, last
+    logged round)``, counting only messages whose endpoints lie in
+    different parts — rounds with no cut traffic appear as zeros so the
+    series is dense and histogram-ready.
+    """
+    messages_by_round: Dict[int, int] = {}
+    bits_by_round: Dict[int, int] = {}
+    last_round = num_rounds
+    for round_number, message in message_log:
+        last_round = max(last_round, round_number)
+        if membership[message.sender] == membership[message.receiver]:
+            continue
+        messages_by_round[round_number] = messages_by_round.get(round_number, 0) + 1
+        bits_by_round[round_number] = (
+            bits_by_round.get(round_number, 0) + message.size_bits
+        )
+    return [
+        (r, messages_by_round.get(r, 0), bits_by_round.get(r, 0))
+        for r in range(1, last_round + 1)
+    ]
 
 
 def pairwise_cut_sizes(

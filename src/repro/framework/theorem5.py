@@ -20,7 +20,7 @@ from ..commcc import BitString, Blackboard
 from ..congest import CongestNetwork, NodeAlgorithm
 from ..graphs import Node, WeightedGraph
 from ..obs import get_recorder
-from .cut import cut_size, node_membership
+from .cut import cut_size, node_membership, per_round_cut_traffic
 from .family import LowerBoundFamily
 
 _obs = get_recorder()
@@ -46,6 +46,10 @@ class SimulationReport:
         ``T * |cut| * bandwidth`` — the Theorem 5 accounting ceiling
         (two directions per edge are both charged; the bound uses the
         per-direction bandwidth, so the ceiling is ``2 T |cut| B``).
+    cut_round_bits:
+        Bits written on the blackboard per CONGEST round, dense over
+        rounds 1..T — the observed distribution that the per-round
+        ceiling ``2 |cut| B`` must dominate.
     """
 
     def __init__(
@@ -57,6 +61,7 @@ class SimulationReport:
         blackboard_bits: int,
         bandwidth_bits: int,
         num_nodes: int,
+        cut_round_bits: Optional[List[int]] = None,
     ) -> None:
         self.predicate_output = predicate_output
         self.function_value = function_value
@@ -65,11 +70,17 @@ class SimulationReport:
         self.blackboard_bits = blackboard_bits
         self.bandwidth_bits = bandwidth_bits
         self.num_nodes = num_nodes
+        self.cut_round_bits = list(cut_round_bits or [])
 
     @property
     def analytic_bit_bound(self) -> int:
         """``2 * T * |cut| * B`` — the per-direction bandwidth ceiling."""
         return 2 * self.rounds * self.cut_edges * self.bandwidth_bits
+
+    @property
+    def per_round_bit_bound(self) -> int:
+        """``2 * |cut| * B`` — the ceiling any single round must respect."""
+        return 2 * self.cut_edges * self.bandwidth_bits
 
     @property
     def is_consistent(self) -> bool:
@@ -139,11 +150,17 @@ def simulate_congest_via_players(
                         "0" * message.size_bits,
                         label=f"r{round_number}:{sender_part}->{receiver_part}",
                     )
+        round_traffic = per_round_cut_traffic(
+            network.message_log, membership, num_rounds=rounds
+        )
+        cut_round_bits = [bits for _, _, bits in round_traffic]
         if _obs.enabled:
             _obs.incr("theorem5.simulations")
             _obs.incr("theorem5.rounds", rounds)
             _obs.incr("theorem5.cut_messages", cut_messages)
             _obs.incr("theorem5.blackboard_bits", cut_bits)
+            for bits in cut_round_bits:
+                _obs.observe("theorem5.cut_round_bits", bits)
 
         outputs = set(network.outputs().values())
         if len(outputs) != 1 or not isinstance(next(iter(outputs)), bool):
@@ -160,4 +177,5 @@ def simulate_congest_via_players(
             blackboard_bits=board.total_bits,
             bandwidth_bits=network.bandwidth_bits,
             num_nodes=graph.num_nodes,
+            cut_round_bits=cut_round_bits,
         )

@@ -30,10 +30,17 @@ import contextlib
 import pathlib
 from typing import Iterator, Optional, Union
 
-from .manifest import build_manifest, load_manifest, write_manifest
+from .manifest import (
+    build_manifest,
+    ensure_json_native,
+    load_manifest,
+    run_provenance,
+    write_manifest,
+)
+from .metrics import Histogram, summarize
 from .recorder import NULL_SPAN, Recorder, SCHEMA_VERSION, SpanRecord
 from .sinks import InMemorySink, JsonlSink, Sink, counter_events
-from .stats import load_events, render_stats, render_stats_file
+from .stats import load_events, load_events_tolerant, render_stats, render_stats_file
 
 #: The process-wide recorder every instrumented module binds at import.
 #: It is never replaced (so module-level references stay live); enable
@@ -96,6 +103,7 @@ def recording(
 
 
 __all__ = [
+    "Histogram",
     "InMemorySink",
     "JsonlSink",
     "NULL_SPAN",
@@ -107,12 +115,16 @@ __all__ = [
     "counter_events",
     "disable",
     "enable",
+    "ensure_json_native",
     "get_recorder",
     "is_enabled",
     "load_events",
+    "load_events_tolerant",
     "load_manifest",
     "recording",
     "render_stats",
     "render_stats_file",
+    "run_provenance",
+    "summarize",
     "write_manifest",
 ]

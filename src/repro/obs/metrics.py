@@ -1,0 +1,164 @@
+"""Distribution instruments: streaming histograms and timers.
+
+Counters answer "how much in total"; the quantities this repo actually
+cares about are *distributions* — bits crossing the cut per round,
+per-edge bandwidth utilization, per-call solver latency — where p50 and
+p99 tell different stories.  :class:`Histogram` keeps exact streaming
+count/sum/min/max and estimates quantiles from a fixed-size reservoir
+sample (Vitter's algorithm R with a deterministic RNG), so memory stays
+bounded no matter how many observations arrive and repeated runs are
+reproducible.  No numpy: plain lists and ``sorted``.
+
+A *timer* is just a histogram of seconds; the recorder keeps timers in
+a separate namespace so renderers can format them as milliseconds.
+
+This module must stay import-free of the rest of :mod:`repro` — the
+recorder imports it, and the recorder is imported by the field and
+simulator layers at load time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Default reservoir size.  512 samples estimate p99 of a unimodal
+#: distribution within a few percent; the whole reservoir is ~4KB.
+DEFAULT_RESERVOIR_SIZE = 512
+
+#: Fixed seed for the per-histogram reservoir RNG: observation order is
+#: deterministic in this codebase (synchronous rounds, seeded solvers),
+#: so a fixed seed makes quantile estimates reproducible run to run.
+_RESERVOIR_SEED = 0x5EED
+
+
+class Histogram:
+    """Streaming value distribution with bounded memory.
+
+    ``count``/``sum``/``min``/``max`` are exact; quantiles are computed
+    from a uniform reservoir sample of the observations (exact while
+    ``count <= reservoir_size``).
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "_reservoir", "_size", "_rng")
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir size must be >= 1, got {reservoir_size}")
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._size = reservoir_size
+        self._rng = random.Random(_RESERVOIR_SEED)
+
+    @classmethod
+    def of(
+        cls, values: Iterable[float], reservoir_size: int = DEFAULT_RESERVOIR_SIZE
+    ) -> "Histogram":
+        """Build a histogram from an iterable of values."""
+        histogram = cls(reservoir_size=reservoir_size)
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) by linear
+        interpolation over the reservoir; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+    def summary(self) -> Dict[str, float]:
+        """The JSON-native summary embedded in events and manifests."""
+        ordered = sorted(self._reservoir)
+
+        def at(q: float) -> float:
+            if not ordered:
+                return 0.0
+            position = q * (len(ordered) - 1)
+            lower = int(position)
+            upper = min(lower + 1, len(ordered) - 1)
+            fraction = position - lower
+            return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+            "p50": at(0.50),
+            "p90": at(0.90),
+            "p99": at(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.4g}, "
+            f"p50={self.quantile(0.5):.4g}, max={self.max})"
+        )
+
+
+#: Keys of :meth:`Histogram.summary`, in render order.  Shared by the
+#: sinks (event shape), stats replay, and manifest consumers.
+SUMMARY_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """One-shot :meth:`Histogram.summary` over an iterable."""
+    return Histogram.of(values).summary()
+
+
+def render_summary_rows(
+    summaries: Dict[str, Dict[str, Any]], scale: float = 1.0, digits: int = 4
+) -> List[List[Any]]:
+    """Table rows ``[name, count, min, mean, p50, p90, p99, max]``.
+
+    ``scale`` multiplies the value columns (1000.0 renders seconds as
+    milliseconds); ``count`` is never scaled.
+    """
+    rows: List[List[Any]] = []
+    for name, summary in sorted(summaries.items()):
+        rows.append(
+            [
+                name,
+                int(summary.get("count", 0)),
+                round(summary.get("min", 0.0) * scale, digits),
+                round(summary.get("mean", 0.0) * scale, digits),
+                round(summary.get("p50", 0.0) * scale, digits),
+                round(summary.get("p90", 0.0) * scale, digits),
+                round(summary.get("p99", 0.0) * scale, digits),
+                round(summary.get("max", 0.0) * scale, digits),
+            ]
+        )
+    return rows

@@ -1,12 +1,15 @@
-"""The observability recorder: hierarchical spans, counters, gauges.
+"""The observability recorder: spans, counters, gauges, histograms, timers.
 
 Every measured quantity in the reproduction flows through a
 :class:`Recorder`: wall-time **spans** (``with recorder.span("solve")``)
 that nest into a tree, monotonically increasing **counters** (messages
 sent, bits delivered, branch-and-bound nodes expanded, field
-multiplications), point-in-time **gauges**, and **keyed counters**
-(per-edge traffic matrices).  Completed spans and final totals are
-forwarded to pluggable sinks (:mod:`repro.obs.sinks`).
+multiplications), point-in-time **gauges**, **keyed counters**
+(per-edge traffic matrices), **histograms** (value distributions with
+streaming quantiles — bits per round, edge utilization), and **timers**
+(histograms of seconds, ``with recorder.time("encode")``).  Completed
+spans and final totals are forwarded to pluggable sinks
+(:mod:`repro.obs.sinks`).
 
 The recorder is *disabled by default* and every public mutator checks
 ``self.enabled`` first, so an instrumented hot path pays exactly one
@@ -23,9 +26,12 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .metrics import Histogram, render_summary_rows
+
 #: Version of the span/counter event schema emitted by sinks and
 #: embedded in run manifests.  Bump when the event shape changes.
-SCHEMA_VERSION = 1
+#: v2: histogram/timer events, manifest provenance + metric sections.
+SCHEMA_VERSION = 2
 
 
 class SpanRecord:
@@ -103,8 +109,28 @@ class _LiveSpan:
         return False
 
 
+class _LiveTimer:
+    """Context manager that records its elapsed seconds in a timer."""
+
+    __slots__ = ("_recorder", "_name", "_start_s")
+
+    def __init__(self, recorder: "Recorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start_s = 0.0
+
+    def __enter__(self) -> "_LiveTimer":
+        self._start_s = self._recorder._clock()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        elapsed = self._recorder._clock() - self._start_s
+        self._recorder._observe_timer(self._name, elapsed)
+        return False
+
+
 class Recorder:
-    """Collects spans, counters, gauges; forwards events to sinks.
+    """Collects spans, counters, gauges, histograms; forwards to sinks.
 
     A recorder holds everything in memory (the in-memory registry of
     the subsystem); sinks receive each completed span immediately and
@@ -124,6 +150,8 @@ class Recorder:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.keyed_counters: Dict[str, Dict[str, float]] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.timers: Dict[str, Histogram] = {}
         self._stack: List[SpanRecord] = []
 
     # ------------------------------------------------------------------
@@ -143,6 +171,31 @@ class Recorder:
         self.counters = {}
         self.gauges = {}
         self.keyed_counters = {}
+        self.histograms = {}
+        self.timers = {}
+
+    def clear_closed(self) -> None:
+        """Drop completed data; safe to call while spans are open.
+
+        Unlike :meth:`reset`, this never raises: counters, gauges,
+        keyed counters, histograms, timers, and *closed* spans are
+        dropped, while still-open spans keep recording and become the
+        root path of a fresh span tree.  Used by callers that snapshot
+        state between phases (``benchmarks._util.publish``) so one
+        phase's data never bleeds into the next.
+        """
+        self.counters = {}
+        self.gauges = {}
+        self.keyed_counters = {}
+        self.histograms = {}
+        self.timers = {}
+        # The open stack is a root-to-leaf path, so reindexing it as
+        # spans 0..d-1 preserves every parent/depth invariant.
+        for new_index, record in enumerate(self._stack):
+            record.index = new_index
+            record.parent = new_index - 1 if new_index else None
+            record.depth = new_index
+        self.spans = list(self._stack)
 
     def add_sink(self, sink: Any) -> None:
         """Attach a sink; it receives every span closed from now on."""
@@ -216,8 +269,46 @@ class Recorder:
         self.gauges[name] = value
 
     # ------------------------------------------------------------------
+    # Histograms and timers
+    # ------------------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` in the named histogram."""
+        if not self.enabled:
+            return
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def time(self, name: str):
+        """Time a region into the named timer: ``with recorder.time("x")``.
+
+        A timer is a histogram of seconds kept in its own namespace so
+        renderers can show milliseconds.  Returns the shared no-op
+        context manager when disabled — no allocation, no clock read.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _LiveTimer(self, name)
+
+    def _observe_timer(self, name: str, seconds: float) -> None:
+        histogram = self.timers.get(name)
+        if histogram is None:
+            histogram = self.timers[name] = Histogram()
+        histogram.observe(seconds)
+
+    # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """``name -> summary dict`` for every histogram."""
+        return {name: hist.summary() for name, hist in self.histograms.items()}
+
+    def timer_summaries(self) -> Dict[str, Dict[str, float]]:
+        """``name -> summary dict`` (seconds) for every timer."""
+        return {name: hist.summary() for name, hist in self.timers.items()}
 
     def span_aggregates(self) -> Dict[str, Tuple[int, float]]:
         """``name -> (count, total seconds)`` in first-seen order."""
@@ -280,6 +371,13 @@ class Recorder:
         if self.gauges:
             rows = [[name, value] for name, value in sorted(self.gauges.items())]
             parts.append(render_table(["gauge", "value"], rows, title="Gauges"))
+        metric_headers = ["name", "count", "min", "mean", "p50", "p90", "p99", "max"]
+        if self.timers:
+            rows = render_summary_rows(self.timer_summaries(), scale=1000.0, digits=3)
+            parts.append(render_table(metric_headers, rows, title="Timers (ms)"))
+        if self.histograms:
+            rows = render_summary_rows(self.histogram_summaries())
+            parts.append(render_table(metric_headers, rows, title="Histograms"))
         for name, bucket in sorted(self.keyed_counters.items()):
             top = sorted(bucket.items(), key=lambda item: (-item[1], item[0]))
             rows = [[key, value] for key, value in top[:max_keyed_rows]]

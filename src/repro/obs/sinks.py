@@ -9,12 +9,15 @@ stats`` replays into summary tables.
 JSONL event schema (one JSON object per line; see
 ``docs/OBSERVABILITY.md``):
 
-* ``{"type": "meta", "schema_version": 1}`` — always the first line;
+* ``{"type": "meta", "schema_version": 2}`` — always the first line;
 * ``{"type": "span", "index", "parent", "depth", "name", "params",
   "start_s", "duration_s"}`` — one per completed span;
 * ``{"type": "counter", "name", "value"}`` and
   ``{"type": "counter", "name", "key", "value"}`` (keyed) — at flush;
-* ``{"type": "gauge", "name", "value"}`` — at flush.
+* ``{"type": "gauge", "name", "value"}`` — at flush;
+* ``{"type": "hist", "name", "count", "sum", "min", "max", "mean",
+  "p50", "p90", "p99"}`` — one per histogram at flush;
+* ``{"type": "timer", ...}`` — same shape, values in seconds.
 """
 
 from __future__ import annotations
@@ -38,6 +41,10 @@ def counter_events(recorder: Recorder) -> List[Dict[str, Any]]:
             )
     for name, value in sorted(recorder.gauges.items()):
         events.append({"type": "gauge", "name": name, "value": value})
+    for name, histogram in sorted(recorder.histograms.items()):
+        events.append({"type": "hist", "name": name, **histogram.summary()})
+    for name, histogram in sorted(recorder.timers.items()):
+        events.append({"type": "timer", "name": name, **histogram.summary()})
     return events
 
 

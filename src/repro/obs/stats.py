@@ -3,22 +3,31 @@
 This backs ``python -m repro stats <events.jsonl>``: read the events a
 :class:`~repro.obs.sinks.JsonlSink` wrote during a ``--profile`` run
 and render the same aggregate tables the live recorder would print —
-spans by name (count/total/mean), counter totals, gauges, and the top
-keyed-counter entries.
+spans by name (count/total/mean), counter totals, gauges, timer and
+histogram distributions, and the top keyed-counter entries.
+
+Event files on disk are often imperfect — a run killed mid-write
+leaves a truncated last line — so the CLI path loads *tolerantly*:
+malformed lines are skipped and surfaced as a warning count rather
+than aborting the replay.  Programmatic callers that want hard errors
+use :func:`load_events` (strict by default).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Tuple, Union
 
+from .metrics import render_summary_rows
 from .recorder import SCHEMA_VERSION
 
 
-def load_events(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
-    """Parse a JSONL event file; blank lines are skipped."""
+def _parse_lines(
+    path: Union[str, pathlib.Path], strict: bool
+) -> Tuple[List[Dict[str, Any]], int]:
     events: List[Dict[str, Any]] = []
+    malformed = 0
     for line_number, line in enumerate(
         pathlib.Path(path).read_text().splitlines(), start=1
     ):
@@ -28,15 +37,41 @@ def load_events(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
         try:
             event = json.loads(line)
         except json.JSONDecodeError as error:
-            raise ValueError(f"{path}:{line_number}: not JSON: {error}") from error
+            if strict:
+                raise ValueError(f"{path}:{line_number}: not JSON: {error}") from error
+            malformed += 1
+            continue
         if not isinstance(event, dict) or "type" not in event:
-            raise ValueError(f"{path}:{line_number}: not an event object")
+            if strict:
+                raise ValueError(f"{path}:{line_number}: not an event object")
+            malformed += 1
+            continue
         events.append(event)
-    return events
+    return events, malformed
 
 
-def render_stats(events: List[Dict[str, Any]]) -> str:
-    """Render loaded events as aggregate tables."""
+def load_events(path: Union[str, pathlib.Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL event file; malformed lines raise ``ValueError``."""
+    return _parse_lines(path, strict=True)[0]
+
+
+def load_events_tolerant(
+    path: Union[str, pathlib.Path],
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a JSONL event file, skipping malformed lines.
+
+    Returns ``(events, malformed_line_count)``; an empty or truncated
+    file yields whatever parsed instead of raising.
+    """
+    return _parse_lines(path, strict=False)
+
+
+def render_stats(events: List[Dict[str, Any]], malformed: int = 0) -> str:
+    """Render loaded events as aggregate tables.
+
+    ``malformed`` is the count of skipped lines reported by
+    :func:`load_events_tolerant`; it is surfaced as a warning line.
+    """
     from ..analysis.tables import render_table  # lazy: avoids an import cycle
 
     meta = next((e for e in events if e["type"] == "meta"), None)
@@ -44,13 +79,17 @@ def render_stats(events: List[Dict[str, Any]]) -> str:
     counters = [e for e in events if e["type"] == "counter" and "key" not in e]
     keyed = [e for e in events if e["type"] == "counter" and "key" in e]
     gauges = [e for e in events if e["type"] == "gauge"]
+    timers = [e for e in events if e["type"] == "timer"]
+    histograms = [e for e in events if e["type"] == "hist"]
 
     parts: List[str] = []
     version = meta["schema_version"] if meta else "unknown"
-    parts.append(
-        f"events: {len(events)}  schema_version: {version}"
-        + ("" if meta else f" (no meta line; writer predates v{SCHEMA_VERSION}?)")
+    header = f"events: {len(events)}  schema_version: {version}" + (
+        "" if meta else f" (no meta line; writer predates v{SCHEMA_VERSION}?)"
     )
+    if malformed:
+        header += f"\nwarning: skipped {malformed} malformed line(s)"
+    parts.append(header)
 
     if spans:
         aggregates: Dict[str, List[float]] = {}
@@ -71,6 +110,15 @@ def render_stats(events: List[Dict[str, Any]]) -> str:
     if gauges:
         rows = [[e["name"], e["value"]] for e in sorted(gauges, key=lambda e: e["name"])]
         parts.append(render_table(["gauge", "value"], rows, title="Gauges"))
+    metric_headers = ["name", "count", "min", "mean", "p50", "p90", "p99", "max"]
+    if timers:
+        summaries = {e["name"]: e for e in timers}
+        rows = render_summary_rows(summaries, scale=1000.0, digits=3)
+        parts.append(render_table(metric_headers, rows, title="Timers (ms)"))
+    if histograms:
+        summaries = {e["name"]: e for e in histograms}
+        rows = render_summary_rows(summaries)
+        parts.append(render_table(metric_headers, rows, title="Histograms"))
     if keyed:
         keyed.sort(key=lambda e: (e["name"], -e["value"], e["key"]))
         rows = [[e["name"], e["key"], e["value"]] for e in keyed[:20]]
@@ -85,5 +133,6 @@ def render_stats(events: List[Dict[str, Any]]) -> str:
 
 
 def render_stats_file(path: Union[str, pathlib.Path]) -> str:
-    """Load ``path`` and render its summary tables."""
-    return render_stats(load_events(path))
+    """Load ``path`` tolerantly and render its summary tables."""
+    events, malformed = load_events_tolerant(path)
+    return render_stats(events, malformed=malformed)

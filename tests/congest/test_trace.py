@@ -188,3 +188,57 @@ class TestRendering:
         trace.run(quiescent=True)
         text = trace.render(max_rows=2)
         assert "more rounds" in text
+
+
+class TestTelemetry:
+    def _trace(self, seed=5):
+        graph = clique(list(range(5)))
+        net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=seed)
+        trace = ExecutionTrace(net)
+        trace.run()
+        return trace
+
+    def test_round_histograms_match_entries(self):
+        trace = self._trace()
+        histograms = trace.round_histograms()
+        assert set(histograms) == {"messages_per_round", "bits_per_round"}
+        assert histograms["messages_per_round"].count == len(trace.entries)
+        assert histograms["bits_per_round"].sum == trace.total_bits
+        assert histograms["messages_per_round"].max == max(
+            entry.messages for entry in trace.entries
+        )
+
+    def test_render_telemetry_table(self):
+        text = self._trace().render_telemetry()
+        assert "Per-round telemetry" in text
+        assert "messages_per_round" in text
+        assert "bits_per_round" in text
+
+    def test_network_round_histograms_when_enabled(self):
+        from repro import obs
+
+        graph = clique(list(range(5)))
+        with obs.recording() as recorder:
+            net = CongestNetwork(graph, LubyMIS, bandwidth_multiplier=2, seed=5)
+            trace = ExecutionTrace(net)
+            trace.run()
+        messages = recorder.histograms["congest.round_messages"]
+        bits = recorder.histograms["congest.round_bits"]
+        assert messages.count == len(trace.entries)
+        assert bits.sum == trace.total_bits
+        # Utilization is one sample per busy edge-direction per round,
+        # each a fraction of the per-direction bandwidth budget.
+        utilization = recorder.histograms["congest.edge_utilization"]
+        assert utilization.count > 0
+        assert 0.0 < utilization.min and utilization.max <= 1.0
+
+    def test_round_histograms_work_with_recorder_disabled(self):
+        from repro import obs
+
+        recorder = obs.get_recorder()
+        recorder.reset()
+        trace = self._trace()
+        assert recorder.histograms == {}
+        assert trace.round_histograms()["messages_per_round"].count == len(
+            trace.entries
+        )

@@ -9,6 +9,7 @@ from repro.framework import (
     cut_size,
     node_membership,
     pairwise_cut_sizes,
+    per_round_cut_traffic,
 )
 from repro.graphs import WeightedGraph, clique
 
@@ -87,3 +88,37 @@ class TestCut:
         )
         sizes = pairwise_cut_sizes(graph, [{"a", "a2"}, {"b"}, {"c"}])
         assert sizes == {(0, 1): 1, (0, 2): 1, (1, 2): 1}
+
+
+class _Message:
+    def __init__(self, sender, receiver, size_bits):
+        self.sender = sender
+        self.receiver = receiver
+        self.size_bits = size_bits
+
+
+class TestPerRoundCutTraffic:
+    MEMBERSHIP = {"a": 0, "a2": 0, "b": 1}
+
+    def test_counts_only_crossing_messages(self):
+        log = [
+            (1, _Message("a", "b", 8)),
+            (1, _Message("a", "a2", 99)),  # internal: free
+            (2, _Message("b", "a", 4)),
+            (2, _Message("b", "a2", 4)),
+        ]
+        traffic = per_round_cut_traffic(log, self.MEMBERSHIP)
+        assert traffic == [(1, 1, 8), (2, 2, 8)]
+
+    def test_series_is_dense_with_zero_rounds(self):
+        log = [(3, _Message("a", "b", 5))]
+        traffic = per_round_cut_traffic(log, self.MEMBERSHIP)
+        assert traffic == [(1, 0, 0), (2, 0, 0), (3, 1, 5)]
+
+    def test_num_rounds_extends_the_tail(self):
+        log = [(1, _Message("a", "b", 5))]
+        traffic = per_round_cut_traffic(log, self.MEMBERSHIP, num_rounds=3)
+        assert traffic == [(1, 1, 5), (2, 0, 0), (3, 0, 0)]
+
+    def test_empty_log(self):
+        assert per_round_cut_traffic([], self.MEMBERSHIP) == []

@@ -85,3 +85,44 @@ class TestSimulation:
                 inputs,
                 lambda: FullGraphCollection(evaluate=lambda g: next(counter)),
             )
+
+
+class TestCutRoundBits:
+    @pytest.fixture(scope="class")
+    def report(self, warmup_family):
+        params = warmup_family.params
+        inputs = uniquely_intersecting_inputs(
+            params.k, params.t, rng=random.Random(8)
+        )
+        return simulate_congest_via_players(
+            warmup_family,
+            inputs,
+            _decider_factory(warmup_family.gap.low_threshold),
+        )
+
+    def test_series_is_dense_over_all_rounds(self, report):
+        assert len(report.cut_round_bits) == report.rounds
+
+    def test_series_sums_to_blackboard_bits(self, report):
+        assert sum(report.cut_round_bits) == report.blackboard_bits
+
+    def test_every_round_respects_per_round_bound(self, report):
+        assert report.per_round_bit_bound == 2 * report.cut_edges * report.bandwidth_bits
+        assert max(report.cut_round_bits) <= report.per_round_bit_bound
+
+    def test_cut_round_bits_observed_as_histogram(self, warmup_family):
+        from repro import obs
+
+        params = warmup_family.params
+        inputs = uniquely_intersecting_inputs(
+            params.k, params.t, rng=random.Random(9)
+        )
+        with obs.recording() as recorder:
+            report = simulate_congest_via_players(
+                warmup_family,
+                inputs,
+                _decider_factory(warmup_family.gap.low_threshold),
+            )
+        histogram = recorder.histograms["theorem5.cut_round_bits"]
+        assert histogram.count == report.rounds
+        assert histogram.sum == report.blackboard_bits

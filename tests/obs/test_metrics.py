@@ -1,0 +1,237 @@
+"""Tests for histograms, timers, and the metrics flow through the recorder."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.obs import InMemorySink, Recorder
+from repro.obs.metrics import (
+    DEFAULT_RESERVOIR_SIZE,
+    Histogram,
+    render_summary_rows,
+    summarize,
+)
+from repro.obs.recorder import NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestHistogramExactStats:
+    def test_count_sum_min_max_are_exact(self):
+        histogram = Histogram.of([3, 1, 4, 1, 5])
+        assert histogram.count == 5
+        assert histogram.sum == 14
+        assert histogram.min == 1
+        assert histogram.max == 5
+        assert histogram.mean == pytest.approx(2.8)
+
+    def test_empty_histogram_summary_is_zeroes(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0
+        assert summary["min"] == 0.0
+
+    def test_quantiles_exact_below_reservoir_size(self):
+        # 0..100 fits in the reservoir, so quantiles are exact.
+        histogram = Histogram.of(range(101))
+        assert histogram.quantile(0.5) == pytest.approx(50.0)
+        assert histogram.quantile(0.0) == pytest.approx(0.0)
+        assert histogram.quantile(1.0) == pytest.approx(100.0)
+        assert histogram.quantile(0.25) == pytest.approx(25.0)
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_invalid_reservoir_size(self):
+        with pytest.raises(ValueError):
+            Histogram(reservoir_size=0)
+
+
+class TestQuantileAccuracy:
+    def test_uniform_distribution_quantiles_within_tolerance(self):
+        values = list(range(10_000))
+        random.Random(7).shuffle(values)
+        histogram = Histogram.of(values)
+        # Reservoir sampling: tolerate a few percent of the range.
+        assert histogram.quantile(0.50) == pytest.approx(5_000, abs=600)
+        assert histogram.quantile(0.90) == pytest.approx(9_000, abs=600)
+        assert histogram.quantile(0.99) == pytest.approx(9_900, abs=600)
+
+    def test_bimodal_distribution_p50_and_p99(self):
+        # 95% small values, 5% large: p50 must stay small, p99 large.
+        values = [1.0] * 9_500 + [1_000.0] * 500
+        random.Random(13).shuffle(values)
+        histogram = Histogram.of(values)
+        assert histogram.quantile(0.50) == pytest.approx(1.0)
+        assert histogram.quantile(0.99) == pytest.approx(1_000.0, rel=0.05)
+
+    def test_reservoir_memory_stays_bounded(self):
+        histogram = Histogram()
+        for value in range(50_000):
+            histogram.observe(value)
+        assert len(histogram._reservoir) == DEFAULT_RESERVOIR_SIZE
+        assert histogram.count == 50_000
+
+    def test_estimates_are_deterministic_across_instances(self):
+        values = list(range(5_000))
+        random.Random(3).shuffle(values)
+        assert Histogram.of(values).summary() == Histogram.of(values).summary()
+
+
+class TestSummarizeHelpers:
+    def test_summarize_matches_histogram_summary(self):
+        values = [2, 4, 6, 8]
+        assert summarize(values) == Histogram.of(values).summary()
+
+    def test_render_summary_rows_scales_values_not_count(self):
+        rows = render_summary_rows({"t": summarize([0.5, 1.5])}, scale=1000.0)
+        (row,) = rows
+        assert row[0] == "t"
+        assert row[1] == 2  # count unscaled
+        assert row[2] == pytest.approx(500.0)  # min scaled to ms
+
+
+class TestRecorderHistograms:
+    def test_observe_accumulates(self):
+        recorder = Recorder(enabled=True)
+        recorder.observe("bits", 10)
+        recorder.observe("bits", 30)
+        assert recorder.histograms["bits"].count == 2
+        assert recorder.histograms["bits"].sum == 40
+
+    def test_timer_records_elapsed_seconds(self):
+        recorder = Recorder(enabled=True, clock=FakeClock(step=2.0))
+        with recorder.time("encode"):
+            pass
+        summary = recorder.timers["encode"].summary()
+        assert summary["count"] == 1
+        assert summary["max"] == pytest.approx(2.0)
+
+    def test_timer_records_on_exception(self):
+        recorder = Recorder(enabled=True, clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with recorder.time("failing"):
+                raise RuntimeError("boom")
+        assert recorder.timers["failing"].count == 1
+
+    def test_summaries_views(self):
+        recorder = Recorder(enabled=True, clock=FakeClock())
+        recorder.observe("h", 1)
+        with recorder.time("t"):
+            pass
+        assert recorder.histogram_summaries()["h"]["count"] == 1
+        assert recorder.timer_summaries()["t"]["count"] == 1
+
+    def test_render_summary_includes_metric_tables(self):
+        recorder = Recorder(enabled=True, clock=FakeClock())
+        recorder.observe("congest.round_bits", 64)
+        with recorder.time("solve"):
+            pass
+        text = recorder.render_summary()
+        assert "Histograms" in text
+        assert "congest.round_bits" in text
+        assert "Timers (ms)" in text
+        assert "solve" in text
+
+
+class TestDisabledNoOp:
+    def test_observe_records_nothing(self):
+        recorder = Recorder()
+        recorder.observe("bits", 10)
+        assert recorder.histograms == {}
+
+    def test_time_returns_shared_null_span(self):
+        recorder = Recorder()
+        assert recorder.time("anything") is NULL_SPAN
+        with recorder.time("anything"):
+            pass
+        assert recorder.timers == {}
+
+    def test_reset_clears_metrics(self):
+        recorder = Recorder(enabled=True)
+        recorder.observe("h", 1)
+        with recorder.time("t"):
+            pass
+        recorder.reset()
+        assert recorder.histograms == {}
+        assert recorder.timers == {}
+
+
+class TestClearClosed:
+    def test_clears_data_and_keeps_open_spans(self):
+        recorder = Recorder(enabled=True, clock=FakeClock())
+        with recorder.span("outer"):
+            with recorder.span("closed_child"):
+                recorder.incr("bits", 5)
+                recorder.observe("h", 1)
+            recorder.clear_closed()
+            assert recorder.counters == {}
+            assert recorder.histograms == {}
+            # The open span survives as the new root and keeps working.
+            assert [span.name for span in recorder.spans] == ["outer"]
+            with recorder.span("after"):
+                pass
+        assert [span.name for span in recorder.spans] == ["outer", "after"]
+        assert recorder.spans[1].parent == recorder.spans[0].index
+        assert recorder.spans[1].depth == 1
+
+    def test_safe_with_no_open_spans(self):
+        recorder = Recorder(enabled=True)
+        recorder.incr("bits", 1)
+        recorder.clear_closed()
+        assert recorder.counters == {}
+        assert recorder.spans == []
+
+
+class TestEventsFlow:
+    def test_flush_emits_hist_and_timer_events(self):
+        recorder = Recorder(enabled=True, clock=FakeClock())
+        sink = InMemorySink()
+        recorder.add_sink(sink)
+        recorder.observe("congest.round_bits", 12)
+        with recorder.time("phase"):
+            pass
+        recorder.flush()
+        by_type = {event["type"]: event for event in sink.events}
+        assert by_type["hist"]["name"] == "congest.round_bits"
+        assert by_type["hist"]["count"] == 1
+        assert by_type["hist"]["max"] == 12
+        assert by_type["timer"]["name"] == "phase"
+        assert by_type["timer"]["count"] == 1
+
+    def test_jsonl_round_trip_renders_metric_tables(self, tmp_path):
+        from repro.obs.sinks import JsonlSink
+        from repro.obs.stats import load_events, render_stats
+
+        recorder = Recorder(enabled=True, clock=FakeClock())
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        recorder.add_sink(sink)
+        recorder.observe("cut_bits", 100)
+        with recorder.time("round"):
+            pass
+        recorder.flush()
+        sink.close()
+        events = load_events(tmp_path / "events.jsonl")
+        text = render_stats(events)
+        assert "Histograms" in text
+        assert "cut_bits" in text
+        assert "Timers (ms)" in text
+        assert "round" in text
+
+    def test_global_recording_captures_histograms(self):
+        with obs.recording() as recorder:
+            obs.get_recorder().observe("x", 3)
+        assert recorder.histograms["x"].count == 1

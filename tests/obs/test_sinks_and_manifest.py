@@ -5,9 +5,22 @@ import json
 import pytest
 
 from repro import obs
-from repro.obs import Recorder, SCHEMA_VERSION, build_manifest, load_manifest, write_manifest
+from repro.obs import (
+    Recorder,
+    SCHEMA_VERSION,
+    build_manifest,
+    ensure_json_native,
+    load_manifest,
+    run_provenance,
+    write_manifest,
+)
 from repro.obs.sinks import JsonlSink
-from repro.obs.stats import load_events, render_stats, render_stats_file
+from repro.obs.stats import (
+    load_events,
+    load_events_tolerant,
+    render_stats,
+    render_stats_file,
+)
 
 
 def _record_sample_run(path):
@@ -56,6 +69,46 @@ class TestJsonlRoundTrip:
             load_events(path)
 
 
+class TestTolerantLoading:
+    def test_tolerant_loader_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "meta", "schema_version": 2}\n'
+            "not json\n"
+            '{"type": "counter", "name": "bits", "value": 3}\n'
+            '{"type": "gauge", "name": "truncat'  # mid-write crash
+        )
+        events, malformed = load_events_tolerant(path)
+        assert malformed == 2
+        assert [event["type"] for event in events] == ["meta", "counter"]
+
+    def test_tolerant_loader_skips_non_object_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1, 2]\n"string"\n')
+        events, malformed = load_events_tolerant(path)
+        assert events == []
+        assert malformed == 2
+
+    def test_empty_file_yields_no_events(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_events_tolerant(path) == ([], 0)
+
+    def test_render_stats_reports_malformed_count(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "counter", "name": "bits", "value": 1}\ngarbage\n'
+        )
+        text = render_stats_file(path)
+        assert "skipped 1 malformed line(s)" in text
+        assert "bits" in text
+
+    def test_render_stats_clean_file_has_no_warning(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _record_sample_run(path)
+        assert "malformed" not in render_stats_file(path)
+
+
 class TestManifest:
     def test_build_manifest_shape(self):
         recorder = Recorder(enabled=True)
@@ -89,6 +142,38 @@ class TestManifest:
         path.write_text("{}")
         with pytest.raises(ValueError, match="schema_version"):
             load_manifest(path)
+
+    def test_manifest_carries_provenance(self):
+        manifest = build_manifest("run", recorder=Recorder())
+        provenance = manifest["provenance"]
+        assert set(provenance) == {"git_sha", "hostname", "python_version"}
+        assert provenance["git_sha"]
+        assert provenance["python_version"].count(".") == 2
+        assert manifest["provenance"] == run_provenance()
+
+    def test_manifest_carries_histogram_and_timer_sections(self):
+        recorder = Recorder(enabled=True)
+        recorder.observe("congest.round_bits", 8)
+        manifest = build_manifest("run", recorder=recorder)
+        assert manifest["histograms"]["congest.round_bits"]["count"] == 1
+        assert manifest["timers"] == {}
+
+    def test_manifest_rejects_non_json_native_parameters(self):
+        with pytest.raises(TypeError, match="parameters"):
+            build_manifest(
+                "run", parameters={"path": object()}, recorder=Recorder()
+            )
+        with pytest.raises(TypeError, match="extra"):
+            build_manifest("run", recorder=Recorder(), extra={"s": {1, 2}})
+
+    def test_ensure_json_native_accepts_nested_native_values(self):
+        ensure_json_native(
+            {"a": [1, 2.5, None, True, "x"], "b": {"c": (1, 2)}}, "value"
+        )
+
+    def test_ensure_json_native_rejects_non_string_keys(self):
+        with pytest.raises(TypeError, match="key"):
+            ensure_json_native({1: "x"}, "value")
 
 
 class TestBenchPublish:
@@ -125,3 +210,24 @@ class TestBenchPublish:
         util.publish("second", "text")
         second = json.loads((tmp_path / "second.json").read_text())
         assert second["counters"] == {}
+
+    def test_publish_drains_even_while_span_is_open(self, tmp_path, monkeypatch):
+        # Regression: publish used to call reset(), which raises while a
+        # span is open; the swallowed error leaked counters into every
+        # subsequent manifest.
+        import benchmarks._util as util
+
+        monkeypatch.setattr(util, "RESULTS_DIR", tmp_path)
+        with obs.recording():
+            recorder = obs.get_recorder()
+            with recorder.span("suite"):
+                recorder.incr("congest.bits", 7)
+                recorder.observe("congest.round_bits", 12)
+                util.publish("first", "text")
+                util.publish("second", "text")
+        first = json.loads((tmp_path / "first.json").read_text())
+        second = json.loads((tmp_path / "second.json").read_text())
+        assert first["counters"] == {"congest.bits": 7}
+        assert first["histograms"]["congest.round_bits"]["count"] == 1
+        assert second["counters"] == {}
+        assert second["histograms"] == {}

@@ -172,6 +172,101 @@ class TestProfile:
         assert events.exists()
 
 
+class TestSimulateCutTraffic:
+    def test_profile_prints_per_round_cut_stats(self, capsys):
+        assert main(["simulate", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cut traffic/round" in out
+        assert "predicted: <= 2*|cut|*B" in out
+
+    def test_plain_simulate_omits_cut_stats(self, capsys):
+        assert main(["simulate"]) == 0
+        assert "cut traffic/round" not in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def test_prints_round_histograms_and_bound_table(self, capsys):
+        assert main(["telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-round CONGEST telemetry" in out
+        assert "congest.round_messages" in out
+        assert "congest.round_bits" in out
+        assert "congest.edge_utilization" in out
+        assert "theorem5.cut_round_bits" in out
+        assert "Observed cut traffic vs the Theorem 5 ceiling" in out
+        assert "yes" in out
+
+    def test_leaves_recorder_disabled(self, capsys):
+        from repro import obs
+
+        main(["telemetry"])
+        capsys.readouterr()
+        assert obs.is_enabled() is False
+
+
+class TestStatsTolerance:
+    def test_stats_warns_on_malformed_lines(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        events.write_text(
+            '{"type": "counter", "name": "congest.bits", "value": 9}\n'
+            "garbage line\n"
+        )
+        assert main(["stats", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped 1 malformed line(s)" in out
+        assert "congest.bits" in out
+
+    def test_stats_on_empty_file(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        events.write_text("")
+        assert main(["stats", str(events)]) == 0
+
+
+class TestBenchCommand:
+    def _write_trajectory(self, tmp_path, name, median, sha):
+        from tests.test_bench_runner import _trajectory
+
+        path = tmp_path / name
+        path.write_text(json.dumps(_trajectory({"a": median}, sha=sha)))
+        return path
+
+    def test_compare_ok_exits_zero(self, tmp_path, capsys):
+        old = self._write_trajectory(tmp_path, "old.json", 1.0, "old1")
+        assert main(["bench", "--compare", str(old), str(old)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write_trajectory(tmp_path, "old.json", 1.0, "old1")
+        new = self._write_trajectory(tmp_path, "new.json", 2.0, "new1")
+        assert main(["bench", "--compare", str(old), str(new)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_warn_only_exits_zero(self, tmp_path, capsys):
+        old = self._write_trajectory(tmp_path, "old.json", 1.0, "old1")
+        new = self._write_trajectory(tmp_path, "new.json", 2.0, "new1")
+        assert main(["bench", "--compare", str(old), str(new), "--warn-only"]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_fast_run_writes_trajectory(self, tmp_path, capsys):
+        from benchmarks import runner
+
+        code = main(
+            [
+                "bench",
+                "--fast",
+                "--only",
+                "construction_build",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        (path,) = tmp_path.glob("BENCH_*.json")
+        trajectory = runner.load_trajectory(path)
+        assert trajectory["config"] == {"warmup": 1, "repeats": 3}
+        assert set(trajectory["benches"]) == {"construction_build"}
+
+
 class TestParser:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
