@@ -2,14 +2,17 @@
 
 ``pytest benchmarks/`` regenerates the paper's figures; *this* module
 answers a different question — are the hot paths getting faster or
-quietly regressing?  It keeps a small curated suite of five benches,
+quietly regressing?  It keeps a small curated suite of six benches,
 one per hot path the reproduction leans on:
 
 * ``construction_build`` — gadget graph construction (linear + quadratic);
 * ``gf_arithmetic``      — finite-field/Reed–Solomon encode + decode;
 * ``maxis_exact``        — branch-and-bound exact MaxIS on a gadget instance;
 * ``congest_trace``      — ExecutionTrace round loop driving Luby's MIS;
-* ``theorem5_simulation`` — the full Theorem 5 player simulation.
+* ``theorem5_simulation`` — the full Theorem 5 player simulation;
+* ``sweep_parallel``     — the repro.parallel engine's scaling: one
+  balanced theorem sweep at ``--workers 1`` vs ``--workers N``, with
+  the measured speedup recorded as gauges in the trajectory record.
 
 Each bench is run ``warmup`` times untimed and ``repeats`` times timed
 with observability *off* (so the timings measure the hot path, not the
@@ -32,6 +35,7 @@ from the repository root.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import random
 import sys
@@ -197,6 +201,64 @@ def bench_theorem5_simulation():
     return report.blackboard_bits
 
 
+#: Worker-process count the ``sweep_parallel`` bench scales to.  Set by
+#: ``run_suite(sweep_workers=...)`` (``repro bench --workers N``);
+#: ``None`` means min(4, cpu count).
+_SWEEP_WORKERS: Optional[int] = None
+
+
+def resolved_sweep_workers() -> int:
+    """The effective worker count for the scaling bench."""
+    if _SWEEP_WORKERS is not None:
+        return max(1, _SWEEP_WORKERS)
+    return min(4, os.cpu_count() or 1)
+
+
+@bench("sweep_parallel", sweep="theorem1", t=4, num_samples=4, seeds=8)
+def bench_sweep_parallel():
+    """Serial-vs-parallel wall time of one balanced theorem sweep.
+
+    Eight equally sized Theorem 1 points (t=4, distinct seeds) run
+    through the repro.parallel engine twice — ``workers=1`` (serial
+    backend) and ``workers=N`` (process pool).  The timed samples the
+    trajectory keeps measure the whole double run; the gauges recorded
+    during the manifest pass expose the scaling itself:
+    ``parallel.serial_s``, ``parallel.parallel_s``,
+    ``parallel.speedup_x``, and ``parallel.workers``.
+    """
+    from repro import obs
+    from repro.parallel import WorkUnit, run_units
+
+    units = [
+        WorkUnit(
+            uid=f"sweep/seed={seed}",
+            kind="theorem1_point",
+            kwargs={"t": 4, "num_samples": 4, "seed": seed},
+        )
+        for seed in range(8)
+    ]
+    workers = resolved_sweep_workers()
+    start = time.perf_counter()
+    serial = run_units(units, workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_units(units, workers=workers, chunk_size=1)
+    parallel_s = time.perf_counter() - start
+    if len(serial) != len(parallel) or any(
+        s.gap.measured_ratio != p.gap.measured_ratio
+        for s, p in zip(serial, parallel)
+    ):
+        raise AssertionError("serial and parallel sweeps disagree")
+    recorder = obs.get_recorder()
+    recorder.gauge("parallel.workers", workers)
+    recorder.gauge("parallel.serial_s", serial_s)
+    recorder.gauge("parallel.parallel_s", parallel_s)
+    recorder.gauge(
+        "parallel.speedup_x", serial_s / parallel_s if parallel_s else 0.0
+    )
+    return serial_s / parallel_s if parallel_s else 0.0
+
+
 # ----------------------------------------------------------------------
 # Robust statistics
 # ----------------------------------------------------------------------
@@ -293,19 +355,33 @@ def run_suite(
     repeats: int = 5,
     only: Optional[Sequence[str]] = None,
     out_dir: Optional[str] = None,
+    sweep_workers: Optional[int] = None,
 ) -> Tuple[pathlib.Path, Dict[str, Any]]:
-    """Run the suite; write and return the ``BENCH_<sha>.json`` record."""
+    """Run the suite; write and return the ``BENCH_<sha>.json`` record.
+
+    ``sweep_workers`` pins the worker-process count the
+    ``sweep_parallel`` bench scales to (default min(4, cpu count)).
+    """
+    global _SWEEP_WORKERS
+    if sweep_workers is not None:
+        _SWEEP_WORKERS = sweep_workers
     provenance = run_provenance()
+    specs = discover(only)
+    config: Dict[str, Any] = {"warmup": warmup, "repeats": repeats}
+    if any(spec.name == "sweep_parallel" for spec in specs):
+        # Machine-dependent, so recorded only when the scaling bench
+        # actually runs — other runs stay comparable across hosts.
+        config["sweep_workers"] = resolved_sweep_workers()
     trajectory: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "event_schema_version": SCHEMA_VERSION,
         "kind": "bench_trajectory",
         "provenance": provenance,
-        "config": {"warmup": warmup, "repeats": repeats},
+        "config": config,
         "benches": {},
     }
     rows = []
-    for spec in discover(only):
+    for spec in specs:
         print(f"bench {spec.name} ... ", end="", flush=True)
         record = run_bench(spec, warmup=warmup, repeats=repeats)
         trajectory["benches"][spec.name] = record

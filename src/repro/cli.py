@@ -15,6 +15,12 @@ Commands
 ``telemetry``  per-round CONGEST traffic distributions vs the Theorem 5 bound
 ``bench``      run the curated bench suite / compare BENCH_*.json records
 
+Parallelism (see ``docs/PARALLEL.md``): ``theorem1``, ``theorem2``, and
+``claims`` accept ``--workers N`` to fan their independent work units
+out to N worker processes via :mod:`repro.parallel`; output is
+guaranteed identical to the serial run.  ``bench --workers N`` sets the
+worker count the ``sweep_parallel`` scaling bench measures.
+
 Observability (see ``docs/OBSERVABILITY.md``): ``report``,
 ``theorem1``, ``theorem2``, and ``simulate`` accept ``--profile`` to
 enable the :mod:`repro.obs` recorder and print the span tree and
@@ -41,12 +47,6 @@ from .analysis import (
 )
 from .commcc import pairwise_disjoint_inputs, uniquely_intersecting_inputs
 from .congest import FullGraphCollection
-from .core import (
-    LinearLowerBoundExperiment,
-    QuadraticLowerBoundExperiment,
-    verify_all_linear,
-    verify_all_quadratic,
-)
 from .core.serialize import claim_checks_to_json, report_to_json
 from .framework import simulate_congest_via_players
 from .gadgets import (
@@ -54,7 +54,6 @@ from .gadgets import (
     LinearConstruction,
     LinearMaxISFamily,
     QuadraticConstruction,
-    smallest_meaningful_linear_parameters,
 )
 from .graphs import render_figure
 from .maxis import max_independent_set_weight
@@ -71,6 +70,20 @@ def _add_parameter_args(parser: argparse.ArgumentParser, default_t: int = 2) -> 
 
 def _params(args: argparse.Namespace) -> GadgetParameters:
     return GadgetParameters(ell=args.ell, alpha=args.alpha, t=args.t, k=args.k)
+
+
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan independent work units out to N worker processes "
+            "(1 = serial; results are identical for any N, "
+            "see docs/PARALLEL.md)"
+        ),
+    )
 
 
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
@@ -157,10 +170,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_claims(args: argparse.Namespace) -> int:
+    from .parallel import claims_checks
+
     params = _params(args)
-    checks = verify_all_linear(params, num_samples=args.samples)
-    if args.quadratic:
-        checks += verify_all_quadratic(params, num_samples=max(1, args.samples // 2))
+    checks = claims_checks(
+        params,
+        num_samples=args.samples,
+        include_quadratic=args.quadratic,
+        workers=args.workers,
+    )
     if args.json:
         print(claim_checks_to_json(checks))
     else:
@@ -179,26 +197,30 @@ def cmd_claims(args: argparse.Namespace) -> int:
 
 
 def cmd_theorem1(args: argparse.Namespace) -> int:
+    from .parallel import theorem1_reports
+
     rows = []
     exit_code = 0
     with _profiled(args) as recorder:
-        for t in range(2, args.max_t + 1):
-            params = smallest_meaningful_linear_parameters(t)
-            report = LinearLowerBoundExperiment(params, seed=args.seed).run(
-                num_samples=args.samples
-            )
+        reports = theorem1_reports(
+            args.max_t,
+            num_samples=args.samples,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        for report in reports:
             if args.json:
                 print(report_to_json(report))
             if not report.gap.claims_hold:
                 exit_code = 1
             rows.append(
                 [
-                    t,
-                    params.ell,
+                    report.params.t,
+                    report.params.ell,
                     report.num_nodes,
                     report.cut,
                     round(report.gap.measured_ratio, 4),
-                    round(linear_gap_ratio_asymptotic(t), 4),
+                    round(linear_gap_ratio_asymptotic(report.params.t), 4),
                     report.gap.claims_hold,
                 ]
             )
@@ -215,27 +237,29 @@ def cmd_theorem1(args: argparse.Namespace) -> int:
 
 
 def cmd_theorem2(args: argparse.Namespace) -> int:
+    from .parallel import theorem2_reports
+
     rows = []
     exit_code = 0
     with _profiled(args) as recorder:
-        for ell, t in [(2, 2), (3, 2), (2, 3), (2, 4)]:
-            if t > args.max_t:
-                continue
-            params = GadgetParameters(ell=ell, alpha=1, t=t)
-            report = QuadraticLowerBoundExperiment(params, seed=args.seed).run(
-                num_samples=max(1, args.samples // 2)
-            )
+        reports = theorem2_reports(
+            args.max_t,
+            num_samples=max(1, args.samples // 2),
+            seed=args.seed,
+            workers=args.workers,
+        )
+        for report in reports:
             if args.json:
                 print(report_to_json(report))
             if not report.gap.claims_hold:
                 exit_code = 1
             rows.append(
                 [
-                    t,
-                    ell,
+                    report.params.t,
+                    report.params.ell,
                     report.num_nodes,
                     round(report.gap.measured_ratio, 4),
-                    round(quadratic_gap_ratio_asymptotic(t), 4),
+                    round(quadratic_gap_ratio_asymptotic(report.params.t), 4),
                     report.gap.claims_hold,
                 ]
             )
@@ -404,6 +428,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=repeats,
         only=args.only or None,
         out_dir=args.out,
+        sweep_workers=args.workers,
     )
     print(f"\n[trajectory written to {path}]")
     return 0
@@ -519,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
     claims.add_argument("--samples", type=int, default=3)
     claims.add_argument("--quadratic", action="store_true")
     claims.add_argument("--json", action="store_true")
+    _add_workers_arg(claims)
     claims.set_defaults(func=cmd_claims)
 
     theorem1 = subparsers.add_parser("theorem1", help="run the Theorem 1 sweep")
@@ -526,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     theorem1.add_argument("--samples", type=int, default=2)
     theorem1.add_argument("--seed", type=int, default=0)
     theorem1.add_argument("--json", action="store_true")
+    _add_workers_arg(theorem1)
     _add_profile_args(theorem1)
     theorem1.set_defaults(func=cmd_theorem1)
 
@@ -534,6 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     theorem2.add_argument("--samples", type=int, default=2)
     theorem2.add_argument("--seed", type=int, default=0)
     theorem2.add_argument("--json", action="store_true")
+    _add_workers_arg(theorem2)
     _add_profile_args(theorem2)
     theorem2.set_defaults(func=cmd_theorem2)
 
@@ -621,6 +649,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-only",
         action="store_true",
         help="report regressions but exit 0 (CI non-blocking mode)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker-process count the sweep_parallel scaling bench runs at "
+            "(default min(4, cpu count))"
+        ),
     )
     bench.set_defaults(func=cmd_bench)
 

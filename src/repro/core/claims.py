@@ -324,23 +324,98 @@ def verify_claim7(
     )
 
 
+# ----------------------------------------------------------------------
+# Per-claim dispatch
+# ----------------------------------------------------------------------
+#
+# Every claim is verifiable on its own (each verifier seeds its own
+# RNG), which is what makes the `claims` command embarrassingly
+# parallel.  The name lists and the two `run_*_claim` dispatchers below
+# are the single source of truth for "which claims exist in what
+# order": the serial `verify_all_*` loops and the parallel engine's
+# per-claim work units both go through them, so the two paths cannot
+# produce different results.
+
+#: Linear-construction checks in report order; the last two need t = 2.
+LINEAR_CLAIM_NAMES = (
+    "Property 1",
+    "Property 2",
+    "Property 3",
+    "Claim 3",
+    "Claim 4",
+    "Claim 5",
+    "Claim 1",
+    "Claim 2",
+)
+
+#: Quadratic-construction checks in report order.
+QUADRATIC_CLAIM_NAMES = ("Claim 6", "Claim 7")
+
+
+def linear_claim_names(params: GadgetParameters) -> List[str]:
+    """The linear checks applicable at ``params``, in report order."""
+    names = [name for name in LINEAR_CLAIM_NAMES if name not in ("Claim 1", "Claim 2")]
+    if params.t == 2:
+        names += ["Claim 1", "Claim 2"]
+    return names
+
+
+def run_linear_claim(
+    name: str,
+    params: GadgetParameters,
+    num_samples: int = 5,
+    construction: Optional[LinearConstruction] = None,
+) -> ClaimCheck:
+    """Verify one named linear-construction claim at ``params``.
+
+    ``construction`` may be passed to share a prebuilt instance across
+    calls; every verifier draws from its own fixed seed, so the result
+    is the same whether the construction is shared or rebuilt.
+    """
+    construction = construction or LinearConstruction(params)
+    if name == "Property 1":
+        return verify_property1(construction)
+    if name == "Property 2":
+        return verify_property2(construction)
+    if name == "Property 3":
+        return verify_property3(construction)
+    if name == "Claim 1":
+        return verify_claim1(construction)
+    if name == "Claim 2":
+        return verify_claim2(construction, num_samples=num_samples)
+    if name == "Claim 3":
+        return verify_claim3(construction)
+    if name == "Claim 4":
+        return verify_claim4(construction)
+    if name == "Claim 5":
+        return verify_claim5(construction, num_samples=num_samples)
+    raise KeyError(f"unknown linear claim {name!r}; known: {LINEAR_CLAIM_NAMES}")
+
+
+def run_quadratic_claim(
+    name: str,
+    params: GadgetParameters,
+    num_samples: int = 3,
+    construction: Optional[QuadraticConstruction] = None,
+) -> ClaimCheck:
+    """Verify one named quadratic-construction claim at ``params``."""
+    construction = construction or QuadraticConstruction(params)
+    if name == "Claim 6":
+        return verify_claim6(construction)
+    if name == "Claim 7":
+        return verify_claim7(construction, num_samples=num_samples)
+    raise KeyError(f"unknown quadratic claim {name!r}; known: {QUADRATIC_CLAIM_NAMES}")
+
+
 def verify_all_linear(
     params: GadgetParameters, num_samples: int = 5
 ) -> List[ClaimCheck]:
     """Run every linear-construction check at the given parameters."""
     construction = LinearConstruction(params)
-    checks = [
-        verify_property1(construction),
-        verify_property2(construction),
-        verify_property3(construction),
-        verify_claim3(construction),
-        verify_claim4(construction),
-        verify_claim5(construction, num_samples=num_samples),
+    return [
+        run_linear_claim(name, params, num_samples, construction=construction)
+        for name in linear_claim_names(params)
     ]
-    if params.t == 2:
-        checks.append(verify_claim1(construction))
-        checks.append(verify_claim2(construction, num_samples=num_samples))
-    return checks
 
 
 def verify_all_quadratic(
@@ -349,6 +424,6 @@ def verify_all_quadratic(
     """Run every quadratic-construction check at the given parameters."""
     construction = QuadraticConstruction(params)
     return [
-        verify_claim6(construction),
-        verify_claim7(construction, num_samples=num_samples),
+        run_quadratic_claim(name, params, num_samples, construction=construction)
+        for name in QUADRATIC_CLAIM_NAMES
     ]

@@ -98,6 +98,73 @@ class Histogram:
         fraction = position - lower
         return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
+    def to_state(self) -> Dict[str, Any]:
+        """The histogram's full state as a JSON-native dict.
+
+        Unlike :meth:`summary` (which collapses the reservoir into
+        quantile estimates), the state carries the reservoir itself, so
+        a histogram can cross a process boundary and keep answering
+        quantile queries after :meth:`merge_state` on the other side.
+        """
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "reservoir": list(self._reservoir),
+            "reservoir_size": self._size,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_state` output."""
+        histogram = cls(
+            reservoir_size=int(state.get("reservoir_size", DEFAULT_RESERVOIR_SIZE))
+        )
+        histogram.merge_state(state)
+        return histogram
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's state into this one.
+
+        ``count``/``sum``/``min``/``max`` merge exactly.  The combined
+        reservoir is exact while the two reservoirs fit together;
+        otherwise each side contributes a deterministic evenly-strided
+        subsample proportional to its exact observation count — no RNG,
+        so merging the same states in the same order always yields the
+        same quantile estimates (the engine merges in work-unit order
+        for exactly this reason).
+        """
+        other_count = int(state["count"])
+        if other_count == 0:
+            return
+        incoming = [float(v) for v in state["reservoir"]]
+        if self.count == 0:
+            combined = incoming[: self._size]
+        elif len(self._reservoir) + len(incoming) <= self._size:
+            combined = self._reservoir + incoming
+        else:
+            total = self.count + other_count
+            own_share = round(self._size * self.count / total)
+            own_share = max(
+                self._size - len(incoming), min(own_share, len(self._reservoir))
+            )
+            own_share = max(0, min(own_share, self._size))
+            combined = _strided(self._reservoir, own_share) + _strided(
+                incoming, self._size - own_share
+            )
+        self._reservoir = combined
+        self.count += other_count
+        self.sum += float(state["sum"])
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = state[bound]
+            if theirs is None:
+                continue
+            mine = getattr(self, bound)
+            setattr(
+                self, bound, float(theirs) if mine is None else pick(mine, float(theirs))
+            )
+
     def summary(self) -> Dict[str, float]:
         """The JSON-native summary embedded in events and manifests."""
         ordered = sorted(self._reservoir)
@@ -127,6 +194,16 @@ class Histogram:
             f"Histogram(count={self.count}, mean={self.mean:.4g}, "
             f"p50={self.quantile(0.5):.4g}, max={self.max})"
         )
+
+
+def _strided(values: List[float], take: int) -> List[float]:
+    """``take`` evenly-spaced elements of ``values`` (all when take >= len)."""
+    if take <= 0:
+        return []
+    if take >= len(values):
+        return list(values)
+    step = len(values) / take
+    return [values[int(i * step)] for i in range(take)]
 
 
 #: Keys of :meth:`Histogram.summary`, in render order.  Shared by the

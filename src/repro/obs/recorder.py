@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .metrics import Histogram, render_summary_rows
+from .metrics import DEFAULT_RESERVOIR_SIZE, Histogram, render_summary_rows
 
 #: Version of the span/counter event schema emitted by sinks and
 #: embedded in run manifests.  Bump when the event shape changes.
@@ -196,6 +196,96 @@ class Recorder:
             record.parent = new_index - 1 if new_index else None
             record.depth = new_index
         self.spans = list(self._stack)
+
+    def hard_reset(self, keep_sinks: bool = False) -> None:
+        """Forcibly return to a pristine, disabled state.
+
+        Unlike :meth:`reset` this never raises: still-open spans are
+        abandoned and, unless ``keep_sinks``, attached sinks are dropped
+        without being closed.  Worker processes call this first thing —
+        under a forking start method they inherit the parent's recorder
+        mid-recording (open command span, live JSONL sink on a shared
+        file descriptor), and must not write to either.
+        """
+        self._stack = []
+        if not keep_sinks:
+            self._sinks = []
+        self.enabled = False
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Cross-process snapshot and merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The recorder's closed state as one JSON-native dict.
+
+        Everything a worker process recorded — closed spans, counter and
+        gauge totals, keyed counters, histogram/timer states — in the
+        shape :meth:`merge_snapshot` consumes on the parent side.  Open
+        spans are not included; snapshot after recording finishes.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "spans": [record.to_dict() for record in self.spans],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "keyed_counters": {
+                name: dict(bucket) for name, bucket in self.keyed_counters.items()
+            },
+            "histograms": {
+                name: hist.to_state() for name, hist in self.histograms.items()
+            },
+            "timers": {name: hist.to_state() for name, hist in self.timers.items()},
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a worker recorder's :meth:`snapshot` into this recorder.
+
+        Counters and keyed counters add; gauges take the snapshot's
+        value (last merge wins — merge in work-unit order for
+        determinism); histograms and timers merge via
+        :meth:`Histogram.merge_state`; spans are grafted under the
+        currently open span (or as roots) with their indices rebased,
+        and forwarded to the attached sinks like locally closed spans.
+        """
+        base = len(self.spans)
+        graft_parent = self._stack[-1].index if self._stack else None
+        graft_depth = self._stack[-1].depth + 1 if self._stack else 0
+        for event in snapshot.get("spans", ()):
+            parent = event["parent"]
+            record = SpanRecord(
+                index=base + event["index"],
+                parent=base + parent if parent is not None else graft_parent,
+                depth=graft_depth + event["depth"],
+                name=event["name"],
+                params=dict(event.get("params", {})),
+                start_s=event["start_s"],
+                duration_s=event["duration_s"],
+            )
+            self.spans.append(record)
+            for sink in self._sinks:
+                sink.on_span(record)
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(snapshot.get("gauges", {}))
+        for name, bucket in snapshot.get("keyed_counters", {}).items():
+            mine = self.keyed_counters.setdefault(name, {})
+            for key, value in bucket.items():
+                mine[key] = mine.get(key, 0) + value
+        for target, states in (
+            (self.histograms, snapshot.get("histograms", {})),
+            (self.timers, snapshot.get("timers", {})),
+        ):
+            for name, state in states.items():
+                histogram = target.get(name)
+                if histogram is None:
+                    histogram = target[name] = Histogram(
+                        reservoir_size=int(
+                            state.get("reservoir_size", DEFAULT_RESERVOIR_SIZE)
+                        )
+                    )
+                histogram.merge_state(state)
 
     def add_sink(self, sink: Any) -> None:
         """Attach a sink; it receives every span closed from now on."""

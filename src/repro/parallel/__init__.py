@@ -1,0 +1,59 @@
+"""repro.parallel — the multiprocess sweep engine.
+
+Fans independent work units — theorem sweep points, per-claim
+verifications, exact MaxIS solves — out to a process pool with chunked
+scheduling, a serial fallback backend, deterministic result merging
+keyed by unit index, and per-worker observability snapshots merged back
+into the parent recorder.  Serial and parallel runs produce identical
+results and identical recorder totals; see ``docs/PARALLEL.md``.
+
+Quick use::
+
+    from repro.parallel import theorem1_reports
+
+    reports = theorem1_reports(max_t=5, num_samples=2, workers=4)
+
+or from the CLI: ``python -m repro theorem2 --workers 4``.
+"""
+
+from .backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    chunked,
+    default_chunk_size,
+    resolve_backend,
+)
+from .engine import (
+    THEOREM2_POINTS,
+    WorkUnit,
+    claims_checks,
+    claims_units,
+    max_is_weights,
+    run_units,
+    theorem1_reports,
+    theorem1_units,
+    theorem2_reports,
+    theorem2_units,
+)
+from .jobs import JOB_KINDS, execute_chunk, execute_unit
+
+__all__ = [
+    "JOB_KINDS",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "THEOREM2_POINTS",
+    "WorkUnit",
+    "chunked",
+    "claims_checks",
+    "claims_units",
+    "default_chunk_size",
+    "execute_chunk",
+    "execute_unit",
+    "max_is_weights",
+    "resolve_backend",
+    "run_units",
+    "theorem1_reports",
+    "theorem1_units",
+    "theorem2_reports",
+    "theorem2_units",
+]

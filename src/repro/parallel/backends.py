@@ -1,0 +1,156 @@
+"""Execution backends: serial in-process, or a process pool.
+
+The engine (:mod:`repro.parallel.engine`) hands a backend an ordered
+list of work units; the backend returns their results *in unit order*
+no matter how execution was scheduled.
+
+Two backends exist:
+
+:class:`SerialBackend`
+    Runs every unit inline in the calling process, directly under the
+    parent's recorder when observability is on.  This is the reference
+    semantics — ``--workers 1`` and every platform where a process pool
+    cannot be created resolve here.
+
+:class:`ProcessPoolBackend`
+    Fans chunks of units out to a ``ProcessPoolExecutor``.  The
+    ``fork`` start method is preferred (cheap workers, no re-import);
+    where it is unavailable the default start method is used, and where
+    multiprocessing itself is unusable (missing ``sem_open`` et al.)
+    :func:`resolve_backend` falls back to serial with a warning.
+
+Chunking groups consecutive units into one IPC round-trip.  The default
+chunk size aims at ~4 chunks per worker so stragglers even out while
+per-chunk overhead stays amortized; pass ``chunk_size=1`` for maximal
+load balancing of coarse units.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import obs
+from . import jobs
+
+
+def chunked(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
+    """Split ``items`` into consecutive runs of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+    return [
+        list(items[start : start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+def default_chunk_size(num_units: int, workers: int) -> int:
+    """Aim for ~4 chunks per worker, never less than one unit per chunk."""
+    if num_units <= 0:
+        return 1
+    return max(1, -(-num_units // max(1, workers * 4)))
+
+
+class SerialBackend:
+    """Reference backend: every unit runs inline, in order."""
+
+    name = "serial"
+    workers = 1
+
+    def run(self, units: Sequence[Any], chunk_size: Optional[int] = None) -> List[Any]:
+        """Execute units one by one under the caller's recorder."""
+        return [jobs.execute_unit(unit.kind, unit.kwargs) for unit in units]
+
+
+class ProcessPoolBackend:
+    """Fan units out to a ``ProcessPoolExecutor`` and merge deterministically.
+
+    Results are reordered by unit index and, when the parent recorder
+    is enabled, per-unit observability snapshots are merged back into
+    it **in unit order** — the merged profile is therefore independent
+    of worker scheduling.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int, mp_context: Any = None) -> None:
+        if workers < 2:
+            raise ValueError(f"process backend needs >= 2 workers, got {workers}")
+        self.workers = workers
+        self._mp_context = mp_context
+
+    def run(self, units: Sequence[Any], chunk_size: Optional[int] = None) -> List[Any]:
+        """Execute units on the pool; fall back to serial if it won't start."""
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        record_obs = obs.is_enabled()
+        payloads: List[jobs.Payload] = [
+            (index, unit.kind, dict(unit.kwargs), record_obs)
+            for index, unit in enumerate(units)
+        ]
+        size = chunk_size or default_chunk_size(len(payloads), self.workers)
+        chunks = chunked(payloads, size)
+        results: Dict[int, Any] = {}
+        snapshots: Dict[int, Dict[str, Any]] = {}
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                mp_context=self._mp_context,
+            )
+        except (OSError, ImportError, ValueError) as error:
+            print(
+                f"repro.parallel: process pool unavailable ({error}); "
+                "running serially",
+                file=sys.stderr,
+            )
+            return SerialBackend().run(units)
+        with pool:
+            futures = [pool.submit(jobs.execute_chunk, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                for unit_index, result, snapshot in future.result():
+                    results[unit_index] = result
+                    if snapshot is not None:
+                        snapshots[unit_index] = snapshot
+        if record_obs:
+            recorder = obs.get_recorder()
+            for unit_index in sorted(snapshots):
+                recorder.merge_snapshot(snapshots[unit_index])
+        return [results[index] for index in range(len(units))]
+
+
+def _multiprocessing_context() -> Any:
+    """The best available start-method context, or ``None`` when unusable."""
+    try:
+        import multiprocessing
+
+        # A missing sem_open (some minimal platforms) surfaces here.
+        import multiprocessing.synchronize  # noqa: F401
+    except ImportError:
+        return None
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        try:
+            return multiprocessing.get_context()
+        except (ValueError, OSError):
+            return None
+
+
+def resolve_backend(workers: Optional[int]) -> Any:
+    """Pick the backend for a requested worker count.
+
+    ``None``, 0, or 1 workers — or a platform without usable
+    multiprocessing — resolve to the serial backend; anything else gets
+    a process pool.
+    """
+    if not workers or workers <= 1:
+        return SerialBackend()
+    context = _multiprocessing_context()
+    if context is None:
+        print(
+            "repro.parallel: multiprocessing unavailable on this platform; "
+            "running serially",
+            file=sys.stderr,
+        )
+        return SerialBackend()
+    return ProcessPoolBackend(workers, mp_context=context)

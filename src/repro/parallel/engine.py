@@ -1,0 +1,199 @@
+"""The sweep engine: ordered work units, any backend, same answers.
+
+A *work unit* is one independently verifiable computation — a theorem
+sweep point, one claim check, one exact MaxIS solve — named by a unit
+id and described by a job kind plus picklable kwargs
+(:mod:`repro.parallel.jobs`).  :func:`run_units` executes a list of
+units on the backend for the requested worker count and returns the
+results in unit order.
+
+Determinism guarantees (see ``docs/PARALLEL.md``):
+
+* every job kind derives all randomness from its kwargs (explicit
+  seeds), never from process state, so a unit's result is a pure
+  function of its payload;
+* results are reordered by unit index before returning, so the caller
+  sees the same list for any worker count or scheduling;
+* when the parent recorder is enabled, worker snapshots are merged in
+  unit order, so counter totals, histogram merges, and span grafting
+  are reproducible run to run.
+
+The high-level helpers (:func:`theorem1_reports`,
+:func:`theorem2_reports`, :func:`claims_checks`,
+:func:`max_is_weights`) build the canonical unit lists the CLI and the
+benches share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import obs
+from .backends import resolve_backend
+
+_obs = obs.get_recorder()
+
+
+class WorkUnit:
+    """One schedulable computation: ``uid`` labels it, ``kind`` + ``kwargs`` define it."""
+
+    __slots__ = ("uid", "kind", "kwargs")
+
+    def __init__(self, uid: str, kind: str, kwargs: Dict[str, Any]) -> None:
+        self.uid = uid
+        self.kind = kind
+        self.kwargs = kwargs
+
+    def __repr__(self) -> str:
+        return f"WorkUnit({self.uid!r}, kind={self.kind!r})"
+
+
+def run_units(
+    units: Iterable[WorkUnit],
+    workers: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Execute work units and return their results in unit order.
+
+    ``workers <= 1`` (or an unusable multiprocessing platform) runs
+    serially in-process; anything larger fans out to a process pool.
+    Both paths produce identical results and identical recorder totals.
+    """
+    units = list(units)
+    backend = resolve_backend(workers)
+    with _obs.span(
+        "parallel.run",
+        backend=backend.name,
+        workers=backend.workers,
+        units=len(units),
+    ):
+        _obs.incr("parallel.units", len(units))
+        return backend.run(units, chunk_size=chunk_size)
+
+
+# ----------------------------------------------------------------------
+# Canonical unit lists
+# ----------------------------------------------------------------------
+
+
+def theorem1_units(
+    max_t: int, num_samples: int = 2, seed: int = 0
+) -> List[WorkUnit]:
+    """The Theorem 1 sweep grid: one unit per player count ``t``."""
+    return [
+        WorkUnit(
+            uid=f"theorem1/t={t}",
+            kind="theorem1_point",
+            kwargs={"t": t, "num_samples": num_samples, "seed": seed},
+        )
+        for t in range(2, max_t + 1)
+    ]
+
+
+#: The Theorem 2 sweep grid at the paper's feasible sizes, as
+#: ``(ell, t)`` in presentation order.
+THEOREM2_POINTS: Tuple[Tuple[int, int], ...] = ((2, 2), (3, 2), (2, 3), (2, 4))
+
+
+def theorem2_units(
+    max_t: int, num_samples: int = 1, seed: int = 0
+) -> List[WorkUnit]:
+    """The Theorem 2 sweep grid: one unit per feasible ``(ell, t)`` point."""
+    return [
+        WorkUnit(
+            uid=f"theorem2/ell={ell},t={t}",
+            kind="theorem2_point",
+            kwargs={"ell": ell, "t": t, "num_samples": num_samples, "seed": seed},
+        )
+        for ell, t in THEOREM2_POINTS
+        if t <= max_t
+    ]
+
+
+def claims_units(
+    params: Any, num_samples: int = 5, include_quadratic: bool = False
+) -> List[WorkUnit]:
+    """One unit per applicable claim at ``params``, in report order.
+
+    Mirrors the serial ``verify_all_linear`` / ``verify_all_quadratic``
+    composition, including the CLI's halved quadratic sample count.
+    """
+    from ..core import linear_claim_names
+
+    shape = {"ell": params.ell, "alpha": params.alpha, "t": params.t, "k": params.k}
+    units = [
+        WorkUnit(
+            uid=f"claims/linear/{name}",
+            kind="linear_claim",
+            kwargs=dict(shape, name=name, num_samples=num_samples),
+        )
+        for name in linear_claim_names(params)
+    ]
+    if include_quadratic:
+        from ..core import QUADRATIC_CLAIM_NAMES
+
+        quadratic_samples = max(1, num_samples // 2)
+        units += [
+            WorkUnit(
+                uid=f"claims/quadratic/{name}",
+                kind="quadratic_claim",
+                kwargs=dict(shape, name=name, num_samples=quadratic_samples),
+            )
+            for name in QUADRATIC_CLAIM_NAMES
+        ]
+    return units
+
+
+# ----------------------------------------------------------------------
+# High-level entry points (CLI + benches)
+# ----------------------------------------------------------------------
+
+
+def theorem1_reports(
+    max_t: int,
+    num_samples: int = 2,
+    seed: int = 0,
+    workers: Optional[int] = 1,
+) -> List[Any]:
+    """Theorem 1 experiment reports for ``t = 2 .. max_t``, in order."""
+    return run_units(
+        theorem1_units(max_t, num_samples=num_samples, seed=seed), workers=workers
+    )
+
+
+def theorem2_reports(
+    max_t: int,
+    num_samples: int = 1,
+    seed: int = 0,
+    workers: Optional[int] = 1,
+) -> List[Any]:
+    """Theorem 2 experiment reports over the feasible grid, in order."""
+    return run_units(
+        theorem2_units(max_t, num_samples=num_samples, seed=seed), workers=workers
+    )
+
+
+def claims_checks(
+    params: Any,
+    num_samples: int = 5,
+    include_quadratic: bool = False,
+    workers: Optional[int] = 1,
+) -> List[Any]:
+    """Every applicable claim check at ``params``, in report order."""
+    return run_units(
+        claims_units(
+            params, num_samples=num_samples, include_quadratic=include_quadratic
+        ),
+        workers=workers,
+    )
+
+
+def max_is_weights(
+    graphs: Sequence[Any], workers: Optional[int] = 1
+) -> List[float]:
+    """Exact MaxIS weights for a batch of graphs, in input order."""
+    units = [
+        WorkUnit(uid=f"maxis/{index}", kind="maxis_weight", kwargs={"graph": graph})
+        for index, graph in enumerate(graphs)
+    ]
+    return run_units(units, workers=workers)

@@ -1,0 +1,147 @@
+"""Picklable work-unit functions executed inside worker processes.
+
+Every heavy, independently-verifiable computation in the reproduction
+is exposed here as a *job kind*: a module-level function (so it pickles
+under every multiprocessing start method) taking only picklable keyword
+arguments and returning a picklable result.  The engine ships
+``(unit id, kind, kwargs)`` payloads to workers; :func:`execute_chunk`
+is the single entry point a worker runs.
+
+Job kinds
+---------
+``theorem1_point``   one (t) point of the Theorem 1 linear sweep
+``theorem2_point``   one (ell, t) point of the Theorem 2 quadratic sweep
+``linear_claim``     one named linear-construction claim verification
+``quadratic_claim``  one named quadratic-construction claim verification
+``maxis_weight``     exact MaxIS weight of one (gadget) graph
+``probe``            trivial instrumented job used by the test suite
+
+Observability contract: when a payload's ``record_obs`` flag is set the
+worker records the unit under a fresh worker-local recorder and returns
+its closed state (:meth:`repro.obs.Recorder.snapshot`) next to the
+result, so the parent can merge spans/counters/histograms as if the
+work had run in-process.  Workers first :meth:`hard_reset
+<repro.obs.Recorder.hard_reset>` the process-wide recorder: under a
+forking start method they inherit the parent's recorder mid-recording
+(open command span, live JSONL sink on a shared file descriptor) and
+must touch neither.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+
+#: ``(unit index, kind, kwargs, record_obs)`` as shipped to workers.
+Payload = Tuple[int, str, Dict[str, Any], bool]
+
+#: ``(unit index, result, snapshot-or-None)`` as shipped back.
+Outcome = Tuple[int, Any, Optional[Dict[str, Any]]]
+
+
+def _theorem1_point(t: int, num_samples: int, seed: int) -> Any:
+    """One Theorem 1 sweep point: the experiment report at player count ``t``."""
+    from ..core import LinearLowerBoundExperiment
+    from ..gadgets import smallest_meaningful_linear_parameters
+
+    params = smallest_meaningful_linear_parameters(t)
+    return LinearLowerBoundExperiment(params, seed=seed).run(num_samples=num_samples)
+
+
+def _theorem2_point(ell: int, t: int, num_samples: int, seed: int) -> Any:
+    """One Theorem 2 sweep point: the experiment report at ``(ell, t)``."""
+    from ..core import QuadraticLowerBoundExperiment
+    from ..gadgets import GadgetParameters
+
+    params = GadgetParameters(ell=ell, alpha=1, t=t)
+    return QuadraticLowerBoundExperiment(params, seed=seed).run(
+        num_samples=num_samples
+    )
+
+
+def _linear_claim(
+    name: str, ell: int, alpha: int, t: int, k: Optional[int], num_samples: int
+) -> Any:
+    """One linear-construction claim check (rebuilds the construction)."""
+    from ..core import run_linear_claim
+    from ..gadgets import GadgetParameters
+
+    params = GadgetParameters(ell=ell, alpha=alpha, t=t, k=k)
+    return run_linear_claim(name, params, num_samples=num_samples)
+
+
+def _quadratic_claim(
+    name: str, ell: int, alpha: int, t: int, k: Optional[int], num_samples: int
+) -> Any:
+    """One quadratic-construction claim check."""
+    from ..core import run_quadratic_claim
+    from ..gadgets import GadgetParameters
+
+    params = GadgetParameters(ell=ell, alpha=alpha, t=t, k=k)
+    return run_quadratic_claim(name, params, num_samples=num_samples)
+
+
+def _maxis_weight(graph: Any) -> float:
+    """Exact maximum independent set weight of one graph."""
+    from ..maxis import max_independent_set_weight
+
+    return max_independent_set_weight(graph)
+
+
+def _probe(x: float) -> float:
+    """Square ``x`` while exercising every instrument kind (tests only)."""
+    recorder = obs.get_recorder()
+    recorder.incr("parallel.probe_calls")
+    recorder.incr_keyed("parallel.probe_inputs", str(x))
+    recorder.gauge("parallel.probe_last", x)
+    recorder.observe("parallel.probe_values", x)
+    with recorder.span("probe", x=x):
+        with recorder.time("probe.square"):
+            return x * x
+
+
+JOB_KINDS: Dict[str, Callable[..., Any]] = {
+    "theorem1_point": _theorem1_point,
+    "theorem2_point": _theorem2_point,
+    "linear_claim": _linear_claim,
+    "quadratic_claim": _quadratic_claim,
+    "maxis_weight": _maxis_weight,
+    "probe": _probe,
+}
+
+
+def execute_unit(kind: str, kwargs: Dict[str, Any]) -> Any:
+    """Run one unit in the current process (shared by both backends)."""
+    try:
+        fn = JOB_KINDS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}"
+        ) from None
+    return fn(**kwargs)
+
+
+def execute_chunk(payloads: Sequence[Payload]) -> List[Outcome]:
+    """Worker entry point: run a chunk of payloads, one recording each.
+
+    Every unit that asks for observability runs under its own
+    ``obs.recording()`` block and returns its own snapshot — per-unit
+    snapshots are what lets the parent merge in unit order regardless
+    of which worker finished first (deterministic, order-independent
+    reduce).
+    """
+    recorder = obs.get_recorder()
+    recorder.hard_reset()
+    outcomes: List[Outcome] = []
+    for unit_index, kind, kwargs, record_obs in payloads:
+        snapshot: Optional[Dict[str, Any]] = None
+        if record_obs:
+            with obs.recording() as recorder:
+                result = execute_unit(kind, kwargs)
+            snapshot = recorder.snapshot()
+            recorder.hard_reset()
+        else:
+            result = execute_unit(kind, kwargs)
+        outcomes.append((unit_index, result, snapshot))
+    return outcomes

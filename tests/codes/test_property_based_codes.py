@@ -1,0 +1,158 @@
+"""Hypothesis property tests for the coding layer.
+
+Two universal statements back every gadget construction in the repo:
+
+* ``GF(p^m)`` really is a field — the axioms hold for every element
+  triple, prime and extension fields alike;
+* Reed–Solomon really corrects up to ``floor((d - 1) / 2)`` errors —
+  encode, corrupt any admissible error pattern, Berlekamp–Welch decode,
+  and the original message comes back.
+
+The deterministic unit tests elsewhere pin concrete vectors; here
+hypothesis roams the element/message/error space.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    ExtensionField,
+    PrimeField,
+    ReedSolomonCode,
+    hamming_distance,
+)
+
+# One representative per shape: small/large prime, binary and odd-prime
+# extensions.  Built once at module load — fields are immutable.
+_FIELDS = [
+    PrimeField(2),
+    PrimeField(5),
+    PrimeField(13),
+    ExtensionField(2, 4),  # GF(16)
+    ExtensionField(3, 2),  # GF(9)
+]
+
+_FIELD = st.sampled_from(_FIELDS)
+
+
+@st.composite
+def field_and_elements(draw, count: int):
+    """A field together with ``count`` of its elements."""
+    field = draw(_FIELD)
+    elements = [
+        draw(st.integers(min_value=0, max_value=field.order - 1))
+        for _ in range(count)
+    ]
+    return field, elements
+
+
+class TestFieldAxioms:
+    @settings(max_examples=120)
+    @given(field_and_elements(3))
+    def test_additive_group(self, drawn):
+        field, (a, b, c) = drawn
+        assert field.add(field.add(a, b), c) == field.add(a, field.add(b, c))
+        assert field.add(a, b) == field.add(b, a)
+        assert field.add(a, 0) == a
+        assert field.add(a, field.neg(a)) == 0
+
+    @settings(max_examples=120)
+    @given(field_and_elements(3))
+    def test_multiplicative_structure(self, drawn):
+        field, (a, b, c) = drawn
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+        assert field.mul(a, b) == field.mul(b, a)
+        assert field.mul(a, 1) == a
+        if a != 0:
+            assert field.mul(a, field.inv(a)) == 1
+
+    @settings(max_examples=120)
+    @given(field_and_elements(3))
+    def test_distributivity(self, drawn):
+        field, (a, b, c) = drawn
+        assert field.mul(a, field.add(b, c)) == field.add(
+            field.mul(a, b), field.mul(a, c)
+        )
+
+    @settings(max_examples=60)
+    @given(field_and_elements(2))
+    def test_subtraction_and_division_invert(self, drawn):
+        field, (a, b) = drawn
+        assert field.add(field.sub(a, b), b) == a
+        if b != 0:
+            assert field.mul(field.div(a, b), b) == a
+
+    @settings(max_examples=40)
+    @given(field_and_elements(1), st.integers(min_value=0, max_value=12))
+    def test_pow_matches_repeated_multiplication(self, drawn, exponent):
+        field, (a,) = drawn
+        expected = 1
+        for _ in range(exponent):
+            expected = field.mul(expected, a)
+        assert field.pow(a, exponent) == expected
+
+
+# (q, message length L, block length M) — distances d = M - L + 1 of
+# 3, 5, 6, and 7, i.e. correction radii 1..3.
+_CODE_SHAPES = [
+    (16, 4, 10),
+    (13, 3, 9),
+    (9, 2, 6),
+    (8, 3, 5),
+]
+
+_CODES = {shape: ReedSolomonCode.over_order(*shape) for shape in _CODE_SHAPES}
+
+
+@st.composite
+def corrupted_codeword(draw):
+    """A code, a message, and the codeword with <= radius corruptions."""
+    shape = draw(st.sampled_from(_CODE_SHAPES))
+    code = _CODES[shape]
+    q = code.field.order
+    message = tuple(
+        draw(st.integers(min_value=0, max_value=q - 1))
+        for _ in range(code.message_length)
+    )
+    num_errors = draw(
+        st.integers(min_value=0, max_value=code.max_correctable_errors)
+    )
+    positions = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=code.block_length - 1),
+            min_size=num_errors,
+            max_size=num_errors,
+            unique=True,
+        )
+    )
+    word = list(code.encode(message))
+    for position in positions:
+        # Any wrong symbol: shift by a nonzero offset mod q.
+        offset = draw(st.integers(min_value=1, max_value=q - 1))
+        word[position] = (word[position] + offset) % q
+    return code, message, tuple(word), len(positions)
+
+
+class TestReedSolomonRoundTrip:
+    @settings(max_examples=80)
+    @given(corrupted_codeword())
+    def test_decode_recovers_message_within_radius(self, drawn):
+        code, message, word, num_errors = drawn
+        assert hamming_distance(word, code.encode(message)) == num_errors
+        assert code.decode(word) == message
+
+    @settings(max_examples=40)
+    @given(st.sampled_from(_CODE_SHAPES), st.integers(min_value=0, max_value=10_000))
+    def test_distinct_messages_keep_distance(self, shape, seed):
+        """Any two distinct codewords differ in >= d positions (MDS)."""
+        code = _CODES[shape]
+        rng = random.Random(seed)
+        q = code.field.order
+        first = tuple(rng.randrange(q) for _ in range(code.message_length))
+        second = tuple(rng.randrange(q) for _ in range(code.message_length))
+        if first == second:
+            return
+        distance = hamming_distance(code.encode(first), code.encode(second))
+        assert distance >= code.minimum_distance

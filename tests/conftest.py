@@ -2,13 +2,22 @@
 
 Constructions are session-scoped — they are immutable after build, and
 tests only read them (families copy the fixed graph before weighting).
+
+Hypothesis runs under the fixed ``repro`` profile (derandomized,
+deadline disabled) so CI runs are reproducible byte for byte; export
+``HYPOTHESIS_PROFILE=default`` locally to hunt with fresh randomness.
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 from repro.gadgets import (
     GadgetParameters,

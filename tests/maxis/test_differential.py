@@ -1,0 +1,103 @@
+"""Differential tests: every MaxIS solver agrees on random graphs.
+
+Hypothesis drives G(n, p) instances with n <= 14 — small enough for the
+exponential brute-force enumerator, large enough to exercise the branch
+and bound pruning paths.  The oracles cross-check each other:
+
+* ``brute_force_max_weight_independent_set`` enumerates all subsets and
+  is the ground truth;
+* ``max_weight_independent_set`` (branch and bound) must match it;
+* ``max_weight_clique`` on the complement graph must match it (an
+  independent set is a clique in the complement);
+* the complement identity ``total == maxIS + minVC`` must hold;
+* no approximation may ever beat the optimum.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import random_graph
+from repro.maxis import (
+    best_greedy,
+    brute_force_max_weight_independent_set,
+    complement_identity_check,
+    is_vertex_cover,
+    matching_vertex_cover,
+    max_independent_set_weight,
+    max_weight_clique,
+    max_weight_independent_set,
+    min_weight_vertex_cover,
+    random_maximal_independent_set,
+)
+
+
+@st.composite
+def small_random_graph(draw):
+    """A weighted G(n, p) graph small enough to brute-force."""
+    num_nodes = draw(st.integers(min_value=0, max_value=14))
+    # Tenths keep the strategy space small; 0.0 and 1.0 hit the
+    # edgeless / complete extremes.
+    edge_probability = draw(st.integers(min_value=0, max_value=10)) / 10
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    max_weight = draw(st.sampled_from([1, 3, 9]))
+    return random_graph(
+        num_nodes,
+        edge_probability,
+        rng=random.Random(seed),
+        weight_range=(1, max_weight),
+    )
+
+
+class TestExactSolversAgree:
+    @settings(max_examples=60)
+    @given(small_random_graph())
+    def test_branch_and_bound_matches_brute_force(self, graph):
+        exact = max_weight_independent_set(graph)
+        brute = brute_force_max_weight_independent_set(graph)
+        assert exact.weight == brute.weight
+        assert graph.is_independent_set(exact.nodes)
+
+    @settings(max_examples=40)
+    @given(small_random_graph())
+    def test_clique_on_complement_matches(self, graph):
+        optimum = max_independent_set_weight(graph)
+        clique = max_weight_clique(graph.complement())
+        assert clique.weight == optimum
+
+    @settings(max_examples=40)
+    @given(small_random_graph())
+    def test_complement_identity(self, graph):
+        total, max_is, min_vc = complement_identity_check(graph)
+        assert total == max_is + min_vc
+        assert total == graph.total_weight()
+        cover = min_weight_vertex_cover(graph)
+        assert cover.weight == min_vc
+        assert is_vertex_cover(graph, cover.nodes)
+
+
+class TestApproximationsNeverBeatOptimum:
+    @settings(max_examples=40)
+    @given(small_random_graph())
+    def test_greedy_bounded_by_optimum(self, graph):
+        optimum = max_independent_set_weight(graph)
+        greedy = best_greedy(graph)
+        assert greedy.weight <= optimum
+        assert graph.is_independent_set(greedy.nodes)
+
+    @settings(max_examples=40)
+    @given(small_random_graph(), st.integers(min_value=0, max_value=2**16))
+    def test_random_maximal_bounded_by_optimum(self, graph, seed):
+        optimum = max_independent_set_weight(graph)
+        result = random_maximal_independent_set(graph, rng=random.Random(seed))
+        assert result.weight <= optimum
+        assert graph.is_independent_set(result.nodes)
+
+    @settings(max_examples=30)
+    @given(small_random_graph())
+    def test_matching_cover_never_below_minimum(self, graph):
+        minimum = min_weight_vertex_cover(graph).weight
+        approx = matching_vertex_cover(graph)
+        assert approx.weight >= minimum
+        assert is_vertex_cover(graph, approx.nodes)

@@ -1,0 +1,87 @@
+"""Unit tests for chunking and backend selection."""
+
+import pytest
+
+from repro.parallel import (
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkUnit,
+    chunked,
+    default_chunk_size,
+    resolve_backend,
+)
+from repro.parallel import backends as backends_module
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert chunked([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_oversized_chunk(self):
+        assert chunked([1, 2], 10) == [[1, 2]]
+
+    def test_empty(self):
+        assert chunked([], 3) == []
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestDefaultChunkSize:
+    def test_targets_four_chunks_per_worker(self):
+        # 100 units on 4 workers -> ceil(100 / 16) = 7.
+        assert default_chunk_size(100, 4) == 7
+
+    def test_never_below_one(self):
+        assert default_chunk_size(1, 8) == 1
+        assert default_chunk_size(0, 4) == 1
+
+    def test_serial_degenerates_gracefully(self):
+        assert default_chunk_size(10, 1) == 3  # ceil(10 / 4)
+
+
+class TestResolveBackend:
+    def test_one_worker_is_serial(self):
+        backend = resolve_backend(1)
+        assert isinstance(backend, SerialBackend)
+        assert backend.workers == 1
+
+    def test_zero_and_negative_are_serial(self):
+        assert isinstance(resolve_backend(0), SerialBackend)
+        assert isinstance(resolve_backend(-3), SerialBackend)
+
+    def test_multiple_workers_prefer_process_pool(self):
+        backend = resolve_backend(3)
+        if backends_module._multiprocessing_context() is None:
+            assert isinstance(backend, SerialBackend)
+        else:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.workers == 3
+
+    def test_falls_back_to_serial_without_context(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            backends_module, "_multiprocessing_context", lambda: None
+        )
+        backend = resolve_backend(4)
+        assert isinstance(backend, SerialBackend)
+        assert "serial" in capsys.readouterr().err
+
+    def test_process_pool_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(1)
+
+
+class TestSerialBackend:
+    def test_executes_in_order(self):
+        units = [
+            WorkUnit(uid=f"probe/{x}", kind="probe", kwargs={"x": x})
+            for x in (3, 1, 4)
+        ]
+        assert SerialBackend().run(units) == [9, 1, 16]
+
+    def test_empty_unit_list(self):
+        assert SerialBackend().run([]) == []

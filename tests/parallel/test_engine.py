@@ -1,0 +1,91 @@
+"""Engine tests: unit lists, ordered execution, real pool round-trips."""
+
+import pytest
+
+from repro.gadgets import GadgetParameters
+from repro.parallel import (
+    JOB_KINDS,
+    THEOREM2_POINTS,
+    WorkUnit,
+    claims_units,
+    execute_unit,
+    max_is_weights,
+    run_units,
+    theorem1_units,
+    theorem2_units,
+)
+from repro.parallel import backends as backends_module
+
+
+def _probe_units(values):
+    return [
+        WorkUnit(uid=f"probe/{x}", kind="probe", kwargs={"x": x}) for x in values
+    ]
+
+
+def _pool_available() -> bool:
+    return backends_module._multiprocessing_context() is not None
+
+
+class TestUnitLists:
+    def test_theorem1_grid(self):
+        units = theorem1_units(5, num_samples=3, seed=7)
+        assert [u.uid for u in units] == [f"theorem1/t={t}" for t in (2, 3, 4, 5)]
+        assert all(u.kind == "theorem1_point" for u in units)
+        assert units[0].kwargs == {"t": 2, "num_samples": 3, "seed": 7}
+
+    def test_theorem2_grid_filters_by_max_t(self):
+        assert [u.kwargs["t"] for u in theorem2_units(2)] == [2, 2]
+        assert len(theorem2_units(4)) == len(THEOREM2_POINTS)
+
+    def test_claims_units_match_registry(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        linear_only = claims_units(params, num_samples=4)
+        assert all(u.kind == "linear_claim" for u in linear_only)
+        both = claims_units(params, num_samples=4, include_quadratic=True)
+        quadratic = [u for u in both if u.kind == "quadratic_claim"]
+        assert [u.kwargs["name"] for u in quadratic] == ["Claim 6", "Claim 7"]
+        # The CLI halves the quadratic sample count.
+        assert all(u.kwargs["num_samples"] == 2 for u in quadratic)
+
+    def test_every_unit_kind_is_registered(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        units = (
+            theorem1_units(2)
+            + theorem2_units(2)
+            + claims_units(params, include_quadratic=True)
+        )
+        assert {u.kind for u in units} <= set(JOB_KINDS)
+
+
+class TestRunUnits:
+    def test_serial_results_in_unit_order(self):
+        assert run_units(_probe_units([5, 2, 7]), workers=1) == [25, 4, 49]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            execute_unit("no_such_kind", {})
+
+    @pytest.mark.skipif(not _pool_available(), reason="no multiprocessing")
+    def test_pool_results_match_serial(self):
+        values = list(range(11))
+        serial = run_units(_probe_units(values), workers=1)
+        pooled = run_units(_probe_units(values), workers=2)
+        assert pooled == serial == [x * x for x in values]
+
+    @pytest.mark.skipif(not _pool_available(), reason="no multiprocessing")
+    def test_pool_honors_chunk_size_one(self):
+        values = [3, 1, 4, 1, 5]
+        assert run_units(_probe_units(values), workers=3, chunk_size=1) == [
+            x * x for x in values
+        ]
+
+
+class TestMaxISBatch:
+    def test_weights_in_input_order(self, rng):
+        from repro.graphs import random_graph
+        from repro.maxis import max_independent_set_weight
+
+        graphs = [random_graph(8, 0.4, rng=rng, weight_range=(1, 5)) for _ in range(4)]
+        expected = [max_independent_set_weight(g) for g in graphs]
+        assert max_is_weights(graphs, workers=1) == expected

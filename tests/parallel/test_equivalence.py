@@ -1,0 +1,97 @@
+"""Serial vs parallel equivalence: same bytes out, same profile in.
+
+The engine's headline guarantee — ``--workers N`` changes wall-clock
+only.  Each test runs the same command (or unit list) serially and on a
+real process pool, then compares the outputs byte for byte and the
+merged recorder state aggregate for aggregate.
+
+Skipped wholesale on platforms where a process pool cannot start
+(``resolve_backend`` would silently fall back to serial there, which
+would make these tests vacuous rather than wrong).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.parallel import backends as backends_module
+from repro.parallel import theorem1_reports
+
+pytestmark = pytest.mark.skipif(
+    backends_module._multiprocessing_context() is None,
+    reason="multiprocessing unavailable; parallel path cannot be exercised",
+)
+
+#: Worker counts compared against the serial reference.
+PARALLEL_WORKERS = 4
+
+
+def _run_cli(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestCliByteEquivalence:
+    def test_theorem1_table_and_json(self, capsys):
+        for extra in ([], ["--json"]):
+            argv = ["theorem1", "--max-t", "3", "--samples", "1"] + extra
+            serial = _run_cli(capsys, argv + ["--workers", "1"])
+            parallel = _run_cli(
+                capsys, argv + ["--workers", str(PARALLEL_WORKERS)]
+            )
+            assert parallel == serial
+
+    def test_theorem2_json(self, capsys):
+        argv = ["theorem2", "--max-t", "2", "--samples", "2", "--json"]
+        serial = _run_cli(capsys, argv + ["--workers", "1"])
+        parallel = _run_cli(capsys, argv + ["--workers", str(PARALLEL_WORKERS)])
+        assert parallel == serial
+
+    def test_claims_json_with_quadratic(self, capsys):
+        argv = [
+            "claims", "--ell", "2", "--t", "2", "--samples", "2",
+            "--quadratic", "--json",
+        ]
+        serial = _run_cli(capsys, argv + ["--workers", "1"])
+        parallel = _run_cli(capsys, argv + ["--workers", str(PARALLEL_WORKERS)])
+        assert parallel == serial
+
+
+def _profiled_sweep(workers):
+    """Run a theorem1 sweep under the recorder; return comparable state."""
+    with obs.recording() as recorder:
+        reports = theorem1_reports(3, num_samples=1, workers=workers)
+        counters = dict(recorder.counters)
+        span_names = Counter(record.name for record in recorder.spans)
+        histograms = recorder.histogram_summaries()
+        keyed = {
+            name: dict(bucket)
+            for name, bucket in recorder.keyed_counters.items()
+        }
+    return reports, counters, span_names, histograms, keyed
+
+
+class TestObsEquivalence:
+    def test_merged_recorder_matches_serial(self):
+        serial_reports, s_counters, s_spans, s_hists, s_keyed = _profiled_sweep(1)
+        pooled_reports, p_counters, p_spans, p_hists, p_keyed = _profiled_sweep(
+            PARALLEL_WORKERS
+        )
+        assert [r.params.t for r in pooled_reports] == [
+            r.params.t for r in serial_reports
+        ]
+        assert p_counters == s_counters
+        assert p_spans == s_spans
+        assert p_hists == s_hists
+        assert p_keyed == s_keyed
+
+    def test_report_payloads_identical(self):
+        from repro.core import report_to_json
+
+        serial = theorem1_reports(3, num_samples=1, workers=1)
+        pooled = theorem1_reports(3, num_samples=1, workers=PARALLEL_WORKERS)
+        assert [report_to_json(r) for r in pooled] == [
+            report_to_json(r) for r in serial
+        ]

@@ -1,0 +1,197 @@
+"""Recorder snapshot/merge semantics: the cross-process obs contract.
+
+A worker recorder's ``snapshot()`` must fold into the parent via
+``merge_snapshot()`` so that counters add, gauges follow merge order,
+span trees graft under the parent's open span, and histograms merge
+exactly (or deterministically when reservoirs overflow).
+"""
+
+import pytest
+
+from repro.obs.metrics import Histogram
+from repro.obs.recorder import Recorder
+
+
+def _worker_recorder() -> Recorder:
+    """A recorder that pretends to be a worker mid-unit."""
+    worker = Recorder(enabled=True, clock=_FakeClock())
+    with worker.span("unit", uid="w/0"):
+        with worker.span("inner"):
+            worker.incr("work.done", 2)
+        worker.incr_keyed("edges", "a->b", 5)
+        worker.gauge("last.t", 3)
+        worker.observe("sizes", 10.0)
+        with worker.time("solve"):
+            pass
+    return worker
+
+
+class _FakeClock:
+    """Deterministic monotonically increasing clock."""
+
+    def __init__(self):
+        self._now = 0.0
+
+    def __call__(self) -> float:
+        self._now += 1.0
+        return self._now
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_native(self):
+        import json
+
+        snapshot = _worker_recorder().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_snapshot_excludes_open_spans(self):
+        recorder = Recorder(enabled=True)
+        live = recorder.span("open")
+        live.__enter__()
+        try:
+            # The open span is in ``spans`` but the merge-side contract
+            # is exercised by workers only after every span has closed.
+            assert recorder._stack
+        finally:
+            live.__exit__(None, None, None)
+        assert not recorder._stack
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_keyed_counters_add(self):
+        parent = Recorder(enabled=True)
+        parent.incr("work.done", 1)
+        parent.incr_keyed("edges", "a->b", 1)
+        snapshot = _worker_recorder().snapshot()
+        parent.merge_snapshot(snapshot)
+        parent.merge_snapshot(snapshot)
+        assert parent.counters["work.done"] == 5
+        assert parent.keyed_counters["edges"]["a->b"] == 11
+
+    def test_gauges_last_merge_wins(self):
+        parent = Recorder(enabled=True)
+        parent.gauge("last.t", 99)
+        parent.merge_snapshot(_worker_recorder().snapshot())
+        assert parent.gauges["last.t"] == 3
+
+    def test_spans_graft_under_open_span(self):
+        parent = Recorder(enabled=True)
+        with parent.span("parallel.run"):
+            parent.merge_snapshot(_worker_recorder().snapshot())
+        root = parent.spans[0]
+        grafted = [r for r in parent.spans if r.name == "unit"]
+        assert len(grafted) == 1
+        assert grafted[0].parent == root.index
+        assert grafted[0].depth == root.depth + 1
+        inner = [r for r in parent.spans if r.name == "inner"]
+        assert inner[0].parent == grafted[0].index
+        assert inner[0].depth == grafted[0].depth + 1
+
+    def test_spans_graft_as_roots_without_open_span(self):
+        parent = Recorder(enabled=True)
+        parent.merge_snapshot(_worker_recorder().snapshot())
+        grafted = [r for r in parent.spans if r.name == "unit"]
+        assert grafted[0].parent is None
+        assert grafted[0].depth == 0
+
+    def test_merged_spans_reach_sinks(self):
+        closed = []
+
+        class _Sink:
+            def on_span(self, record):
+                closed.append(record.name)
+
+            def on_flush(self, recorder):
+                pass
+
+        parent = Recorder(enabled=True)
+        parent.add_sink(_Sink())
+        parent.merge_snapshot(_worker_recorder().snapshot())
+        assert sorted(closed) == ["inner", "unit"]
+
+    def test_timers_and_histograms_merge(self):
+        parent = Recorder(enabled=True)
+        parent.observe("sizes", 4.0)
+        parent.merge_snapshot(_worker_recorder().snapshot())
+        sizes = parent.histograms["sizes"].summary()
+        assert sizes["count"] == 2
+        assert sizes["min"] == 4.0
+        assert sizes["max"] == 10.0
+        assert parent.timers["solve"].summary()["count"] == 1
+
+    def test_merge_roundtrip_equals_direct_recording(self):
+        direct = Recorder(enabled=True)
+        direct.incr("a", 1)
+        direct.incr("a", 2)
+        via_merge = Recorder(enabled=True)
+        worker = Recorder(enabled=True)
+        worker.incr("a", 1)
+        via_merge.merge_snapshot(worker.snapshot())
+        worker2 = Recorder(enabled=True)
+        worker2.incr("a", 2)
+        via_merge.merge_snapshot(worker2.snapshot())
+        assert via_merge.counters == direct.counters
+
+
+class TestHistogramStateMerge:
+    def test_exact_merge_when_reservoirs_fit(self):
+        left = Histogram(reservoir_size=100)
+        right = Histogram(reservoir_size=100)
+        for value in (1.0, 2.0, 3.0):
+            left.observe(value)
+        for value in (10.0, 20.0):
+            right.observe(value)
+        left.merge_state(right.to_state())
+        summary = left.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 20.0
+        assert summary["mean"] == pytest.approx(36.0 / 5)
+
+    def test_overflow_merge_is_deterministic_and_bounded(self):
+        def build():
+            a = Histogram(reservoir_size=8)
+            b = Histogram(reservoir_size=8)
+            for i in range(20):
+                a.observe(float(i))
+            for i in range(30):
+                b.observe(float(100 + i))
+            a.merge_state(b.to_state())
+            return a
+
+        first, second = build(), build()
+        assert first.to_state() == second.to_state()
+        assert len(first.to_state()["reservoir"]) <= 8
+        summary = first.summary()
+        assert summary["count"] == 50
+        assert summary["min"] == 0.0
+        assert summary["max"] == 129.0
+
+    def test_merge_into_empty_histogram(self):
+        target = Histogram(reservoir_size=4)
+        source = Histogram(reservoir_size=4)
+        for value in (5.0, 6.0):
+            source.observe(value)
+        target.merge_state(source.to_state())
+        assert target.summary()["count"] == 2
+        assert target.summary()["mean"] == pytest.approx(5.5)
+
+
+class TestHardReset:
+    def test_abandons_open_spans_and_drops_sinks(self):
+        recorder = Recorder(enabled=True)
+        recorder.add_sink(object())
+        live = recorder.span("stuck")
+        live.__enter__()
+        recorder.hard_reset()
+        assert recorder._stack == []
+        assert recorder._sinks == []
+        assert recorder.spans == []
+        assert not recorder.enabled
+
+    def test_keep_sinks(self):
+        recorder = Recorder(enabled=True)
+        sentinel = object()
+        recorder.add_sink(sentinel)
+        recorder.hard_reset(keep_sinks=True)
+        assert recorder._sinks == [sentinel]

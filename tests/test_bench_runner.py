@@ -39,7 +39,7 @@ def _trajectory(medians, iqr=0.001, sha="aaa"):
 
 
 class TestDiscovery:
-    def test_registry_holds_the_five_benches(self):
+    def test_registry_holds_the_six_benches(self):
         names = [spec.name for spec in runner.discover()]
         assert names == [
             "construction_build",
@@ -47,6 +47,7 @@ class TestDiscovery:
             "maxis_exact",
             "congest_trace",
             "theorem5_simulation",
+            "sweep_parallel",
         ]
 
     def test_only_filter_preserves_request_order(self):

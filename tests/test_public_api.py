@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.maxis",
     "repro.obs",
+    "repro.parallel",
 ]
 
 
