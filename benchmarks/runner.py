@@ -2,7 +2,7 @@
 
 ``pytest benchmarks/`` regenerates the paper's figures; *this* module
 answers a different question — are the hot paths getting faster or
-quietly regressing?  It keeps a small curated suite of six benches,
+quietly regressing?  It keeps a small curated suite of seven benches,
 one per hot path the reproduction leans on:
 
 * ``construction_build`` — gadget graph construction (linear + quadratic);
@@ -12,7 +12,11 @@ one per hot path the reproduction leans on:
 * ``theorem5_simulation`` — the full Theorem 5 player simulation;
 * ``sweep_parallel``     — the repro.parallel engine's scaling: one
   balanced theorem sweep at ``--workers 1`` vs ``--workers N``, with
-  the measured speedup recorded as gauges in the trajectory record.
+  the measured speedup recorded as gauges in the trajectory record;
+* ``sweep_cache``        — the repro.store result store's payoff: the
+  same theorem sweep cold (empty disk store) vs warm (fully cached),
+  with ``cache.cold_s``/``cache.warm_s``/``cache.speedup_x`` recorded
+  as gauges in the trajectory record.
 
 Each bench is run ``warmup`` times untimed and ``repeats`` times timed
 with observability *off* (so the timings measure the hot path, not the
@@ -39,6 +43,7 @@ import os
 import pathlib
 import random
 import sys
+import tempfile
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -105,7 +110,7 @@ def _fixture(key: str, build: Callable[[], Any]) -> Any:
 
 
 # ----------------------------------------------------------------------
-# The five benches
+# The seven benches
 # ----------------------------------------------------------------------
 
 
@@ -259,6 +264,48 @@ def bench_sweep_parallel():
     return serial_s / parallel_s if parallel_s else 0.0
 
 
+@bench("sweep_cache", sweep="theorem1", t=3, num_samples=2, seeds=4)
+def bench_sweep_cache():
+    """Cold-vs-warm wall time of one theorem sweep through the store.
+
+    Four Theorem 1 points (t=3, distinct seeds) run twice against a
+    fresh on-disk result store in a temporary directory: once cold
+    (every unit computed and written back) and once warm (every unit
+    answered from the store without dispatching).  Each invocation
+    builds its own store, so the timed repeats all measure the same
+    cold-then-warm cycle.  The timed samples cover the whole double
+    run; the manifest-pass gauges expose the payoff itself:
+    ``cache.cold_s``, ``cache.warm_s``, and ``cache.speedup_x``.
+    """
+    from repro import obs, store
+    from repro.core import report_to_json
+    from repro.parallel import WorkUnit, run_units
+
+    units = [
+        WorkUnit(
+            uid=f"cache/seed={seed}",
+            kind="theorem1_point",
+            kwargs={"t": 3, "num_samples": 2, "seed": seed},
+        )
+        for seed in range(4)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        with store.using_store("disk", path=tmp):
+            start = time.perf_counter()
+            cold = run_units(units, workers=1)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = run_units(units, workers=1)
+            warm_s = time.perf_counter() - start
+    if [report_to_json(r) for r in cold] != [report_to_json(r) for r in warm]:
+        raise AssertionError("cold and warm cached sweeps disagree")
+    recorder = obs.get_recorder()
+    recorder.gauge("cache.cold_s", cold_s)
+    recorder.gauge("cache.warm_s", warm_s)
+    recorder.gauge("cache.speedup_x", cold_s / warm_s if warm_s else 0.0)
+    return cold_s / warm_s if warm_s else 0.0
+
+
 # ----------------------------------------------------------------------
 # Robust statistics
 # ----------------------------------------------------------------------
@@ -356,12 +403,23 @@ def run_suite(
     only: Optional[Sequence[str]] = None,
     out_dir: Optional[str] = None,
     sweep_workers: Optional[int] = None,
+    cache_mode: str = "off",
 ) -> Tuple[pathlib.Path, Dict[str, Any]]:
     """Run the suite; write and return the ``BENCH_<sha>.json`` record.
 
     ``sweep_workers`` pins the worker-process count the
     ``sweep_parallel`` bench scales to (default min(4, cpu count)).
+
+    ``cache_mode`` runs the whole suite under a configured result store
+    (``repro bench --cache memory|disk``) — the benches then measure
+    the *cached* hot paths, which answers a different question than the
+    default, so the mode is recorded in the config whenever it is not
+    ``off`` and such trajectories should only be compared like-for-like.
+    (``sweep_cache`` always builds its own private disk store either
+    way.)
     """
+    from repro import store as result_store
+
     global _SWEEP_WORKERS
     if sweep_workers is not None:
         _SWEEP_WORKERS = sweep_workers
@@ -372,6 +430,8 @@ def run_suite(
         # Machine-dependent, so recorded only when the scaling bench
         # actually runs — other runs stay comparable across hosts.
         config["sweep_workers"] = resolved_sweep_workers()
+    if cache_mode != "off":
+        config["cache_mode"] = cache_mode
     trajectory: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "event_schema_version": SCHEMA_VERSION,
@@ -381,22 +441,23 @@ def run_suite(
         "benches": {},
     }
     rows = []
-    for spec in specs:
-        print(f"bench {spec.name} ... ", end="", flush=True)
-        record = run_bench(spec, warmup=warmup, repeats=repeats)
-        trajectory["benches"][spec.name] = record
-        wall = record["wall"]
-        print(f"median {wall['median_s'] * 1000:.2f}ms")
-        rows.append(
-            [
-                spec.name,
-                round(wall["median_s"] * 1000, 3),
-                round(wall["iqr_s"] * 1000, 3),
-                round(wall["min_s"] * 1000, 3),
-                round(wall["max_s"] * 1000, 3),
-                wall["outliers_rejected"],
-            ]
-        )
+    with result_store.using_store(cache_mode):
+        for spec in specs:
+            print(f"bench {spec.name} ... ", end="", flush=True)
+            record = run_bench(spec, warmup=warmup, repeats=repeats)
+            trajectory["benches"][spec.name] = record
+            wall = record["wall"]
+            print(f"median {wall['median_s'] * 1000:.2f}ms")
+            rows.append(
+                [
+                    spec.name,
+                    round(wall["median_s"] * 1000, 3),
+                    round(wall["iqr_s"] * 1000, 3),
+                    round(wall["min_s"] * 1000, 3),
+                    round(wall["max_s"] * 1000, 3),
+                    wall["outliers_rejected"],
+                ]
+            )
     print()
     print(
         render_table(

@@ -14,12 +14,20 @@ Commands
 ``stats``      summarize a JSONL observability event file
 ``telemetry``  per-round CONGEST traffic distributions vs the Theorem 5 bound
 ``bench``      run the curated bench suite / compare BENCH_*.json records
+``cache``      manage the result store: ``stats`` / ``clear`` / ``warm``
 
 Parallelism (see ``docs/PARALLEL.md``): ``theorem1``, ``theorem2``, and
 ``claims`` accept ``--workers N`` to fan their independent work units
 out to N worker processes via :mod:`repro.parallel`; output is
 guaranteed identical to the serial run.  ``bench --workers N`` sets the
 worker count the ``sweep_parallel`` scaling bench measures.
+
+Caching (see ``docs/CACHING.md``): the sweep commands and ``bench``
+accept ``--cache=off|memory|disk`` (plus ``--cache-dir``) to memoize
+gadget graphs, code tables, MaxIS optima, and whole sweep units in the
+content-addressed result store (:mod:`repro.store`); warm runs produce
+byte-identical output.  ``repro cache stats|clear|warm`` manages the
+on-disk store.
 
 Observability (see ``docs/OBSERVABILITY.md``): ``report``,
 ``theorem1``, ``theorem2``, and ``simulate`` accept ``--profile`` to
@@ -84,6 +92,35 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
             "see docs/PARALLEL.md)"
         ),
     )
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        choices=("off", "memory", "disk"),
+        default="off",
+        help=(
+            "memoize gadget graphs, code tables, MaxIS optima, and sweep "
+            "units in the content-addressed result store (docs/CACHING.md)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk store root for --cache=disk (default .repro-cache)",
+    )
+
+
+@contextlib.contextmanager
+def _cached(args: argparse.Namespace) -> Iterator[None]:
+    """Configure the result store around a command body (``--cache``)."""
+    from . import store
+
+    with store.using_store(
+        getattr(args, "cache", "off"), path=getattr(args, "cache_dir", None)
+    ):
+        yield
 
 
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
@@ -173,12 +210,13 @@ def cmd_claims(args: argparse.Namespace) -> int:
     from .parallel import claims_checks
 
     params = _params(args)
-    checks = claims_checks(
-        params,
-        num_samples=args.samples,
-        include_quadratic=args.quadratic,
-        workers=args.workers,
-    )
+    with _cached(args):
+        checks = claims_checks(
+            params,
+            num_samples=args.samples,
+            include_quadratic=args.quadratic,
+            workers=args.workers,
+        )
     if args.json:
         print(claim_checks_to_json(checks))
     else:
@@ -201,7 +239,7 @@ def cmd_theorem1(args: argparse.Namespace) -> int:
 
     rows = []
     exit_code = 0
-    with _profiled(args) as recorder:
+    with _cached(args), _profiled(args) as recorder:
         reports = theorem1_reports(
             args.max_t,
             num_samples=args.samples,
@@ -241,7 +279,7 @@ def cmd_theorem2(args: argparse.Namespace) -> int:
 
     rows = []
     exit_code = 0
-    with _profiled(args) as recorder:
+    with _cached(args), _profiled(args) as recorder:
         reports = theorem2_reports(
             args.max_t,
             num_samples=max(1, args.samples // 2),
@@ -340,6 +378,31 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cache_summary_rows(recorder) -> Optional[List[List[object]]]:
+    """Hit rate / bytes / lookup latency rows from the cache.* metrics.
+
+    Returns ``None`` when no store activity was recorded (cache off),
+    so callers can skip the section entirely.
+    """
+    hits = int(recorder.counters.get("cache.hit", 0))
+    misses = int(recorder.counters.get("cache.miss", 0))
+    bytes_written = int(recorder.counters.get("cache.bytes_written", 0))
+    if not (hits or misses or bytes_written):
+        return None
+    total = hits + misses
+    rows: List[List[object]] = [
+        ["hits", hits],
+        ["misses", misses],
+        ["hit rate", f"{hits / total:.1%}" if total else "n/a"],
+        ["bytes written", bytes_written],
+    ]
+    lookup = recorder.timer_summaries().get("cache.lookup")
+    if lookup:
+        rows.append(["lookup p50 (ms)", round(lookup["p50"] * 1000.0, 3)])
+        rows.append(["lookup p99 (ms)", round(lookup["p99"] * 1000.0, 3)])
+    return rows
+
+
 def cmd_telemetry(args: argparse.Namespace) -> int:
     """Run the Theorem 5 simulation and table its traffic distributions."""
     from . import obs
@@ -347,7 +410,7 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
 
     exit_code = 0
     reports = []
-    with obs.recording() as recorder:
+    with _cached(args), obs.recording() as recorder:
         for side, report in _run_theorem5_pair(args.seed):
             reports.append((side, report))
             if not report.is_consistent:
@@ -397,6 +460,16 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
             title="Observed cut traffic vs the Theorem 5 ceiling",
         )
     )
+    cache_rows = _cache_summary_rows(recorder)
+    if cache_rows is not None:
+        print()
+        print(
+            render_table(
+                ["cache", "value"],
+                cache_rows,
+                title="Result store (cache.* counters)",
+            )
+        )
     return exit_code
 
 
@@ -423,13 +496,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     warmup, repeats = args.warmup, args.repeats
     if args.fast:
         warmup, repeats = 1, 3
-    path, trajectory = runner.run_suite(
-        warmup=warmup,
-        repeats=repeats,
-        only=args.only or None,
-        out_dir=args.out,
-        sweep_workers=args.workers,
-    )
+    with _cached(args):
+        path, trajectory = runner.run_suite(
+            warmup=warmup,
+            repeats=repeats,
+            only=args.only or None,
+            out_dir=args.out,
+            sweep_workers=args.workers,
+            cache_mode=args.cache,
+        )
     print(f"\n[trajectory written to {path}]")
     return 0
 
@@ -522,6 +597,55 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Table the on-disk store's entry/byte totals per job kind."""
+    from .store import DiskBackend
+
+    stats = DiskBackend(args.cache_dir).stats()
+    rows = [
+        [kind, info["entries"], info["bytes"]]
+        for kind, info in sorted(stats["kinds"].items())
+    ]
+    rows.append(["TOTAL", stats["entries"], stats["bytes"]])
+    print(
+        render_table(
+            ["job kind", "entries", "bytes"],
+            rows,
+            title=f"Result store at {stats['root']}",
+        )
+    )
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    """Delete every entry (index rows + payload files) from the disk store."""
+    from .store import DiskBackend
+
+    backend = DiskBackend(args.cache_dir)
+    entries, nbytes = backend.clear()
+    print(f"cleared {entries} entries ({nbytes} bytes) from {backend.root}")
+    return 0
+
+
+def cmd_cache_warm(args: argparse.Namespace) -> int:
+    """Precompute the theorem sweep grids into the on-disk store."""
+    from . import store
+    from .parallel import run_units, theorem1_units, theorem2_units
+
+    with store.using_store("disk", path=args.cache_dir):
+        units = theorem1_units(args.max_t, num_samples=args.samples, seed=args.seed)
+        units += theorem2_units(
+            args.max_t, num_samples=max(1, args.samples // 2), seed=args.seed
+        )
+        run_units(units, workers=args.workers)
+        stats = store.get_store().backend.stats()
+    print(
+        f"warmed {len(units)} units -> {stats['entries']} entries "
+        f"({stats['bytes']} bytes) at {stats['root']}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -545,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
     claims.add_argument("--quadratic", action="store_true")
     claims.add_argument("--json", action="store_true")
     _add_workers_arg(claims)
+    _add_cache_args(claims)
     claims.set_defaults(func=cmd_claims)
 
     theorem1 = subparsers.add_parser("theorem1", help="run the Theorem 1 sweep")
@@ -554,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     theorem1.add_argument("--json", action="store_true")
     _add_workers_arg(theorem1)
     _add_profile_args(theorem1)
+    _add_cache_args(theorem1)
     theorem1.set_defaults(func=cmd_theorem1)
 
     theorem2 = subparsers.add_parser("theorem2", help="run the Theorem 2 sweep")
@@ -563,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
     theorem2.add_argument("--json", action="store_true")
     _add_workers_arg(theorem2)
     _add_profile_args(theorem2)
+    _add_cache_args(theorem2)
     theorem2.set_defaults(func=cmd_theorem2)
 
     simulate = subparsers.add_parser(
@@ -610,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-round CONGEST traffic distributions vs the Theorem 5 bound",
     )
     telemetry.add_argument("--seed", type=int, default=0)
+    _add_cache_args(telemetry)
     telemetry.set_defaults(func=cmd_telemetry)
 
     bench = subparsers.add_parser(
@@ -660,7 +788,41 @@ def build_parser() -> argparse.ArgumentParser:
             "(default min(4, cpu count))"
         ),
     )
+    _add_cache_args(bench)
     bench.set_defaults(func=cmd_bench)
+
+    cache = subparsers.add_parser(
+        "cache", help="manage the content-addressed result store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def _add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="on-disk store root (default $REPRO_CACHE_DIR or .repro-cache)",
+        )
+
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry/byte totals per job kind"
+    )
+    _add_cache_dir(cache_stats)
+    cache_stats.set_defaults(func=cmd_cache_stats)
+
+    cache_clear = cache_sub.add_parser("clear", help="delete every cached entry")
+    _add_cache_dir(cache_clear)
+    cache_clear.set_defaults(func=cmd_cache_clear)
+
+    cache_warm = cache_sub.add_parser(
+        "warm", help="precompute the theorem sweep grids into the disk store"
+    )
+    _add_cache_dir(cache_warm)
+    cache_warm.add_argument("--max-t", type=int, default=3)
+    cache_warm.add_argument("--samples", type=int, default=2)
+    cache_warm.add_argument("--seed", type=int, default=0)
+    _add_workers_arg(cache_warm)
+    cache_warm.set_defaults(func=cmd_cache_warm)
 
     return parser
 

@@ -190,6 +190,54 @@ class GreedyCodeMapping(CodeMapping):
         return self._codewords[index]
 
 
+class StoredCodeMapping(CodeMapping):
+    """A code-mapping rebuilt from a cached codeword table.
+
+    Unlike :class:`ExplicitCodeMapping` the distance is *trusted*, not
+    re-verified: the table is content-addressed by the code layer's
+    source fingerprint (see :mod:`repro.store`), so it was certified by
+    the construction that produced it and re-running the ``O(k^2 M)``
+    pairwise check would cost more than the build being skipped.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        block_length: int,
+        guaranteed_distance: int,
+        codewords: Sequence[Sequence[int]],
+    ) -> None:
+        self.alphabet_size = alphabet_size
+        self.block_length = block_length
+        self.guaranteed_distance = guaranteed_distance
+        self._codewords = [tuple(word) for word in codewords]
+        self.num_codewords = len(self._codewords)
+
+    def codeword(self, index: int) -> Tuple[int, ...]:
+        self._check_index(index)
+        return self._codewords[index]
+
+
+def code_mapping_to_dict(mapping: CodeMapping) -> Dict[str, object]:
+    """Flatten any code-mapping to its JSON-safe table form."""
+    return {
+        "alphabet_size": mapping.alphabet_size,
+        "block_length": mapping.block_length,
+        "guaranteed_distance": mapping.guaranteed_distance,
+        "codewords": [list(word) for word in mapping.codewords()],
+    }
+
+
+def code_mapping_from_dict(data: Dict[str, object]) -> "StoredCodeMapping":
+    """Inverse of :func:`code_mapping_to_dict` (distance trusted)."""
+    return StoredCodeMapping(
+        alphabet_size=data["alphabet_size"],
+        block_length=data["block_length"],
+        guaranteed_distance=data["guaranteed_distance"],
+        codewords=data["codewords"],
+    )
+
+
 class ExplicitCodeMapping(CodeMapping):
     """A code-mapping from an explicit codeword list (verified on build)."""
 
@@ -247,14 +295,7 @@ def verify_code_mapping(mapping: CodeMapping) -> int:
     return true_distance
 
 
-def code_mapping_for_parameters(ell: int, alpha: int) -> CodeMapping:
-    """Return a code-mapping for gadget parameters ``(ell, alpha)``.
-
-    Prefers Reed–Solomon when ``ell + alpha`` is a prime power (always
-    the case for the parameter presets); otherwise falls back to a
-    greedy search for ``(ell + alpha) ** alpha`` codewords at distance
-    ``ell``, which the paper's Theorem 4 guarantees to exist.
-    """
+def _build_code_mapping(ell: int, alpha: int) -> CodeMapping:
     q = ell + alpha
     if is_prime_power(q):
         return RSCodeMapping(ell, alpha)
@@ -263,4 +304,31 @@ def code_mapping_for_parameters(ell: int, alpha: int) -> CodeMapping:
         block_length=q,
         min_distance=ell,
         target_count=q ** alpha,
+    )
+
+
+def code_mapping_for_parameters(ell: int, alpha: int) -> CodeMapping:
+    """Return a code-mapping for gadget parameters ``(ell, alpha)``.
+
+    Prefers Reed–Solomon when ``ell + alpha`` is a prime power (always
+    the case for the parameter presets); otherwise falls back to a
+    greedy search for ``(ell + alpha) ** alpha`` codewords at distance
+    ``ell``, which the paper's Theorem 4 guarantees to exist.
+
+    When the result store is configured (``repro.store``), built tables
+    are memoized under ``codes.code_mapping`` and warm calls return a
+    :class:`StoredCodeMapping` with identical codewords and distance —
+    the greedy search is the main beneficiary.
+    """
+    from ..store import CODE_MODULES, get_store
+
+    store = get_store()
+    if store is None:
+        return _build_code_mapping(ell, alpha)
+    return store.get_or_compute(
+        "codes.code_mapping",
+        {"ell": ell, "alpha": alpha},
+        CODE_MODULES,
+        "code_mapping",
+        lambda: _build_code_mapping(ell, alpha),
     )

@@ -56,6 +56,18 @@ def gap_from_dict(data: Dict[str, object]) -> GapMeasurement:
     )
 
 
+def claim_check_from_dict(data: Dict[str, object]) -> ClaimCheck:
+    """Inverse of :func:`claim_check_to_dict`."""
+    return ClaimCheck(
+        name=data["name"],
+        holds=data["holds"],
+        measured=data["measured"],
+        bound=data["bound"],
+        direction=data["direction"],
+        detail=data.get("detail", ""),
+    )
+
+
 def claim_check_to_dict(check: ClaimCheck) -> Dict[str, object]:
     """Flatten a claim check."""
     return {
@@ -87,6 +99,35 @@ def report_to_dict(report: ExperimentReport) -> Dict[str, object]:
             "value": report.round_bound.value,
         },
     }
+
+
+def report_from_dict(data: Dict[str, object]) -> ExperimentReport:
+    """Inverse of :func:`report_to_dict` (derived fields recomputed).
+
+    ``round_bound.value`` is a property of the stored shape, so the
+    rebuilt report reproduces the original byte-for-byte under
+    :func:`report_to_json` — the exactness the result store's
+    ``report`` codec relies on.
+    """
+    from ..framework import RoundLowerBound
+
+    bound = data["round_bound"]
+    return ExperimentReport(
+        name=data["name"],
+        params=parameters_from_dict(data["parameters"]),
+        num_nodes=data["num_nodes"],
+        num_edges=data["num_edges"],
+        cut=data["cut"],
+        expected_cut=data["expected_cut"],
+        gap=gap_from_dict(data["gap"]),
+        round_bound=RoundLowerBound(
+            k=bound["k"],
+            t=bound["t"],
+            cut=bound["cut"],
+            num_nodes=bound["num_nodes"],
+            input_length=bound["input_length"],
+        ),
+    )
 
 
 def report_to_json(report: ExperimentReport, indent: int = 2) -> str:

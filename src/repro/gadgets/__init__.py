@@ -1,6 +1,12 @@
 """The paper's lower-bound constructions (Sections 4 and 5, Remark 1)."""
 
-from .base_graph import BaseGraphLayout, add_base_graph, build_base_graph
+from .base_graph import (
+    BaseGraphLayout,
+    add_base_graph,
+    build_base_graph,
+    build_layout,
+    fixed_graph_key_params,
+)
 from .claim7_analysis import (
     Claim7Breakdown,
     analyze_claim7_case2,
@@ -60,6 +66,7 @@ __all__ = [
     "analyze_claim7_case2",
     "build_case2_independent_set",
     "build_base_graph",
+    "build_layout",
     "case2_applies",
     "check_property1",
     "check_property2",
@@ -68,6 +75,7 @@ __all__ = [
     "corollary2_bound",
     "feasible_parameter_sweep",
     "figure_parameters",
+    "fixed_graph_key_params",
     "is_clique_node",
     "is_code_node",
     "linear_clique_node",

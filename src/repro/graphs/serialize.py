@@ -32,6 +32,21 @@ def _decode_node(data: Any) -> Node:
     return data
 
 
+def encode_node(node: Node) -> Any:
+    """The JSON-safe encoding of one node id (tuples become tagged lists).
+
+    Public entry point for layers that serialize node collections
+    outside a whole graph — the result store's ``node_list`` codec and
+    its canonical graph keys.
+    """
+    return _encode_node(node)
+
+
+def decode_node(data: Any) -> Node:
+    """Inverse of :func:`encode_node`."""
+    return _decode_node(data)
+
+
 def graph_to_dict(graph: WeightedGraph) -> Dict[str, Any]:
     """Flatten a graph to a JSON-safe dictionary."""
     return {

@@ -50,7 +50,35 @@ def max_weight_independent_set(
     Exact.  Intended for instances up to a few hundred nodes when they
     are dense (the gadget regime); see the solver bench for measured
     scaling.
+
+    Optima are memoized as witness node sets under ``maxis.solution``
+    when the result store is configured.  A cached witness is re-wrapped
+    in :class:`IndependentSetResult`, whose constructor re-validates
+    independence and recomputes the weight against the *live* graph, so
+    a hit can never return an invalid set — at worst a stale entry falls
+    through to a fresh solve.
     """
+    from ..store import MAXIS_MODULES, MISS, get_store
+
+    store = get_store()
+    if store is None:
+        return _branch_and_bound(graph, stats)
+    key = store.key_for("maxis.solution", {"graph": graph}, MAXIS_MODULES)
+    nodes = store.get(key)
+    if nodes is not MISS:
+        try:
+            return IndependentSetResult(graph, nodes)
+        except (KeyError, ValueError):
+            pass  # witness doesn't fit this graph: recompute below
+    result = _branch_and_bound(graph, stats)
+    store.put(key, "maxis.solution", "node_list", list(result.nodes))
+    return result
+
+
+def _branch_and_bound(
+    graph: WeightedGraph,
+    stats: Optional[BranchAndBoundStats] = None,
+) -> IndependentSetResult:
     node_list, weights, masks = graph.to_index_form()
     n = len(node_list)
     if n == 0:

@@ -38,7 +38,13 @@ from .manifest import (
     write_manifest,
 )
 from .metrics import Histogram, summarize
-from .recorder import NULL_SPAN, Recorder, SCHEMA_VERSION, SpanRecord
+from .recorder import (
+    NULL_SPAN,
+    Recorder,
+    SCHEMA_VERSION,
+    SpanRecord,
+    register_hard_reset_hook,
+)
 from .sinks import InMemorySink, JsonlSink, Sink, counter_events
 from .stats import load_events, load_events_tolerant, render_stats, render_stats_file
 
@@ -122,6 +128,7 @@ __all__ = [
     "load_events_tolerant",
     "load_manifest",
     "recording",
+    "register_hard_reset_hook",
     "render_stats",
     "render_stats_file",
     "run_provenance",

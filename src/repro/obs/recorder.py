@@ -33,6 +33,22 @@ from .metrics import DEFAULT_RESERVOIR_SIZE, Histogram, render_summary_rows
 #: v2: histogram/timer events, manifest provenance + metric sections.
 SCHEMA_VERSION = 2
 
+#: Callbacks run by every :meth:`Recorder.hard_reset`, in registration
+#: order.  See :func:`register_hard_reset_hook`.
+_HARD_RESET_HOOKS: List[Callable[[], None]] = []
+
+
+def register_hard_reset_hook(hook: Callable[[], None]) -> None:
+    """Register a callback invoked by every :meth:`Recorder.hard_reset`.
+
+    Subsystems that hold process-wide in-memory state a forked worker
+    must not inherit (e.g. the result store's memory backend) register
+    a clearing callback here, so the recorder stays import-free of
+    them.  Registering the same callable twice is a no-op.
+    """
+    if hook not in _HARD_RESET_HOOKS:
+        _HARD_RESET_HOOKS.append(hook)
+
 
 class SpanRecord:
     """One span: name, parameters, timing, and position in the tree."""
@@ -205,13 +221,17 @@ class Recorder:
         without being closed.  Worker processes call this first thing —
         under a forking start method they inherit the parent's recorder
         mid-recording (open command span, live JSONL sink on a shared
-        file descriptor), and must not write to either.
+        file descriptor), and must not write to either.  Registered
+        :func:`register_hard_reset_hook` callbacks run last, clearing
+        the same class of inherited state in other subsystems.
         """
         self._stack = []
         if not keep_sinks:
             self._sinks = []
         self.enabled = False
         self.reset()
+        for hook in list(_HARD_RESET_HOOKS):
+            hook()
 
     # ------------------------------------------------------------------
     # Cross-process snapshot and merge

@@ -58,6 +58,13 @@ def run_units(
     ``workers <= 1`` (or an unusable multiprocessing platform) runs
     serially in-process; anything larger fans out to a process pool.
     Both paths produce identical results and identical recorder totals.
+
+    When the result store is configured (``repro.store``), whole units
+    are looked up *before* dispatch — a hit skips the unit entirely (it
+    never reaches a worker) and only the missing units run, with their
+    results written back afterwards.  A fully-warm sweep therefore does
+    no multiprocessing at all, which also keeps its ``--profile``
+    totals worker-count-invariant.
     """
     units = list(units)
     backend = resolve_backend(workers)
@@ -68,7 +75,70 @@ def run_units(
         units=len(units),
     ):
         _obs.incr("parallel.units", len(units))
-        return backend.run(units, chunk_size=chunk_size)
+        cached, pending = _consult_store(units)
+        if not pending:
+            return [value for _, value in sorted(cached.items())]
+        computed = backend.run(
+            [unit for _, unit in pending], chunk_size=chunk_size
+        )
+        _write_back(pending, computed)
+        results: List[Any] = [None] * len(units)
+        for index, value in cached.items():
+            results[index] = value
+        for (index, _), value in zip(pending, computed):
+            results[index] = value
+        return results
+
+
+def _consult_store(
+    units: Sequence[WorkUnit],
+) -> Tuple[Dict[int, Any], List[Tuple[int, WorkUnit]]]:
+    """Split units into cache hits and still-to-run ``(index, unit)`` pairs."""
+    from ..store import JOB_SPECS, MISS, get_store
+
+    store = get_store()
+    if store is None:
+        return {}, [(index, unit) for index, unit in enumerate(units)]
+    cached: Dict[int, Any] = {}
+    pending: List[Tuple[int, WorkUnit]] = []
+    for index, unit in enumerate(units):
+        spec = JOB_SPECS.get(unit.kind)
+        if spec is None:
+            pending.append((index, unit))
+            continue
+        value = store.get(_unit_key(store, unit, spec))
+        if value is MISS:
+            pending.append((index, unit))
+        else:
+            cached[index] = value
+    if cached:
+        _obs.incr("parallel.units_cached", len(cached))
+    return cached, pending
+
+
+def _write_back(
+    pending: Sequence[Tuple[int, WorkUnit]], computed: Sequence[Any]
+) -> None:
+    """Store freshly computed unit results (parent side, post-merge)."""
+    from ..store import JOB_SPECS, get_store
+
+    store = get_store()
+    if store is None:
+        return
+    for (_, unit), value in zip(pending, computed):
+        spec = JOB_SPECS.get(unit.kind)
+        if spec is None:
+            continue
+        store.put(
+            _unit_key(store, unit, spec),
+            f"parallel.{unit.kind}",
+            spec.codec,
+            value,
+        )
+
+
+def _unit_key(store: Any, unit: WorkUnit, spec: Any) -> str:
+    return store.key_for(f"parallel.{unit.kind}", unit.kwargs, spec.modules)
 
 
 # ----------------------------------------------------------------------

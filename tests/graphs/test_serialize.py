@@ -5,9 +5,16 @@ import random
 
 import pytest
 
-from repro.gadgets import GadgetParameters, LinearConstruction
+from repro.commcc import uniquely_intersecting_inputs
+from repro.gadgets import (
+    GadgetParameters,
+    LinearConstruction,
+    QuadraticConstruction,
+)
 from repro.graphs import (
     WeightedGraph,
+    decode_node,
+    encode_node,
     graph_from_dict,
     graph_from_json,
     graph_to_dict,
@@ -48,6 +55,59 @@ class TestRoundTrip:
 
     def test_empty_graph(self):
         assert graph_from_json(graph_to_json(WeightedGraph())) == WeightedGraph()
+
+
+class TestWeightedGadgetRoundTrip:
+    """The result store leans on these exact round trips (docs/CACHING.md)."""
+
+    def test_linear_instance_with_input_weights(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        construction = LinearConstruction(params)
+        inputs = uniquely_intersecting_inputs(
+            params.k, params.t, rng=random.Random(7)
+        )
+        instance = construction.apply_inputs(inputs)
+        restored = graph_from_json(graph_to_json(instance))
+        assert restored == instance
+        # The input-dependent ell weights survive, not just topology.
+        for node in instance.nodes():
+            assert restored.weight(node) == instance.weight(node)
+        assert any(
+            instance.weight(construction.a_node(i, m)) == params.ell
+            for i in range(params.t)
+            for m in range(params.k)
+        )
+
+    def test_quadratic_fixed_graph(self):
+        construction = QuadraticConstruction(GadgetParameters(ell=2, alpha=1, t=2))
+        restored = graph_from_json(graph_to_json(construction.graph))
+        assert restored == construction.graph
+        assert restored.total_weight() == construction.graph.total_weight()
+
+    def test_nontrivial_node_encodings(self):
+        graph = WeightedGraph()
+        nodes = [
+            ("C", 0, 1, 2),
+            ("mixed", True, None, 2.5),
+            ("nested", ("inner", 0), "leaf"),
+            "bare-string",
+        ]
+        for index, node in enumerate(nodes):
+            graph.add_node(node, weight=index + 0.5)
+        graph.add_edge(nodes[0], nodes[1])
+        graph.add_edge(nodes[2], nodes[3])
+        restored = graph_from_json(graph_to_json(graph))
+        assert restored == graph
+        for node in nodes:
+            assert restored.weight(node) == graph.weight(node)
+
+    def test_encode_decode_node_are_exact_inverses(self):
+        for node in (
+            "plain",
+            ("A", 0, 1),
+            ("nested", ("deep", ("deeper", 1)), None, True, 2.5),
+        ):
+            assert decode_node(encode_node(node)) == node
 
 
 class TestFormat:

@@ -1,0 +1,104 @@
+"""Typed codec round trips: what goes into a payload comes back whole."""
+
+import pytest
+
+from repro.codes import (
+    StoredCodeMapping,
+    code_mapping_for_parameters,
+)
+from repro.core import ClaimCheck, claim_check_to_dict, report_to_json
+from repro.graphs import WeightedGraph
+from repro.store import get_codec
+from repro.store.codecs import CODECS
+
+
+def _weighted_graph():
+    graph = WeightedGraph()
+    graph.add_node(("A", 0, 1), weight=2.0)
+    graph.add_node(("C", 0, 1, 2), weight=1.0)
+    graph.add_node("plain", weight=0.5)
+    graph.add_edge(("A", 0, 1), ("C", 0, 1, 2))
+    graph.add_edge("plain", ("A", 0, 1))
+    return graph
+
+
+class TestJsonCodec:
+    def test_round_trip(self):
+        codec = get_codec("json")
+        value = {"a": [1, 2.5, None, True], "b": "text"}
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_payload_bytes_are_stable(self):
+        codec = get_codec("json")
+        assert codec.encode({"b": 2, "a": 1}) == codec.encode({"a": 1, "b": 2})
+
+
+class TestGraphCodec:
+    def test_round_trip_preserves_nodes_edges_weights(self):
+        codec = get_codec("graph")
+        graph = _weighted_graph()
+        restored = codec.decode(codec.encode(graph))
+        assert set(restored.nodes()) == set(graph.nodes())
+        assert restored.num_edges == graph.num_edges
+        for node in graph.nodes():
+            assert restored.weight(node) == graph.weight(node)
+
+
+class TestNodeListCodec:
+    def test_round_trip_is_sorted_and_typed(self):
+        codec = get_codec("node_list")
+        nodes = [("C", 0, 1, 2), "plain", ("A", 0, 1)]
+        restored = codec.decode(codec.encode(nodes))
+        assert set(restored) == set(nodes)
+        # Canonical payloads: encoding any permutation gives the bytes.
+        assert codec.encode(nodes) == codec.encode(list(reversed(nodes)))
+
+
+class TestReportCodec:
+    def test_round_trip_is_json_exact(self):
+        from repro.parallel.jobs import execute_unit
+
+        report = execute_unit(
+            "theorem1_point", {"t": 2, "num_samples": 1, "seed": 0}
+        )
+        codec = get_codec("report")
+        restored = codec.decode(codec.encode(report))
+        assert report_to_json(restored) == report_to_json(report)
+
+
+class TestClaimCheckCodec:
+    def test_round_trip(self):
+        codec = get_codec("claim_check")
+        check = ClaimCheck(
+            name="claim 3",
+            holds=True,
+            measured=12.0,
+            bound=14.0,
+            direction="<=",
+            detail="low side",
+        )
+        restored = codec.decode(codec.encode(check))
+        assert claim_check_to_dict(restored) == claim_check_to_dict(check)
+
+
+class TestCodeMappingCodec:
+    def test_round_trip_preserves_codewords_and_distance(self):
+        codec = get_codec("code_mapping")
+        mapping = code_mapping_for_parameters(2, 1)
+        restored = codec.decode(codec.encode(mapping))
+        assert isinstance(restored, StoredCodeMapping)
+        assert restored.alphabet_size == mapping.alphabet_size
+        assert restored.block_length == mapping.block_length
+        assert restored.num_codewords == mapping.num_codewords
+        assert restored.guaranteed_distance == mapping.guaranteed_distance
+        assert list(restored.codewords()) == list(mapping.codewords())
+
+
+class TestRegistry:
+    def test_every_codec_is_reachable(self):
+        for name in CODECS:
+            assert get_codec(name) is CODECS[name]
+
+    def test_unknown_codec_raises_helpfully(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            get_codec("no_such_codec")

@@ -1,0 +1,91 @@
+"""The store under real producers: engine sweeps, gadgets, solvers."""
+
+from repro import obs
+from repro.core import report_to_json
+from repro.gadgets import GadgetParameters, LinearConstruction
+from repro.graphs import WeightedGraph
+from repro.maxis import max_weight_independent_set
+from repro.parallel import run_units, theorem1_units
+from repro.store import using_store
+
+
+def _units():
+    return theorem1_units(3, num_samples=2, seed=0)
+
+
+class TestEngineCaching:
+    def test_warm_sweep_matches_cold_on_disk(self, tmp_path):
+        with using_store("disk", path=str(tmp_path)):
+            cold = run_units(_units(), workers=1)
+            warm = run_units(_units(), workers=1)
+        assert [report_to_json(r) for r in cold] == [
+            report_to_json(r) for r in warm
+        ]
+
+    def test_warm_sweep_matches_cold_in_memory(self):
+        with using_store("memory"):
+            cold = run_units(_units(), workers=1)
+            warm = run_units(_units(), workers=1)
+        assert [report_to_json(r) for r in cold] == [
+            report_to_json(r) for r in warm
+        ]
+
+    def test_warm_sweep_dispatches_nothing(self, tmp_path):
+        with using_store("disk", path=str(tmp_path)):
+            run_units(_units(), workers=1)
+            with obs.recording() as recorder:
+                run_units(_units(), workers=1)
+        units = len(_units())
+        assert recorder.counters["parallel.units_cached"] == units
+        assert recorder.counters["cache.hit"] >= units
+        # Nothing was recomputed: no solver work reached the backend.
+        assert "maxis.exact.solves" not in recorder.counters
+
+    def test_partial_warmth_runs_only_the_gap(self, tmp_path):
+        all_units = _units()
+        with using_store("disk", path=str(tmp_path)):
+            run_units(all_units[:1], workers=1)
+            with obs.recording() as recorder:
+                results = run_units(all_units, workers=1)
+        assert len(results) == len(all_units)
+        assert recorder.counters["parallel.units_cached"] == 1
+
+    def test_store_off_still_works(self):
+        results = run_units(_units()[:1], workers=1)
+        assert len(results) == 1
+
+
+class TestProducerCaching:
+    def test_second_linear_construction_hits(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        with using_store("memory"):
+            first = LinearConstruction(params)
+            with obs.recording() as recorder:
+                second = LinearConstruction(params)
+        assert recorder.counters["cache.hit"] >= 2  # code mapping + graph
+        assert recorder.counters.get("cache.miss", 0) == 0
+        assert set(second.graph.nodes()) == set(first.graph.nodes())
+        assert second.graph.num_edges == first.graph.num_edges
+        assert [layout.all_nodes() for layout in second.layouts] == [
+            layout.all_nodes() for layout in first.layouts
+        ]
+
+    def test_ablation_flags_key_separately(self):
+        params = GadgetParameters(ell=2, alpha=1, t=2)
+        with using_store("memory"):
+            standard = LinearConstruction(params)
+            ablated = LinearConstruction(params, remove_matching=False)
+        assert ablated.graph.num_edges > standard.graph.num_edges
+
+    def test_maxis_witness_round_trips(self):
+        graph = WeightedGraph()
+        for node, weight in (("a", 2.0), ("b", 1.0), ("c", 3.0)):
+            graph.add_node(node, weight=weight)
+        graph.add_edge("a", "b")
+        with using_store("memory"):
+            first = max_weight_independent_set(graph)
+            with obs.recording() as recorder:
+                second = max_weight_independent_set(graph)
+        assert "maxis.exact.solves" not in recorder.counters
+        assert second.weight == first.weight == 5.0
+        assert set(second.nodes) == set(first.nodes)

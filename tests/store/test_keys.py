@@ -1,0 +1,90 @@
+"""Key derivation: canonical params in, stable content addresses out."""
+
+import pytest
+
+from repro.graphs import WeightedGraph
+from repro.store import canonical_graph_dict, derive_key, encode_for_key
+
+
+def _triangle(order=("a", "b", "c")):
+    graph = WeightedGraph()
+    for node in order:
+        graph.add_node(node, weight=1.0)
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("a", "c")
+    return graph
+
+
+class TestEncodeForKey:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert encode_for_key(value) == value
+
+    def test_dict_key_order_is_canonical(self):
+        assert encode_for_key({"a": 1, "b": 2}) == encode_for_key(
+            {"b": 2, "a": 1}
+        )
+
+    def test_tuple_equals_list(self):
+        assert encode_for_key((1, 2, 3)) == encode_for_key([1, 2, 3])
+
+    def test_graph_insertion_order_is_canonical(self):
+        one = encode_for_key(_triangle(("a", "b", "c")))
+        other = encode_for_key(_triangle(("c", "a", "b")))
+        assert one == other
+        assert "__graph__" in one
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            encode_for_key(object())
+
+
+class TestDeriveKey:
+    def test_key_is_hex_sha256(self):
+        key = derive_key("kind", {"x": 1}, "fp")
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_kind_params_fingerprint_all_matter(self):
+        base = derive_key("kind", {"x": 1}, "fp")
+        assert derive_key("other", {"x": 1}, "fp") != base
+        assert derive_key("kind", {"x": 2}, "fp") != base
+        assert derive_key("kind", {"x": 1}, "fp2") != base
+
+    def test_param_dict_order_does_not_matter(self):
+        assert derive_key("k", {"a": 1, "b": 2}, "fp") == derive_key(
+            "k", {"b": 2, "a": 1}, "fp"
+        )
+
+    def test_graph_weight_changes_the_key(self):
+        light = _triangle()
+        heavy = _triangle()
+        heavy.set_weight("a", 5.0)
+        assert derive_key("k", {"graph": light}, "fp") != derive_key(
+            "k", {"graph": heavy}, "fp"
+        )
+
+    def test_graph_edge_changes_the_key(self):
+        triangle = _triangle()
+        path = WeightedGraph()
+        for node in ("a", "b", "c"):
+            path.add_node(node, weight=1.0)
+        path.add_edge("a", "b")
+        path.add_edge("b", "c")
+        assert derive_key("k", {"graph": triangle}, "fp") != derive_key(
+            "k", {"graph": path}, "fp"
+        )
+
+
+class TestCanonicalGraphDict:
+    def test_tuple_nodes_sort_stably(self):
+        graph = WeightedGraph()
+        graph.add_node(("C", 0, 1, 2), weight=1.0)
+        graph.add_node(("A", 0, 1), weight=2.0)
+        graph.add_edge(("C", 0, 1, 2), ("A", 0, 1))
+        canonical = canonical_graph_dict(graph)
+        assert len(canonical["nodes"]) == 2
+        assert len(canonical["edges"]) == 1
+        again = canonical_graph_dict(graph)
+        assert canonical == again

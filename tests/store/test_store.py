@@ -1,0 +1,141 @@
+"""ResultStore facade + process-global configuration semantics."""
+
+import pytest
+
+from repro import obs, store
+from repro.store import (
+    MISS,
+    DiskBackend,
+    MemoryBackend,
+    ResultStore,
+    configure,
+    get_store,
+    store_mode,
+    using_store,
+)
+
+MODULES = ["repro.graphs.graph"]
+
+
+class TestResultStore:
+    def test_get_or_compute_misses_then_hits(self):
+        calls = []
+        result_store = ResultStore(MemoryBackend())
+
+        def compute():
+            calls.append(1)
+            return {"answer": 42}
+
+        first = result_store.get_or_compute(
+            "test.kind", {"x": 1}, MODULES, "json", compute
+        )
+        second = result_store.get_or_compute(
+            "test.kind", {"x": 1}, MODULES, "json", compute
+        )
+        assert first == second == {"answer": 42}
+        assert len(calls) == 1
+
+    def test_none_is_a_cacheable_value(self):
+        result_store = ResultStore(MemoryBackend())
+        key = result_store.key_for("test.none", {}, MODULES)
+        assert result_store.get(key) is MISS
+        result_store.put(key, "test.none", "json", None)
+        assert result_store.get(key) is None
+
+    def test_counters_flow_through_obs(self):
+        result_store = ResultStore(MemoryBackend())
+        key = result_store.key_for("test.count", {}, MODULES)
+        with obs.recording() as recorder:
+            result_store.get(key)  # miss
+            nbytes = result_store.put(key, "test.count", "json", [1, 2, 3])
+            result_store.get(key)  # hit
+        assert recorder.counters["cache.miss"] == 1
+        assert recorder.counters["cache.hit"] == 1
+        assert recorder.counters["cache.bytes_written"] == nbytes
+        assert "cache.lookup" in recorder.timer_summaries()
+
+    def test_corrupt_payload_counts_as_miss(self):
+        backend = MemoryBackend()
+        result_store = ResultStore(backend)
+        key = result_store.key_for("test.corrupt", {}, MODULES)
+        backend.put(key, "json", b"not json at all {", kind="test.corrupt")
+        assert result_store.get(key) is MISS
+
+    def test_unknown_codec_in_entry_counts_as_miss(self):
+        backend = MemoryBackend()
+        result_store = ResultStore(backend)
+        key = result_store.key_for("test.codec", {}, MODULES)
+        backend.put(key, "from_the_future", b"[]", kind="test.codec")
+        assert result_store.get(key) is MISS
+
+    def test_put_returns_payload_size(self, tmp_path):
+        result_store = ResultStore(DiskBackend(tmp_path))
+        key = result_store.key_for("test.size", {}, MODULES)
+        nbytes = result_store.put(key, "test.size", "json", "payload")
+        assert nbytes == len(b'"payload"')
+
+
+class TestConfigure:
+    def test_off_by_default(self):
+        assert get_store() is None
+        assert store_mode() == "off"
+
+    def test_configure_modes(self, tmp_path):
+        try:
+            assert configure("off") is None
+            memory = configure("memory")
+            assert memory is not None and memory.name == "memory"
+            disk = configure("disk", path=str(tmp_path / "c"))
+            assert disk is not None and disk.name == "disk"
+            assert store_mode() == "disk"
+        finally:
+            configure("off")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="cache mode"):
+            configure("turbo")
+
+    def test_using_store_restores_previous(self):
+        assert get_store() is None
+        with using_store("memory") as active:
+            assert get_store() is active
+            assert store_mode() == "memory"
+        assert get_store() is None
+
+    def test_memory_mode_starts_fresh_each_time(self):
+        with using_store("memory") as first:
+            key = first.key_for("test.fresh", {}, MODULES)
+            first.put(key, "test.fresh", "json", 1)
+            assert first.get(key) == 1
+        with using_store("memory") as second:
+            assert second.get(key) is MISS
+
+
+class TestHardResetHook:
+    """Regression: ``hard_reset`` must clear fork-inherited cache state."""
+
+    def test_hard_reset_clears_the_memory_backend(self):
+        with using_store("memory") as active:
+            key = active.key_for("test.reset", {}, MODULES)
+            active.put(key, "test.reset", "json", {"warm": True})
+            assert active.get(key) == {"warm": True}
+            obs.get_recorder().hard_reset()
+            assert active.backend.stats()["entries"] == 0
+            assert active.get(key) is MISS
+
+    def test_hard_reset_leaves_disk_entries_alone(self, tmp_path):
+        # The disk store is *shared* state, not per-process state: a
+        # worker's hard reset must not wipe the parent's warm cache.
+        with using_store("disk", path=str(tmp_path)) as active:
+            key = active.key_for("test.disk", {}, MODULES)
+            active.put(key, "test.disk", "json", 7)
+            obs.get_recorder().hard_reset()
+            assert active.get(key) == 7
+
+    def test_hook_registry_deduplicates(self):
+        from repro.obs.recorder import _HARD_RESET_HOOKS, register_hard_reset_hook
+
+        before = len(_HARD_RESET_HOOKS)
+        store._clear_inherited_memory_state  # the registered hook
+        register_hard_reset_hook(store._clear_inherited_memory_state)
+        assert len(_HARD_RESET_HOOKS) == before

@@ -39,7 +39,7 @@ def _trajectory(medians, iqr=0.001, sha="aaa"):
 
 
 class TestDiscovery:
-    def test_registry_holds_the_six_benches(self):
+    def test_registry_holds_the_seven_benches(self):
         names = [spec.name for spec in runner.discover()]
         assert names == [
             "construction_build",
@@ -48,6 +48,7 @@ class TestDiscovery:
             "congest_trace",
             "theorem5_simulation",
             "sweep_parallel",
+            "sweep_cache",
         ]
 
     def test_only_filter_preserves_request_order(self):
@@ -177,3 +178,28 @@ class TestRunSuite:
             "python_version",
         }
         assert "construction_build" in capsys.readouterr().out
+
+    def test_sweep_cache_records_speedup_gauges(self, tmp_path, capsys):
+        _, trajectory = runner.run_suite(
+            warmup=0, repeats=1, only=["sweep_cache"], out_dir=str(tmp_path)
+        )
+        gauges = trajectory["benches"]["sweep_cache"]["gauges"]
+        # The warm half answers every unit from the store, so the
+        # speedup is orders of magnitude; 1.5x is the acceptance floor.
+        assert gauges["cache.speedup_x"] > 1.5
+        assert gauges["cache.cold_s"] > gauges["cache.warm_s"]
+        # The bench uses its own private store: the suite-wide cache
+        # mode stayed off and is not recorded.
+        assert "cache_mode" not in trajectory["config"]
+        capsys.readouterr()
+
+    def test_cache_mode_recorded_when_enabled(self, tmp_path, capsys):
+        _, trajectory = runner.run_suite(
+            warmup=0,
+            repeats=1,
+            only=["construction_build"],
+            out_dir=str(tmp_path),
+            cache_mode="memory",
+        )
+        assert trajectory["config"]["cache_mode"] == "memory"
+        capsys.readouterr()

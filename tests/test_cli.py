@@ -267,6 +267,85 @@ class TestBenchCommand:
         assert set(trajectory["benches"]) == {"construction_build"}
 
 
+class TestCacheFlags:
+    def test_theorem1_output_unchanged_by_memory_cache(self, capsys):
+        assert main(["theorem1", "--max-t", "2", "--samples", "1", "--json"]) == 0
+        plain = capsys.readouterr().out
+        args = ["theorem1", "--max-t", "2", "--samples", "1", "--json"]
+        assert main(args + ["--cache", "memory"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_theorem2_disk_cold_warm_byte_identical(self, tmp_path, capsys):
+        args = [
+            "theorem2",
+            "--max-t",
+            "2",
+            "--samples",
+            "1",
+            "--json",
+            "--cache",
+            "disk",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_cache_flag_leaves_store_unconfigured_after_exit(self):
+        from repro.store import get_store
+
+        assert main(["theorem1", "--max-t", "2", "--samples", "1",
+                     "--cache", "memory"]) == 0
+        assert get_store() is None
+
+    def test_telemetry_prints_cache_section_when_enabled(self, capsys):
+        assert main(["telemetry", "--cache", "memory"]) == 0
+        out = capsys.readouterr().out
+        assert "Result store" in out
+        assert "hit rate" in out
+
+    def test_telemetry_omits_cache_section_when_off(self, capsys):
+        assert main(["telemetry"]) == 0
+        assert "Result store" not in capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def test_warm_then_stats_then_clear(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main(["cache", "warm", "--cache-dir", root, "--max-t", "2",
+                     "--samples", "1"]) == 0
+        assert "warmed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", root]) == 0
+        stats_out = capsys.readouterr().out
+        assert "TOTAL" in stats_out
+        assert "parallel.theorem1_point" in stats_out
+        assert main(["cache", "clear", "--cache-dir", root]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", root]) == 0
+        assert "parallel.theorem1_point" not in capsys.readouterr().out
+
+    def test_warmed_cache_serves_the_sweep(self, tmp_path, capsys):
+        root = str(tmp_path / "cache")
+        assert main(["cache", "warm", "--cache-dir", root, "--max-t", "2",
+                     "--samples", "1"]) == 0
+        capsys.readouterr()
+        args = ["theorem1", "--max-t", "2", "--samples", "1", "--json",
+                "--cache", "disk", "--cache-dir", root, "--profile"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache.hit" in out
+        # The sweep unit itself was served from the warm store.
+        assert "parallel.units_cached" in out
+
+    def test_stats_on_missing_root_is_empty_not_an_error(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path / "nowhere")]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+
 class TestParser:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):

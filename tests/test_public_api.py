@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.maxis",
     "repro.obs",
     "repro.parallel",
+    "repro.store",
 ]
 
 
