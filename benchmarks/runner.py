@@ -487,6 +487,51 @@ def load_trajectory(path) -> Dict[str, Any]:
     return record
 
 
+def discover_trajectories(
+    directory: Optional[pathlib.Path] = None,
+) -> List[Tuple[pathlib.Path, Dict[str, Any]]]:
+    """Every loadable ``BENCH_*.json`` under ``directory``, oldest first.
+
+    Files are ordered by modification time (name as a tiebreaker, so
+    the order is total) — the trajectory timeline the dashboard's
+    sparklines walk.  Unparseable or non-trajectory ``BENCH_*`` files
+    are skipped rather than raised: a half-written record from a
+    crashed run must not take the whole report down.
+    """
+    directory = pathlib.Path(directory) if directory else RESULTS_DIR
+    if not directory.is_dir():
+        return []
+    entries: List[Tuple[float, str, pathlib.Path]] = []
+    for path in directory.glob("BENCH_*.json"):
+        entries.append((path.stat().st_mtime, path.name, path))
+    found: List[Tuple[pathlib.Path, Dict[str, Any]]] = []
+    for _, _, path in sorted(entries):
+        try:
+            found.append((path, load_trajectory(path)))
+        except (ValueError, json.JSONDecodeError, OSError):
+            continue
+    return found
+
+
+def latest_trajectory(
+    directory: Optional[pathlib.Path] = None,
+    exclude: Optional[pathlib.Path] = None,
+) -> Optional[pathlib.Path]:
+    """The newest ``BENCH_*.json`` in ``directory``, or ``None``.
+
+    ``exclude`` skips one path — ``repro bench --compare`` passes the
+    record it just wrote so auto-discovery picks the previous run as
+    the baseline instead of comparing the new record to itself.
+    """
+    exclude = pathlib.Path(exclude).resolve() if exclude else None
+    candidates = [
+        path
+        for path, _ in discover_trajectories(directory)
+        if exclude is None or path.resolve() != exclude
+    ]
+    return candidates[-1] if candidates else None
+
+
 def compare(
     old: Dict[str, Any], new: Dict[str, Any], threshold: float = 0.15
 ) -> List[Dict[str, Any]]:

@@ -15,6 +15,7 @@ Commands
 ``telemetry``  per-round CONGEST traffic distributions vs the Theorem 5 bound
 ``bench``      run the curated bench suite / compare BENCH_*.json records
 ``cache``      manage the result store: ``stats`` / ``clear`` / ``warm``
+``dashboard``  build the static HTML run report with the coverage matrix
 
 Parallelism (see ``docs/PARALLEL.md``): ``theorem1``, ``theorem2``, and
 ``claims`` accept ``--workers N`` to fan their independent work units
@@ -32,16 +33,21 @@ on-disk store.
 Observability (see ``docs/OBSERVABILITY.md``): ``report``,
 ``theorem1``, ``theorem2``, and ``simulate`` accept ``--profile`` to
 enable the :mod:`repro.obs` recorder and print the span tree and
-counter totals after the run, and ``--profile-json PATH`` to also
-stream the events to a JSONL file that ``stats`` can replay later.
-The bench runner and the ``BENCH_*.json`` trajectory schema are
-documented in ``docs/BENCHMARKS.md``.
+counter totals after the run, ``--profile-json PATH`` to also stream
+the events to a JSONL file that ``stats`` can replay later, and
+``--trace-out PATH`` to export the recorded span tree as Chrome-trace
+JSON for chrome://tracing or https://ui.perfetto.dev (``stats`` can
+produce the same trace from a recorded JSONL file).  The bench runner
+and the ``BENCH_*.json`` trajectory schema are documented in
+``docs/BENCHMARKS.md``; the dashboard in ``docs/DASHBOARD.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
+import pathlib
 import random
 import sys
 from typing import Iterator, List, Optional
@@ -135,6 +141,15 @@ def _add_profile_args(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="also write JSONL events for `repro stats` (implies --profile)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also export the span tree as Chrome-trace JSON for "
+            "chrome://tracing / Perfetto (implies --profile)"
+        ),
+    )
 
 
 @contextlib.contextmanager
@@ -145,7 +160,12 @@ def _profiled(args: argparse.Namespace) -> Iterator[Optional[object]]:
     span tree and counter/gauge totals after the command body finishes.
     """
     jsonl_path = getattr(args, "profile_json", None)
-    if not getattr(args, "profile", False) and jsonl_path is None:
+    trace_path = getattr(args, "trace_out", None)
+    if (
+        not getattr(args, "profile", False)
+        and jsonl_path is None
+        and trace_path is None
+    ):
         yield None
         return
     from . import obs
@@ -161,6 +181,9 @@ def _profiled(args: argparse.Namespace) -> Iterator[Optional[object]]:
     print(recorder.render_summary())
     if jsonl_path:
         print(f"\n[events written to {jsonl_path}]")
+    if trace_path:
+        obs.write_chrome_trace(trace_path, recorder.spans, trace_name=args.command)
+        print(f"\n[Chrome trace written to {trace_path}]")
 
 
 def _profile_simulation_phase(recorder: Optional[object], seed: int) -> None:
@@ -378,8 +401,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _cache_summary_rows(recorder) -> Optional[List[List[object]]]:
-    """Hit rate / bytes / lookup latency rows from the cache.* metrics.
+def _cache_data(recorder) -> Optional[dict]:
+    """The cache.* metrics as a plain dict, or ``None`` when idle.
 
     Returns ``None`` when no store activity was recorded (cache off),
     so callers can skip the section entirely.
@@ -390,41 +413,88 @@ def _cache_summary_rows(recorder) -> Optional[List[List[object]]]:
     if not (hits or misses or bytes_written):
         return None
     total = hits + misses
-    rows: List[List[object]] = [
-        ["hits", hits],
-        ["misses", misses],
-        ["hit rate", f"{hits / total:.1%}" if total else "n/a"],
-        ["bytes written", bytes_written],
-    ]
+    data = {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / total if total else None,
+        "bytes_written": bytes_written,
+        "lookup_p50_s": None,
+        "lookup_p99_s": None,
+    }
     lookup = recorder.timer_summaries().get("cache.lookup")
     if lookup:
-        rows.append(["lookup p50 (ms)", round(lookup["p50"] * 1000.0, 3)])
-        rows.append(["lookup p99 (ms)", round(lookup["p99"] * 1000.0, 3)])
-    return rows
+        data["lookup_p50_s"] = lookup["p50"]
+        data["lookup_p99_s"] = lookup["p99"]
+    return data
+
+
+#: Shape of the ``repro telemetry --json`` document; bumped whenever a
+#: field is renamed/removed so downstream consumers (``repro dashboard``
+#: and anything else parsing the output) can key off it.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: The per-round distributions the telemetry surfaces, in table order.
+_TELEMETRY_METRICS = (
+    "congest.round_messages",
+    "congest.round_bits",
+    "congest.edge_utilization",
+    "theorem5.cut_round_bits",
+)
+
+
+def telemetry_data(seed: int = 0) -> dict:
+    """Machine-readable Theorem 5 telemetry (the ``--json`` document).
+
+    Runs the seeded simulation pair under a recorder and returns the
+    per-round traffic distributions, the per-side cut-traffic bounds,
+    and any cache activity — the same numbers the ``repro telemetry``
+    tables render, as a JSON-native dict.  Deterministic for a given
+    seed.  Respects a configured result store (``--cache``); the
+    dashboard collector calls this directly.
+    """
+    from . import obs
+
+    sides = []
+    consistent = True
+    with obs.recording() as recorder:
+        for side, report in _run_theorem5_pair(seed):
+            consistent = consistent and report.is_consistent
+            sides.append(
+                {
+                    "side": side,
+                    "rounds": report.rounds,
+                    "cut_edges": report.cut_edges,
+                    "measured_bits": report.blackboard_bits,
+                    "per_round_bit_bound": report.per_round_bit_bound,
+                    "analytic_bit_bound": report.analytic_bit_bound,
+                    "within_bound": report.blackboard_bits
+                    <= report.analytic_bit_bound,
+                    "consistent": report.is_consistent,
+                }
+            )
+    summaries = recorder.histogram_summaries()
+    return {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "seed": seed,
+        "metrics": {
+            name: summaries[name] for name in _TELEMETRY_METRICS if name in summaries
+        },
+        "sides": sides,
+        "cache": _cache_data(recorder),
+        "consistent": consistent,
+    }
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
     """Run the Theorem 5 simulation and table its traffic distributions."""
-    from . import obs
     from .obs.metrics import render_summary_rows
 
-    exit_code = 0
-    reports = []
-    with _cached(args), obs.recording() as recorder:
-        for side, report in _run_theorem5_pair(args.seed):
-            reports.append((side, report))
-            if not report.is_consistent:
-                exit_code = 1
-    summaries = recorder.histogram_summaries()
-    wanted = [
-        "congest.round_messages",
-        "congest.round_bits",
-        "congest.edge_utilization",
-        "theorem5.cut_round_bits",
-    ]
-    rows = render_summary_rows(
-        {name: summaries[name] for name in wanted if name in summaries}
-    )
+    with _cached(args):
+        data = telemetry_data(seed=args.seed)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0 if data["consistent"] else 1
+    rows = render_summary_rows(data["metrics"])
     print(
         render_table(
             ["metric", "count", "min", "mean", "p50", "p90", "p99", "max"],
@@ -435,15 +505,15 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     print()
     bound_rows = [
         [
-            side,
-            report.rounds,
-            report.cut_edges,
-            report.blackboard_bits,
-            report.per_round_bit_bound,
-            report.analytic_bit_bound,
-            report.blackboard_bits <= report.analytic_bit_bound,
+            side["side"],
+            side["rounds"],
+            side["cut_edges"],
+            side["measured_bits"],
+            side["per_round_bit_bound"],
+            side["analytic_bit_bound"],
+            side["within_bound"],
         ]
-        for side, report in reports
+        for side in data["sides"]
     ]
     print(
         render_table(
@@ -460,8 +530,24 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
             title="Observed cut traffic vs the Theorem 5 ceiling",
         )
     )
-    cache_rows = _cache_summary_rows(recorder)
-    if cache_rows is not None:
+    cache = data["cache"]
+    if cache is not None:
+        cache_rows: List[List[object]] = [
+            ["hits", cache["hits"]],
+            ["misses", cache["misses"]],
+            [
+                "hit rate",
+                f"{cache['hit_rate']:.1%}" if cache["hit_rate"] is not None else "n/a",
+            ],
+            ["bytes written", cache["bytes_written"]],
+        ]
+        if cache["lookup_p50_s"] is not None:
+            cache_rows.append(
+                ["lookup p50 (ms)", round(cache["lookup_p50_s"] * 1000.0, 3)]
+            )
+            cache_rows.append(
+                ["lookup p99 (ms)", round(cache["lookup_p99_s"] * 1000.0, 3)]
+            )
         print()
         print(
             render_table(
@@ -470,7 +556,7 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
                 title="Result store (cache.* counters)",
             )
         )
-    return exit_code
+    return 0 if data["consistent"] else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -485,8 +571,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         return 2
 
-    if args.compare:
-        old_path, new_path = args.compare
+    if args.compare is not None:
+        if len(args.compare) == 2:
+            old_path, new_path = args.compare
+        elif len(args.compare) == 1:
+            # One path given: auto-discover the baseline — the newest
+            # other BENCH_*.json in the results directory.
+            new_path = args.compare[0]
+            results_dir = pathlib.Path(args.out) if args.out else None
+            old_path = runner.latest_trajectory(
+                results_dir, exclude=pathlib.Path(new_path)
+            )
+            if old_path is None:
+                print(
+                    "repro bench --compare: no baseline BENCH_*.json found "
+                    f"in {results_dir or runner.RESULTS_DIR}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"[auto-discovered baseline: {old_path}]")
+        else:
+            print(
+                "repro bench --compare takes one (NEW, baseline "
+                "auto-discovered) or two (OLD NEW) trajectory paths",
+                file=sys.stderr,
+            )
+            return 2
         return runner.compare_files(
             old_path,
             new_path,
@@ -553,8 +663,6 @@ def cmd_protocols(args: argparse.Namespace) -> int:
 
 
 def cmd_export(args: argparse.Namespace) -> int:
-    import pathlib
-
     from .graphs import graph_to_json, to_dot
 
     out = pathlib.Path(args.output)
@@ -594,7 +702,52 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from .obs.stats import render_stats_file
 
     print(render_stats_file(args.events))
+    if args.trace_out:
+        from .obs.export import write_chrome_trace
+        from .obs.stats import load_events_tolerant
+
+        events, _ = load_events_tolerant(args.events)
+        spans = [event for event in events if event.get("type") == "span"]
+        write_chrome_trace(
+            args.trace_out, spans, trace_name=pathlib.Path(args.events).stem
+        )
+        print(f"\n[Chrome trace written to {args.trace_out}]")
     return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Build the static HTML run report with the paper-claim coverage matrix."""
+    from .report import build_dashboard
+
+    result = build_dashboard(
+        args.out,
+        results_dir=args.results,
+        seed=args.seed,
+        include_telemetry=not args.no_telemetry,
+    )
+    summary = result["summary"]
+    print(
+        f"coverage: {summary['verified']} verified, {summary['stale']} stale, "
+        f"{summary['unverified']} unverified, {summary['unmapped']} unmapped "
+        f"of {summary['total']} paper statements"
+    )
+    print(f"[report written to {result['path']}]")
+    exit_code = 0
+    if result["unmapped"]:
+        print(
+            f"UNMAPPED paper statements: {', '.join(result['unmapped'])}",
+            file=sys.stderr,
+        )
+        exit_code = 1
+    if result["problems"]:
+        for problem in result["problems"]:
+            print(f"registry problem: {problem}", file=sys.stderr)
+        exit_code = 1
+    if args.open:
+        import webbrowser
+
+        webbrowser.open(pathlib.Path(result["path"]).resolve().as_uri())
+    return exit_code
 
 
 def cmd_cache_stats(args: argparse.Namespace) -> int:
@@ -730,6 +883,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "events", help="path to an events.jsonl written via --profile-json"
     )
+    stats.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also export the recorded spans as Chrome-trace JSON",
+    )
     stats.set_defaults(func=cmd_stats)
 
     telemetry = subparsers.add_parser(
@@ -737,6 +896,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-round CONGEST traffic distributions vs the Theorem 5 bound",
     )
     telemetry.add_argument("--seed", type=int, default=0)
+    telemetry.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the telemetry as a JSON document instead of tables",
+    )
     _add_cache_args(telemetry)
     telemetry.set_defaults(func=cmd_telemetry)
 
@@ -763,9 +927,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--compare",
-        nargs=2,
-        metavar=("OLD", "NEW"),
-        help="compare two trajectory records instead of running benches",
+        nargs="+",
+        metavar="PATH",
+        help=(
+            "compare trajectory records instead of running benches: "
+            "OLD NEW, or just NEW with the baseline auto-discovered as "
+            "the newest other BENCH_*.json in the results directory"
+        ),
     )
     bench.add_argument(
         "--threshold",
@@ -790,6 +958,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(bench)
     bench.set_defaults(func=cmd_bench)
+
+    dashboard = subparsers.add_parser(
+        "dashboard",
+        help="build the static HTML run report with the coverage matrix",
+    )
+    dashboard.add_argument(
+        "--out",
+        default="dashboard",
+        metavar="DIR",
+        help="output directory for report.html (default ./dashboard)",
+    )
+    dashboard.add_argument(
+        "--results",
+        default=None,
+        metavar="DIR",
+        help="run-manifest/trajectory directory (default benchmarks/results)",
+    )
+    dashboard.add_argument(
+        "--seed", type=int, default=0, help="seed for the telemetry simulation"
+    )
+    dashboard.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip the seeded Theorem 5 telemetry section",
+    )
+    dashboard.add_argument(
+        "--open",
+        action="store_true",
+        help="open the written report in the default browser",
+    )
+    dashboard.set_defaults(func=cmd_dashboard)
 
     cache = subparsers.add_parser(
         "cache", help="manage the content-addressed result store"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..commcc import (
     BitString,
@@ -33,6 +33,39 @@ from ..maxis import (
     max_weight_independent_set,
     random_maximal_independent_set,
 )
+
+
+_F = TypeVar("_F", bound=Callable)
+
+#: ``verifier function name -> canonical paper-statement ids`` for every
+#: function decorated with :func:`verifies`, in definition order.  The
+#: report registry (``repro.report.registry``) cross-checks its claim
+#: rows against this so a verifier can't silently drop out of the
+#: coverage matrix.
+_VERIFIER_STATEMENTS: Dict[str, Tuple[str, ...]] = {}
+
+
+def verifies(*statements: str) -> Callable[[_F], _F]:
+    """Annotate a verifier with the paper statement(s) it checks.
+
+    Statement ids are the canonical short forms used throughout the
+    repo (``"Claim 3"``, ``"Property 1"``); the dashboard's coverage
+    matrix resolves them through :func:`claim_verifiers`.
+    """
+    if not statements:
+        raise ValueError("verifies() needs at least one paper statement id")
+
+    def decorate(fn: _F) -> _F:
+        fn.paper_statements = statements  # type: ignore[attr-defined]
+        _VERIFIER_STATEMENTS[fn.__name__] = statements
+        return fn
+
+    return decorate
+
+
+def claim_verifiers() -> Dict[str, Tuple[str, ...]]:
+    """``verifier name -> paper statement ids`` for all annotated verifiers."""
+    return dict(_VERIFIER_STATEMENTS)
 
 
 class ClaimCheck:
@@ -68,6 +101,7 @@ class ClaimCheck:
 # Properties 1-3 (structure of the fixed linear construction)
 # ----------------------------------------------------------------------
 
+@verifies("Property 1")
 def verify_property1(construction: LinearConstruction) -> ClaimCheck:
     """Property 1 for every index ``m``: the witness set is independent."""
     failures = [
@@ -83,6 +117,7 @@ def verify_property1(construction: LinearConstruction) -> ClaimCheck:
     )
 
 
+@verifies("Property 2")
 def verify_property2(construction: LinearConstruction) -> ClaimCheck:
     """Property 2 for every ``i < j`` and ``m1 != m2``: matching >= ell."""
     params = construction.params
@@ -102,6 +137,7 @@ def verify_property2(construction: LinearConstruction) -> ClaimCheck:
     )
 
 
+@verifies("Property 3")
 def verify_property3(
     construction: LinearConstruction,
     num_random_sets: int = 20,
@@ -135,6 +171,7 @@ def verify_property3(
 # Claims 1-2 (t = 2 warm-up) and Claims 3-5 (general t) — linear family
 # ----------------------------------------------------------------------
 
+@verifies("Claim 1")
 def verify_claim1(
     construction: LinearConstruction, common_index: int = 0
 ) -> ClaimCheck:
@@ -144,6 +181,7 @@ def verify_claim1(
     )
 
 
+@verifies("Claim 3")
 def verify_claim3(
     construction: LinearConstruction, common_index: int = 0
 ) -> ClaimCheck:
@@ -178,6 +216,7 @@ def _verify_linear_witness(
     )
 
 
+@verifies("Claim 2")
 def verify_claim2(
     construction: LinearConstruction,
     num_samples: int = 5,
@@ -199,6 +238,7 @@ def verify_claim2(
     )
 
 
+@verifies("Claim 5")
 def verify_claim5(
     construction: LinearConstruction,
     num_samples: int = 5,
@@ -233,6 +273,7 @@ def _max_disjoint_optimum(
     return worst
 
 
+@verifies("Claim 4")
 def verify_claim4(construction: LinearConstruction) -> ClaimCheck:
     """Claim 4: with all ``v^i_{m_i}`` chosen (distinct ``m_i``), the
     independent set holds at most ``l + a t^2`` nodes of ``∪ Code^i_{m_i}``.
@@ -271,6 +312,7 @@ def verify_claim4(construction: LinearConstruction) -> ClaimCheck:
 # Claims 6-7 — quadratic family
 # ----------------------------------------------------------------------
 
+@verifies("Claim 6")
 def verify_claim6(
     construction: QuadraticConstruction, pair: Tuple[int, int] = (0, 1)
 ) -> ClaimCheck:
@@ -296,6 +338,7 @@ def verify_claim6(
     )
 
 
+@verifies("Claim 7")
 def verify_claim7(
     construction: QuadraticConstruction,
     num_samples: int = 3,

@@ -30,6 +30,13 @@ import contextlib
 import pathlib
 from typing import Iterator, Optional, Union
 
+from .export import (
+    chrome_trace,
+    trace_events,
+    trace_from_events,
+    trace_from_recorder,
+    write_chrome_trace,
+)
 from .manifest import (
     build_manifest,
     ensure_json_native,
@@ -118,6 +125,7 @@ __all__ = [
     "Sink",
     "SpanRecord",
     "build_manifest",
+    "chrome_trace",
     "counter_events",
     "disable",
     "enable",
@@ -133,5 +141,9 @@ __all__ = [
     "render_stats_file",
     "run_provenance",
     "summarize",
+    "trace_events",
+    "trace_from_events",
+    "trace_from_recorder",
+    "write_chrome_trace",
     "write_manifest",
 ]

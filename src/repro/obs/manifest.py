@@ -76,11 +76,26 @@ def _git_sha() -> str:
     return result.stdout.strip() or "unknown"
 
 
+def _hostname() -> str:
+    """The machine's hostname, or ``"unknown"`` where lookup fails."""
+    try:
+        hostname = socket.gethostname()
+    except OSError:
+        return "unknown"
+    return hostname or "unknown"
+
+
 def run_provenance() -> Dict[str, str]:
-    """Where/what produced this run: git SHA, hostname, Python version."""
+    """Where/what produced this run: git SHA, hostname, Python version.
+
+    Every field degrades to the explicit string ``"unknown"`` rather
+    than raising or going missing — a manifest produced from a source
+    tarball on a sandboxed host still validates and still compares
+    field-for-field against one produced in a checkout.
+    """
     return {
         "git_sha": _git_sha(),
-        "hostname": socket.gethostname(),
+        "hostname": _hostname(),
         "python_version": platform.python_version(),
     }
 

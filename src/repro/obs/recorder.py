@@ -31,7 +31,9 @@ from .metrics import DEFAULT_RESERVOIR_SIZE, Histogram, render_summary_rows
 #: Version of the span/counter event schema emitted by sinks and
 #: embedded in run manifests.  Bump when the event shape changes.
 #: v2: histogram/timer events, manifest provenance + metric sections.
-SCHEMA_VERSION = 2
+#: v3: span events carry a ``track`` label (worker-track metadata for
+#: Chrome-trace export; ``null`` for spans recorded in-process).
+SCHEMA_VERSION = 3
 
 #: Callbacks run by every :meth:`Recorder.hard_reset`, in registration
 #: order.  See :func:`register_hard_reset_hook`.
@@ -51,9 +53,24 @@ def register_hard_reset_hook(hook: Callable[[], None]) -> None:
 
 
 class SpanRecord:
-    """One span: name, parameters, timing, and position in the tree."""
+    """One span: name, parameters, timing, and position in the tree.
 
-    __slots__ = ("index", "parent", "depth", "name", "params", "start_s", "duration_s")
+    ``track`` labels the execution lane the span was recorded on —
+    ``None`` for in-process spans, a stable label (the work-unit id)
+    for spans grafted from a worker snapshot.  Trace export renders
+    each track as its own Perfetto/Chrome-trace process row.
+    """
+
+    __slots__ = (
+        "index",
+        "parent",
+        "depth",
+        "name",
+        "params",
+        "start_s",
+        "duration_s",
+        "track",
+    )
 
     def __init__(
         self,
@@ -64,6 +81,7 @@ class SpanRecord:
         params: Dict[str, Any],
         start_s: float,
         duration_s: float = 0.0,
+        track: Optional[str] = None,
     ) -> None:
         self.index = index
         self.parent = parent
@@ -72,6 +90,7 @@ class SpanRecord:
         self.params = params
         self.start_s = start_s
         self.duration_s = duration_s
+        self.track = track
 
     def to_dict(self) -> Dict[str, Any]:
         """The span as a JSONL-ready event dict."""
@@ -84,6 +103,7 @@ class SpanRecord:
             "params": self.params,
             "start_s": self.start_s,
             "duration_s": self.duration_s,
+            "track": self.track,
         }
 
     def __repr__(self) -> str:
@@ -259,7 +279,9 @@ class Recorder:
             "timers": {name: hist.to_state() for name, hist in self.timers.items()},
         }
 
-    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+    def merge_snapshot(
+        self, snapshot: Dict[str, Any], track: Optional[str] = None
+    ) -> None:
         """Fold a worker recorder's :meth:`snapshot` into this recorder.
 
         Counters and keyed counters add; gauges take the snapshot's
@@ -268,6 +290,10 @@ class Recorder:
         :meth:`Histogram.merge_state`; spans are grafted under the
         currently open span (or as roots) with their indices rebased,
         and forwarded to the attached sinks like locally closed spans.
+
+        ``track`` labels the grafted spans' execution lane (the work
+        unit id, stable across worker scheduling); spans that already
+        carry a track keep it.
         """
         base = len(self.spans)
         graft_parent = self._stack[-1].index if self._stack else None
@@ -282,6 +308,7 @@ class Recorder:
                 params=dict(event.get("params", {})),
                 start_s=event["start_s"],
                 duration_s=event["duration_s"],
+                track=event.get("track") or track,
             )
             self.spans.append(record)
             for sink in self._sinks:
@@ -428,11 +455,37 @@ class Recorder:
             aggregates[record.name] = (count + 1, total + record.duration_s)
         return aggregates
 
-    def render_span_tree(self) -> str:
-        """Render the span hierarchy, merging same-named siblings."""
+    def span_children(self) -> Dict[Optional[int], List[SpanRecord]]:
+        """``parent index (None for roots) -> children`` in record order.
+
+        The adjacency view of the span tree — shared by the tree
+        renderer and the trace exporter, so both walk the same shape.
+        """
         children: Dict[Optional[int], List[SpanRecord]] = {}
         for record in self.spans:
             children.setdefault(record.parent, []).append(record)
+        return children
+
+    def root_spans(self) -> List[SpanRecord]:
+        """The top-level spans (no parent), in record order."""
+        return [record for record in self.spans if record.parent is None]
+
+    def span_tracks(self) -> List[Optional[str]]:
+        """Distinct span track labels in first-appearance order.
+
+        ``None`` (the in-process lane) is included when any span uses
+        it.  Trace export assigns one process row per entry, in this
+        order, so track ids are stable across reruns.
+        """
+        seen: List[Optional[str]] = []
+        for record in self.spans:
+            if record.track not in seen:
+                seen.append(record.track)
+        return seen
+
+    def render_span_tree(self) -> str:
+        """Render the span hierarchy, merging same-named siblings."""
+        children = self.span_children()
         lines: List[str] = []
 
         def walk(group: List[SpanRecord], depth: int) -> None:

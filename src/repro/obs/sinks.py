@@ -9,9 +9,11 @@ stats`` replays into summary tables.
 JSONL event schema (one JSON object per line; see
 ``docs/OBSERVABILITY.md``):
 
-* ``{"type": "meta", "schema_version": 2}`` — always the first line;
+* ``{"type": "meta", "schema_version": 3}`` — always the first line;
 * ``{"type": "span", "index", "parent", "depth", "name", "params",
-  "start_s", "duration_s"}`` — one per completed span;
+  "start_s", "duration_s", "track"}`` — one per completed span
+  (``track`` is ``null`` for in-process spans, a work-unit id for
+  spans grafted from a parallel worker snapshot);
 * ``{"type": "counter", "name", "value"}`` and
   ``{"type": "counter", "name", "key", "value"}`` (keyed) — at flush;
 * ``{"type": "gauge", "name", "value"}`` — at flush;

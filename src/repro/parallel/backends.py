@@ -114,7 +114,11 @@ class ProcessPoolBackend:
         if record_obs:
             recorder = obs.get_recorder()
             for unit_index in sorted(snapshots):
-                recorder.merge_snapshot(snapshots[unit_index])
+                # Tag grafted spans with the work-unit id (stable across
+                # scheduling) so trace export renders one track per unit.
+                recorder.merge_snapshot(
+                    snapshots[unit_index], track=units[unit_index].uid
+                )
         return [results[index] for index in range(len(units))]
 
 

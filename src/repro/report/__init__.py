@@ -1,0 +1,46 @@
+"""repro.report — the paper-claim coverage dashboard.
+
+Everything the observability layer records — run manifests, bench
+trajectories, per-round telemetry, cache counters — aggregates here
+into one dependency-free static ``report.html`` (``repro dashboard``).
+The centerpiece is the *claim coverage matrix*: a declarative registry
+(:mod:`repro.report.registry`) maps every statement of the paper —
+Theorems 1–5, Properties 1–3, Claims 1–7, Lemma 1, Remark 1, Figures
+1–6 — to its executable check(s), and the collector
+(:mod:`repro.report.collect`) joins that registry against the run
+manifests in ``benchmarks/results/`` to show which statements are
+verified, at which commit, at what cost.
+
+The HTML is a pure function of its inputs: building the dashboard
+twice over the same result files yields byte-identical output, so the
+artifact can be diffed in CI like any other build product.
+"""
+
+from __future__ import annotations
+
+from .collect import collect_report
+from .html import build_dashboard, render_report
+from .registry import (
+    CheckRef,
+    PaperStatement,
+    all_statements,
+    get_statement,
+    statement_ids,
+    unmapped_statements,
+    validate,
+)
+from .svg import sparkline_svg
+
+__all__ = [
+    "CheckRef",
+    "PaperStatement",
+    "all_statements",
+    "build_dashboard",
+    "collect_report",
+    "get_statement",
+    "render_report",
+    "sparkline_svg",
+    "statement_ids",
+    "unmapped_statements",
+    "validate",
+]

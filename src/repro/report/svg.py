@@ -1,0 +1,63 @@
+"""Inline SVG sparklines for the dashboard — no external JS/CSS.
+
+One polyline per bench trajectory, sized for a table cell.  All
+coordinates are rounded to two decimals before formatting, so the
+markup (and therefore the whole report) is byte-stable for a given
+value series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value: float) -> str:
+    """Fixed two-decimal coordinate formatting (no trailing float noise)."""
+    return f"{value:.2f}"
+
+
+def sparkline_svg(
+    values: Sequence[float],
+    width: int = 140,
+    height: int = 28,
+    pad: float = 2.0,
+    stroke: str = "#2b6cb0",
+) -> str:
+    """An inline ``<svg>`` sparkline of ``values``, oldest to newest.
+
+    A flat series (or a single point) renders as a horizontal midline;
+    the newest point is marked with a dot.  Empty input renders an
+    empty frame of the same size so table cells stay aligned.
+    """
+    header = (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+    )
+    if not values:
+        return header + "</svg>"
+    low = min(values)
+    high = max(values)
+    span = high - low
+    inner_w = width - 2 * pad
+    inner_h = height - 2 * pad
+    points = []
+    for index, value in enumerate(values):
+        if len(values) > 1:
+            x = pad + inner_w * index / (len(values) - 1)
+        else:
+            x = pad + inner_w / 2
+        if span > 0:
+            y = pad + inner_h * (1.0 - (value - low) / span)
+        else:
+            y = pad + inner_h / 2
+        points.append((x, y))
+    path = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+    last_x, last_y = points[-1]
+    return (
+        header
+        + f'<polyline fill="none" stroke="{stroke}" stroke-width="1.5" '
+        + f'points="{path}"/>'
+        + f'<circle cx="{_fmt(last_x)}" cy="{_fmt(last_y)}" r="2.2" '
+        + f'fill="{stroke}"/>'
+        + "</svg>"
+    )

@@ -59,6 +59,43 @@ class TestTrendChart:
         assert lines[0].index("|") == lines[1].index("|")
 
 
+class TestBarChartFormatting:
+    def test_custom_value_format(self):
+        chart = horizontal_bar_chart(["a"], [0.123456], value_format="{:.2f}")
+        assert chart.endswith("0.12")
+
+    def test_zero_max_value_renders_empty_bars(self):
+        chart = horizontal_bar_chart(["a", "b"], [0, 0], width=6, max_value=0)
+        lines = chart.splitlines()
+        assert all("#" not in line for line in lines)
+        assert all("|" in line for line in lines)
+
+    def test_rows_end_with_the_rendered_value(self):
+        chart = horizontal_bar_chart(["one", "two"], [1.5, 2.5])
+        lines = chart.splitlines()
+        assert lines[0].endswith("1.5")
+        assert lines[1].endswith("2.5")
+
+
+class TestTrendChartEdges:
+    def test_zero_target_renders_an_empty_rule(self):
+        chart = trend_chart([("a", 0.0)], target=0.0, target_label="zero")
+        target_row = chart.splitlines()[-1]
+        assert target_row.startswith("zero")
+        assert "=" not in target_row
+
+    def test_target_above_every_point_scales_the_bars(self):
+        chart = trend_chart([("a", 0.5)], target=1.0, width=10)
+        lines = chart.splitlines()
+        # The point fills half the width; the target rule fills it all.
+        assert lines[0].count("#") == 5
+        assert lines[1].count("=") == 10
+
+    def test_deterministic(self):
+        points = [("t=2", 0.9), ("t=3", 0.8)]
+        assert trend_chart(points, target=0.75) == trend_chart(points, target=0.75)
+
+
 class TestSparkline:
     def test_length(self):
         assert len(sparkline([1, 2, 3])) == 3

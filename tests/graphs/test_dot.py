@@ -58,6 +58,45 @@ class TestToDot:
         assert to_dot(graph, name="H").startswith('graph "H" {')
 
 
+class TestToDotRenderPaths:
+    def test_grouped_nodes_not_duplicated_at_top_level(self):
+        graph = WeightedGraph(nodes=["a", "b"])
+        dot = to_dot(graph, groups={"left": ["a"]})
+        # "a" renders once inside its cluster, "b" once at top level.
+        assert dot.count('"\'a\'" [') == 1
+        assert dot.count('"\'b\'" [') == 1
+
+    def test_weight_labels_inside_clusters(self):
+        graph = WeightedGraph(nodes={"a": 7})
+        dot = to_dot(graph, groups={"left": ["a"]})
+        assert "subgraph cluster_0" in dot
+        assert "w=7" in dot
+
+    def test_clusters_sorted_by_label(self):
+        graph = WeightedGraph(nodes=["a", "b"])
+        dot = to_dot(graph, groups={"zeta": ["b"], "alpha": ["a"]})
+        assert dot.index('label="alpha"') < dot.index('label="zeta"')
+
+    def test_backslashes_escaped_in_labels(self):
+        graph = WeightedGraph(nodes=["back\\slash"])
+        dot = to_dot(graph)
+        # repr() doubles the backslash, DOT quoting doubles it again.
+        assert "back" + "\\" * 4 + "slash" in dot
+
+    def test_edge_orientation_normalised(self):
+        # The same undirected edge renders identically regardless of
+        # the orientation it was inserted with.
+        forward = to_dot(WeightedGraph(edges=[("a", "b")]))
+        backward = to_dot(WeightedGraph(edges=[("b", "a")]))
+        assert forward == backward
+
+    def test_isolated_node_still_rendered(self):
+        graph = WeightedGraph(nodes=["lonely"], edges=[])
+        dot = to_dot(graph)
+        assert "'lonely'" in dot
+        assert "--" not in dot
+
+
 def _fmt(node):
     from repro.graphs import format_node
 

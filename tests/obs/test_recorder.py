@@ -96,6 +96,42 @@ class TestSpans:
         assert "no spans" in Recorder(enabled=True).render_span_tree()
 
 
+class TestSpanTreeAccessors:
+    def _recorder(self):
+        recorder = Recorder(enabled=True, clock=FakeClock())
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        with recorder.span("second"):
+            pass
+        return recorder
+
+    def test_span_children_is_the_adjacency_view(self):
+        recorder = self._recorder()
+        outer, inner, second = recorder.spans
+        children = recorder.span_children()
+        assert children[None] == [outer, second]
+        assert children[outer.index] == [inner]
+
+    def test_root_spans_are_the_parentless_records(self):
+        recorder = self._recorder()
+        assert [record.name for record in recorder.root_spans()] == [
+            "outer",
+            "second",
+        ]
+
+    def test_local_spans_live_on_the_in_process_track(self):
+        recorder = self._recorder()
+        assert all(record.track is None for record in recorder.spans)
+        assert recorder.span_tracks() == [None]
+
+    def test_to_dict_carries_the_track_field(self):
+        recorder = self._recorder()
+        event = recorder.spans[0].to_dict()
+        assert "track" in event
+        assert event["track"] is None
+
+
 class TestCountersAndGauges:
     def test_incr_accumulates(self):
         recorder = Recorder(enabled=True)

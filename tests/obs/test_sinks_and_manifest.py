@@ -176,6 +176,80 @@ class TestManifest:
             ensure_json_native({1: "x"}, "value")
 
 
+class TestProvenanceDegradation:
+    """Provenance must degrade to "unknown", never raise or omit."""
+
+    def test_git_sha_unknown_when_git_is_missing(self, monkeypatch):
+        import subprocess
+
+        from repro.obs import manifest as manifest_mod
+
+        def no_git(*args, **kwargs):
+            raise OSError("git not found")
+
+        monkeypatch.setattr(subprocess, "run", no_git)
+        manifest_mod._git_sha.cache_clear()
+        try:
+            provenance = run_provenance()
+            assert provenance["git_sha"] == "unknown"
+        finally:
+            manifest_mod._git_sha.cache_clear()
+
+    def test_git_sha_unknown_outside_a_checkout(self, monkeypatch):
+        import subprocess
+
+        from repro.obs import manifest as manifest_mod
+
+        real_run = subprocess.run
+
+        def not_a_repo(cmd, **kwargs):
+            result = real_run(["false"], capture_output=True)
+            result.stdout = "fatal: not a git repository"
+            return result
+
+        monkeypatch.setattr(subprocess, "run", not_a_repo)
+        manifest_mod._git_sha.cache_clear()
+        try:
+            assert run_provenance()["git_sha"] == "unknown"
+        finally:
+            manifest_mod._git_sha.cache_clear()
+
+    def test_hostname_unknown_when_lookup_fails(self, monkeypatch):
+        import socket
+
+        def no_hostname():
+            raise OSError("no hostname")
+
+        monkeypatch.setattr(socket, "gethostname", no_hostname)
+        assert run_provenance()["hostname"] == "unknown"
+
+    def test_empty_hostname_becomes_unknown(self, monkeypatch):
+        import socket
+
+        monkeypatch.setattr(socket, "gethostname", lambda: "")
+        assert run_provenance()["hostname"] == "unknown"
+
+    def test_degraded_manifest_still_builds_and_loads(self, tmp_path, monkeypatch):
+        import socket
+        import subprocess
+
+        from repro.obs import manifest as manifest_mod
+
+        def no_git(*args, **kwargs):
+            raise OSError("no git")
+
+        monkeypatch.setattr(subprocess, "run", no_git)
+        monkeypatch.setattr(socket, "gethostname", lambda: "")
+        manifest_mod._git_sha.cache_clear()
+        try:
+            path = write_manifest(tmp_path / "run.json", "run", recorder=Recorder())
+            provenance = load_manifest(path)["provenance"]
+            assert provenance["git_sha"] == "unknown"
+            assert provenance["hostname"] == "unknown"
+        finally:
+            manifest_mod._git_sha.cache_clear()
+
+
 class TestBenchPublish:
     def test_publish_writes_text_and_manifest_sidecar(self, tmp_path, monkeypatch, capsys):
         import benchmarks._util as util

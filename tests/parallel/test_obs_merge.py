@@ -133,6 +133,57 @@ class TestMergeSnapshot:
         assert via_merge.counters == direct.counters
 
 
+class TestSpanTracks:
+    def test_merge_tags_grafted_spans_with_the_track(self):
+        parent = Recorder(enabled=True)
+        with parent.span("parallel.run"):
+            parent.merge_snapshot(_worker_recorder().snapshot(), track="unit/0")
+        grafted = [r for r in parent.spans if r.name in ("unit", "inner")]
+        assert len(grafted) == 2
+        assert all(record.track == "unit/0" for record in grafted)
+        local = [r for r in parent.spans if r.name == "parallel.run"]
+        assert local[0].track is None
+
+    def test_span_tracks_first_appearance_order(self):
+        parent = Recorder(enabled=True)
+        with parent.span("parallel.run"):
+            parent.merge_snapshot(_worker_recorder().snapshot(), track="unit/0")
+            parent.merge_snapshot(_worker_recorder().snapshot(), track="unit/1")
+        assert parent.span_tracks() == [None, "unit/0", "unit/1"]
+
+    def test_already_tagged_spans_keep_their_track(self):
+        # A snapshot whose spans already carry a track (e.g. a worker
+        # that itself merged sub-workers) is not relabelled.
+        snapshot = _worker_recorder().snapshot()
+        for event in snapshot["spans"]:
+            event["track"] = "nested/x"
+        parent = Recorder(enabled=True)
+        parent.merge_snapshot(snapshot, track="unit/0")
+        assert {r.track for r in parent.spans} == {"nested/x"}
+
+    def test_merge_without_track_stays_on_the_in_process_lane(self):
+        parent = Recorder(enabled=True)
+        parent.merge_snapshot(_worker_recorder().snapshot())
+        assert parent.span_tracks() == [None]
+
+    def test_process_pool_tags_tracks_with_unit_uids(self):
+        from repro import obs
+        from repro.parallel import ProcessPoolBackend, WorkUnit
+        from repro.parallel import backends as backends_module
+
+        if backends_module._multiprocessing_context() is None:
+            pytest.skip("multiprocessing unavailable on this platform")
+        units = [
+            WorkUnit(uid=f"probe/{x}", kind="probe", kwargs={"x": x})
+            for x in (2.0, 3.0)
+        ]
+        with obs.recording() as recorder:
+            results = ProcessPoolBackend(2).run(units, chunk_size=1)
+            tracks = set(recorder.span_tracks())
+        assert results == [4.0, 9.0]
+        assert {"probe/2.0", "probe/3.0"} <= tracks
+
+
 class TestHistogramStateMerge:
     def test_exact_merge_when_reservoirs_fit(self):
         left = Histogram(reservoir_size=100)

@@ -91,6 +91,60 @@ class TestRobustStats:
             runner.robust_stats([])
 
 
+class TestTrajectoryDiscovery:
+    def _write(self, tmp_path, name, record, age_s=0):
+        import os
+        import time
+
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        if age_s:
+            stamp = time.time() - age_s
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_discovery_orders_by_mtime(self, tmp_path):
+        self._write(tmp_path, "BENCH_new.json", _trajectory({"a": 1.0}, sha="new"))
+        self._write(
+            tmp_path, "BENCH_old.json", _trajectory({"a": 2.0}, sha="old"), age_s=100
+        )
+        found = runner.discover_trajectories(tmp_path)
+        assert [record["provenance"]["git_sha"] for _, record in found] == [
+            "old",
+            "new",
+        ]
+
+    def test_discovery_skips_unparseable_records(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{nope")
+        (tmp_path / "BENCH_wrongkind.json").write_text('{"kind": "other"}')
+        self._write(tmp_path, "BENCH_good.json", _trajectory({"a": 1.0}))
+        assert len(runner.discover_trajectories(tmp_path)) == 1
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert runner.discover_trajectories(tmp_path / "nope") == []
+
+    def test_latest_trajectory_picks_the_newest(self, tmp_path):
+        self._write(
+            tmp_path, "BENCH_old.json", _trajectory({"a": 1.0}, sha="old"), age_s=100
+        )
+        newest = self._write(
+            tmp_path, "BENCH_new.json", _trajectory({"a": 1.0}, sha="new")
+        )
+        assert runner.latest_trajectory(tmp_path) == newest
+
+    def test_latest_trajectory_excludes_the_given_record(self, tmp_path):
+        old = self._write(
+            tmp_path, "BENCH_old.json", _trajectory({"a": 1.0}, sha="old"), age_s=100
+        )
+        newest = self._write(
+            tmp_path, "BENCH_new.json", _trajectory({"a": 1.0}, sha="new")
+        )
+        assert runner.latest_trajectory(tmp_path, exclude=newest) == old
+
+    def test_latest_trajectory_none_when_empty(self, tmp_path):
+        assert runner.latest_trajectory(tmp_path) is None
+
+
 class TestCompare:
     def test_regression_needs_both_gates(self):
         old = _trajectory({"a": 1.0}, iqr=0.01)

@@ -267,6 +267,155 @@ class TestBenchCommand:
         assert set(trajectory["benches"]) == {"construction_build"}
 
 
+class TestBenchCompareAutoDiscovery:
+    def _write_trajectory(self, directory, name, median, sha, age_s=0):
+        import os
+        import time
+
+        from tests.test_bench_runner import _trajectory
+
+        path = directory / name
+        path.write_text(json.dumps(_trajectory({"a": median}, sha=sha)))
+        if age_s:
+            stamp = time.time() - age_s
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_single_path_discovers_the_newest_baseline(self, tmp_path, capsys):
+        self._write_trajectory(tmp_path, "BENCH_old.json", 1.0, "old1", age_s=100)
+        new = self._write_trajectory(tmp_path, "BENCH_new.json", 1.0, "new1")
+        code = main(
+            ["bench", "--compare", str(new), "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto-discovered baseline" in out
+        assert "BENCH_old.json" in out
+
+    def test_single_path_without_baseline_is_a_usage_error(self, tmp_path, capsys):
+        new = self._write_trajectory(tmp_path, "BENCH_only.json", 1.0, "one")
+        code = main(["bench", "--compare", str(new), "--out", str(tmp_path)])
+        assert code == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_three_paths_is_a_usage_error(self, tmp_path, capsys):
+        path = self._write_trajectory(tmp_path, "BENCH_x.json", 1.0, "x")
+        code = main(["bench", "--compare", str(path), str(path), str(path)])
+        assert code == 2
+        assert "one" in capsys.readouterr().err
+
+
+class TestTraceExport:
+    def test_profiled_command_writes_chrome_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "theorem1",
+                "--max-t",
+                "2",
+                "--samples",
+                "1",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert "Chrome trace written to" in capsys.readouterr().out
+        trace = json.loads(trace_path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X"}
+        for event in events:
+            assert {"ph", "name", "pid", "tid"} <= set(event)
+
+    def test_trace_out_implies_profile(self, capsys):
+        from repro import obs
+
+        assert not obs.is_enabled()
+        # No --profile flag: --trace-out alone must still record spans.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            trace_path = f"{tmp}/trace.json"
+            assert main(["simulate", "--trace-out", trace_path]) == 0
+            capsys.readouterr()
+            trace = json.loads(open(trace_path).read())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        assert not obs.is_enabled()
+
+    def test_stats_trace_out_round_trips_jsonl(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["simulate", "--profile-json", str(events)]) == 0
+        capsys.readouterr()
+        trace_path = tmp_path / "replayed.json"
+        assert main(["stats", str(events), "--trace-out", str(trace_path)]) == 0
+        capsys.readouterr()
+        trace = json.loads(trace_path.read_text())
+        x_events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert x_events
+        # Replaying identical input twice yields identical bytes.
+        again = tmp_path / "again.json"
+        assert main(["stats", str(events), "--trace-out", str(again)]) == 0
+        capsys.readouterr()
+        assert again.read_bytes() == trace_path.read_bytes()
+
+
+class TestTelemetryJson:
+    def test_json_output_is_machine_readable(self, capsys):
+        from repro.cli import TELEMETRY_SCHEMA_VERSION
+
+        assert main(["telemetry", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {
+            "schema_version",
+            "seed",
+            "metrics",
+            "sides",
+            "cache",
+            "consistent",
+        }
+        assert data["schema_version"] == TELEMETRY_SCHEMA_VERSION == 1
+        assert data["consistent"] is True
+        assert set(data["metrics"]) == {
+            "congest.round_messages",
+            "congest.round_bits",
+            "congest.edge_utilization",
+            "theorem5.cut_round_bits",
+        }
+        for side in data["sides"]:
+            assert side["within_bound"] is True
+            assert side["measured_bits"] <= side["analytic_bit_bound"]
+
+    def test_json_matches_collector_api(self, capsys):
+        from repro.cli import telemetry_data
+
+        assert main(["telemetry", "--json", "--seed", "3"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == telemetry_data(seed=3)
+
+
+class TestDashboardCommand:
+    def test_builds_a_self_contained_report(self, tmp_path, capsys):
+        code = main(
+            [
+                "dashboard",
+                "--out",
+                str(tmp_path / "dash"),
+                "--results",
+                str(tmp_path / "results"),
+                "--no-telemetry",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage:" in out
+        assert "report.html" in out
+        html = (tmp_path / "dash" / "report.html").read_text()
+        assert "<script" not in html
+        assert "Theorem 5" in html
+
+
 class TestCacheFlags:
     def test_theorem1_output_unchanged_by_memory_cache(self, capsys):
         assert main(["theorem1", "--max-t", "2", "--samples", "1", "--json"]) == 0
