@@ -441,10 +441,27 @@ def run_suite(
         "benches": {},
     }
     rows = []
+    # `repro bench --live`: each bench is one progress unit on the
+    # ambient monitor, so the status line / live.jsonl / HTTP exporter
+    # show suite progress even though benches run serially here.
+    from repro.obs.live import get_monitor, serial_worker_id
+
+    monitor = get_monitor()
+    if monitor is not None:
+        monitor.sweep_started(len(specs))
     with result_store.using_store(cache_mode):
         for spec in specs:
             print(f"bench {spec.name} ... ", end="", flush=True)
+            if monitor is not None:
+                monitor.unit_started(f"bench/{spec.name}", serial_worker_id())
+            bench_start = time.perf_counter()
             record = run_bench(spec, warmup=warmup, repeats=repeats)
+            if monitor is not None:
+                monitor.unit_finished(
+                    f"bench/{spec.name}",
+                    serial_worker_id(),
+                    time.perf_counter() - bench_start,
+                )
             trajectory["benches"][spec.name] = record
             wall = record["wall"]
             print(f"median {wall['median_s'] * 1000:.2f}ms")

@@ -40,6 +40,16 @@ JSON for chrome://tracing or https://ui.perfetto.dev (``stats`` can
 produce the same trace from a recorded JSONL file).  The bench runner
 and the ``BENCH_*.json`` trajectory schema are documented in
 ``docs/BENCHMARKS.md``; the dashboard in ``docs/DASHBOARD.md``.
+
+Live telemetry (the "Live monitoring" section of
+``docs/OBSERVABILITY.md``): ``theorem1``, ``theorem2``, ``claims``,
+and ``bench`` accept ``--live`` (in-place terminal status line),
+``--live-out PATH`` (append-only ``live.jsonl`` stream, schema v1,
+replayable by ``repro stats``), ``--metrics-port PORT`` (background
+HTTP server with Prometheus ``/metrics`` plus ``/progress`` and
+``/health`` JSON; port 0 picks a free port and prints it), and the
+stall watchdog knobs ``--watchdog-deadline SECONDS`` /
+``--watchdog-requeue``.
 """
 
 from __future__ import annotations
@@ -186,6 +196,119 @@ def _profiled(args: argparse.Namespace) -> Iterator[Optional[object]]:
         print(f"\n[Chrome trace written to {trace_path}]")
 
 
+def _add_live_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="draw an in-place live status line while the sweep runs",
+    )
+    parser.add_argument(
+        "--live-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append live progress/heartbeat/stall events to a live.jsonl "
+            "stream (schema v1; replay with `repro stats`)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve Prometheus /metrics plus /progress and /health JSON "
+            "on this port while the command runs (0 picks a free port)"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "flag a worker as stalled when its heartbeat lapses this long "
+            "(default 30; only meaningful with --workers >= 2)"
+        ),
+    )
+    parser.add_argument(
+        "--watchdog-requeue",
+        action="store_true",
+        help=(
+            "on a stall, requeue unfinished units on the serial fallback "
+            "and abandon the wedged pool instead of waiting"
+        ),
+    )
+
+
+@contextlib.contextmanager
+def _live(args: argparse.Namespace) -> Iterator[Optional[object]]:
+    """Install the live telemetry plane around a command body.
+
+    Active when any of ``--live``, ``--live-out``, ``--metrics-port``,
+    or ``--watchdog-requeue`` is given: builds the
+    :class:`~repro.obs.live.LiveMonitor`, installs it as the ambient
+    monitor the engine consults, optionally starts the HTTP exporter
+    (announcing its URL on stderr so scrapers can find an ephemeral
+    port), and makes sure the process-wide recorder is recording so
+    ``/metrics`` has counters to render even without ``--profile``.
+    """
+    live_out = getattr(args, "live_out", None)
+    metrics_port = getattr(args, "metrics_port", None)
+    if not (
+        getattr(args, "live", False)
+        or live_out is not None
+        or metrics_port is not None
+        or getattr(args, "watchdog_requeue", False)
+    ):
+        yield None
+        return
+    from . import obs
+
+    recorder = obs.get_recorder()
+    was_enabled = recorder.enabled
+    if not was_enabled:
+        recorder.reset()
+        recorder.enabled = True
+    monitor = obs.LiveMonitor(
+        command=args.command,
+        render=getattr(args, "live", False),
+        jsonl_path=live_out,
+        watchdog_deadline_s=getattr(args, "watchdog_deadline", 30.0),
+        requeue=getattr(args, "watchdog_requeue", False),
+    )
+    server = None
+    try:
+        if metrics_port is not None:
+            server = obs.MetricsServer(port=metrics_port, monitor=monitor)
+            print(f"[live metrics: {server.url}]", file=sys.stderr, flush=True)
+        with obs.using_monitor(monitor):
+            yield monitor
+    finally:
+        if server is not None:
+            server.close()
+        monitor.close()
+        recorder.enabled = was_enabled
+        if live_out:
+            print(f"[live events written to {live_out}]", file=sys.stderr)
+
+
+def _live_recorder(
+    recorder: Optional[object], monitor: Optional[object]
+) -> Optional[object]:
+    """The recorder profiled phases should use inside a live block.
+
+    ``--live`` without ``--profile`` still enables the process-wide
+    recorder (the exporter needs counters), but ``_profiled`` yielded
+    ``None`` — resolve to the enabled recorder in that case.
+    """
+    if recorder is not None or monitor is None:
+        return recorder
+    from . import obs
+
+    return obs.get_recorder() if obs.is_enabled() else None
+
+
 def _profile_simulation_phase(recorder: Optional[object], seed: int) -> None:
     """Run the Theorem 5 simulation check as a profiled phase.
 
@@ -233,7 +356,7 @@ def cmd_claims(args: argparse.Namespace) -> int:
     from .parallel import claims_checks
 
     params = _params(args)
-    with _cached(args):
+    with _cached(args), _live(args):
         checks = claims_checks(
             params,
             num_samples=args.samples,
@@ -262,7 +385,13 @@ def cmd_theorem1(args: argparse.Namespace) -> int:
 
     rows = []
     exit_code = 0
-    with _cached(args), _profiled(args) as recorder:
+    with _cached(args), _profiled(args) as recorder, _live(args) as monitor:
+        recorder = _live_recorder(recorder, monitor)
+        if monitor is not None:
+            # Run the CONGEST simulation *before* the sweep in live mode
+            # so /metrics already serves congest.round_bits while the
+            # sweep is being scraped.
+            _profile_simulation_phase(recorder, args.seed)
         reports = theorem1_reports(
             args.max_t,
             num_samples=args.samples,
@@ -285,7 +414,8 @@ def cmd_theorem1(args: argparse.Namespace) -> int:
                     report.gap.claims_hold,
                 ]
             )
-        _profile_simulation_phase(recorder, args.seed)
+        if monitor is None:
+            _profile_simulation_phase(recorder, args.seed)
         if not args.json:
             print(
                 render_table(
@@ -302,7 +432,10 @@ def cmd_theorem2(args: argparse.Namespace) -> int:
 
     rows = []
     exit_code = 0
-    with _cached(args), _profiled(args) as recorder:
+    with _cached(args), _profiled(args) as recorder, _live(args) as monitor:
+        recorder = _live_recorder(recorder, monitor)
+        if monitor is not None:
+            _profile_simulation_phase(recorder, args.seed)
         reports = theorem2_reports(
             args.max_t,
             num_samples=max(1, args.samples // 2),
@@ -324,7 +457,8 @@ def cmd_theorem2(args: argparse.Namespace) -> int:
                     report.gap.claims_hold,
                 ]
             )
-        _profile_simulation_phase(recorder, args.seed)
+        if monitor is None:
+            _profile_simulation_phase(recorder, args.seed)
         if not args.json:
             print(
                 render_table(
@@ -606,7 +740,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     warmup, repeats = args.warmup, args.repeats
     if args.fast:
         warmup, repeats = 1, 3
-    with _cached(args):
+    with _cached(args), _live(args):
         path, trajectory = runner.run_suite(
             warmup=warmup,
             repeats=repeats,
@@ -823,6 +957,7 @@ def build_parser() -> argparse.ArgumentParser:
     claims.add_argument("--json", action="store_true")
     _add_workers_arg(claims)
     _add_cache_args(claims)
+    _add_live_args(claims)
     claims.set_defaults(func=cmd_claims)
 
     theorem1 = subparsers.add_parser("theorem1", help="run the Theorem 1 sweep")
@@ -833,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(theorem1)
     _add_profile_args(theorem1)
     _add_cache_args(theorem1)
+    _add_live_args(theorem1)
     theorem1.set_defaults(func=cmd_theorem1)
 
     theorem2 = subparsers.add_parser("theorem2", help="run the Theorem 2 sweep")
@@ -843,6 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(theorem2)
     _add_profile_args(theorem2)
     _add_cache_args(theorem2)
+    _add_live_args(theorem2)
     theorem2.set_defaults(func=cmd_theorem2)
 
     simulate = subparsers.add_parser(
@@ -957,6 +1094,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_cache_args(bench)
+    _add_live_args(bench)
     bench.set_defaults(func=cmd_bench)
 
     dashboard = subparsers.add_parser(

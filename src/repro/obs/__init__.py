@@ -22,6 +22,13 @@ or from the CLI with ``python -m repro report --profile``; replay a
 JSONL event file later with ``python -m repro stats events.jsonl``.
 Naming conventions and the event schema live in
 ``docs/OBSERVABILITY.md``.
+
+The *live* telemetry plane (:mod:`repro.obs.live` +
+:mod:`repro.obs.httpexp`) layers streaming progress, worker
+heartbeats, a stall watchdog, and a scrapeable Prometheus ``/metrics``
+endpoint on top of the recorder — see the "Live monitoring" section
+of ``docs/OBSERVABILITY.md`` and the ``--live`` / ``--metrics-port``
+CLI flags.
 """
 
 from __future__ import annotations
@@ -36,6 +43,14 @@ from .export import (
     trace_from_events,
     trace_from_recorder,
     write_chrome_trace,
+)
+from .httpexp import MetricsServer, render_prometheus, sanitize_metric_name
+from .live import (
+    LIVE_SCHEMA_VERSION,
+    LiveMonitor,
+    _clear_ambient_monitor,
+    get_monitor,
+    using_monitor,
 )
 from .manifest import (
     build_manifest,
@@ -59,6 +74,11 @@ from .stats import load_events, load_events_tolerant, render_stats, render_stats
 #: It is never replaced (so module-level references stay live); enable
 #: and disable it instead.
 _RECORDER = Recorder()
+
+# A forked pool worker inherits the parent's ambient live monitor; its
+# jsonl handle and threads belong to the parent, so a worker's
+# hard_reset must drop the reference along with the recorder state.
+register_hard_reset_hook(_clear_ambient_monitor)
 
 
 def get_recorder() -> Recorder:
@@ -119,6 +139,9 @@ __all__ = [
     "Histogram",
     "InMemorySink",
     "JsonlSink",
+    "LIVE_SCHEMA_VERSION",
+    "LiveMonitor",
+    "MetricsServer",
     "NULL_SPAN",
     "Recorder",
     "SCHEMA_VERSION",
@@ -130,6 +153,7 @@ __all__ = [
     "disable",
     "enable",
     "ensure_json_native",
+    "get_monitor",
     "get_recorder",
     "is_enabled",
     "load_events",
@@ -137,13 +161,16 @@ __all__ = [
     "load_manifest",
     "recording",
     "register_hard_reset_hook",
+    "render_prometheus",
     "render_stats",
     "render_stats_file",
     "run_provenance",
+    "sanitize_metric_name",
     "summarize",
     "trace_events",
     "trace_from_events",
     "trace_from_recorder",
+    "using_monitor",
     "write_chrome_trace",
     "write_manifest",
 ]

@@ -1,0 +1,273 @@
+"""The HTTP exporter: a scrapeable ``/metrics`` + ``/progress`` plane.
+
+A stdlib-only background HTTP server (``--metrics-port``) that renders
+the process-wide recorder and the active :class:`~repro.obs.live.
+LiveMonitor` on demand — the seed of the ``repro serve`` service the
+roadmap names.  Three endpoints:
+
+``/metrics``
+    Prometheus text exposition (format version 0.0.4) rendered from
+    live recorder state: counters as ``<name>_total``, gauges as-is,
+    histograms and timers as summaries with p50/p90/p99 quantile
+    series (timers gain a ``_seconds`` suffix), keyed counters as one
+    labeled series per key (capped, largest first), and the monitor's
+    progress gauges (``parallel_units_done`` et al.).  Metric names
+    are the recorder's dotted names with every non-``[a-zA-Z0-9_:]``
+    character mapped to ``_`` — ``congest.round_bits`` scrapes as
+    ``congest_round_bits``.  The full mapping is documented in
+    ``docs/OBSERVABILITY.md``.
+
+``/progress``
+    The monitor's :meth:`~repro.obs.live.LiveMonitor.snapshot` as
+    JSON (schema v1, the same shape as ``live.jsonl`` progress
+    events), plus the stall reports.
+
+``/health``
+    ``{"status": "ok", "uptime_s": ...}`` — a liveness probe.
+
+Rendering is pull-based: every scrape reads the current recorder and
+monitor state under their own locks, so the exporter adds zero cost
+to the compute path between scrapes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Keyed-counter series cap per metric: the per-edge traffic matrix
+#: can hold thousands of keys; scrape the heaviest hitters.
+MAX_KEYED_SERIES = 50
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles exposed for every histogram/timer summary series.
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted recorder name to a valid Prometheus metric name."""
+    sanitized = _NAME_SANITIZE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _summary_lines(
+    name: str, summary: Dict[str, float], lines: List[str]
+) -> None:
+    lines.append(f"# TYPE {name} summary")
+    for quantile, key in _QUANTILES:
+        lines.append(
+            f'{name}{{quantile="{quantile}"}} '
+            f"{_format_value(summary.get(key, 0.0))}"
+        )
+    lines.append(f"{name}_sum {_format_value(summary.get('sum', 0.0))}")
+    lines.append(f"{name}_count {_format_value(summary.get('count', 0))}")
+
+
+def render_prometheus(
+    recorder: Optional[Any] = None, monitor: Optional[Any] = None
+) -> str:
+    """The recorder + monitor state as Prometheus text exposition.
+
+    A pure function of the passed state (the process-wide recorder
+    and ambient monitor are used when omitted), so it is unit-testable
+    without a socket and scrape-to-scrape diffs reflect only metric
+    movement.
+    """
+    if recorder is None:
+        from . import get_recorder
+
+        recorder = get_recorder()
+    if monitor is None:
+        from .live import get_monitor
+
+        monitor = get_monitor()
+    lines: List[str] = []
+    from .manifest import run_provenance
+
+    provenance = run_provenance()
+    lines.append("# TYPE repro_build_info gauge")
+    lines.append(
+        "repro_build_info{"
+        f'git_sha="{_escape_label_value(provenance["git_sha"])}",'
+        f'python_version="{_escape_label_value(provenance["python_version"])}"'
+        "} 1"
+    )
+    for name, value in sorted(recorder.counters.items()):
+        metric = sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(recorder.gauges.items()):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, bucket in sorted(recorder.keyed_counters.items()):
+        metric = sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        top = sorted(bucket.items(), key=lambda item: (-item[1], item[0]))
+        for key, value in top[:MAX_KEYED_SERIES]:
+            lines.append(
+                f'{metric}{{key="{_escape_label_value(str(key))}"}} '
+                f"{_format_value(value)}"
+            )
+    for name, summary in sorted(recorder.histogram_summaries().items()):
+        _summary_lines(sanitize_metric_name(name), summary, lines)
+    for name, summary in sorted(recorder.timer_summaries().items()):
+        _summary_lines(sanitize_metric_name(name) + "_seconds", summary, lines)
+    if monitor is not None:
+        for name, value in sorted(monitor.progress_gauges().items()):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints; everything else is a 404."""
+
+    server_version = "repro-metrics/1"
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        exporter: "MetricsServer" = self.server.exporter  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = render_prometheus(
+                    recorder=exporter.recorder, monitor=exporter.monitor
+                ).encode("utf-8")
+                self._respond(
+                    200, "text/plain; version=0.0.4; charset=utf-8", body
+                )
+            elif path == "/progress":
+                body = json.dumps(
+                    exporter.progress_document(), sort_keys=True
+                ).encode("utf-8")
+                self._respond(200, "application/json", body)
+            elif path in ("/health", "/healthz"):
+                body = json.dumps(
+                    {"status": "ok", "uptime_s": round(exporter.uptime_s, 3)},
+                    sort_keys=True,
+                ).encode("utf-8")
+                self._respond(200, "application/json", body)
+            else:
+                self._respond(
+                    404,
+                    "application/json",
+                    json.dumps(
+                        {"error": "unknown path", "paths": exporter.PATHS}
+                    ).encode("utf-8"),
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-response
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request logging; scrapes must not pollute output."""
+
+
+class MetricsServer:
+    """A background ``/metrics`` + ``/progress`` + ``/health`` server.
+
+    Binds immediately (``port=0`` picks an ephemeral port, exposed as
+    ``self.port``) and serves on a daemon thread until :meth:`close`.
+    The recorder/monitor are read per scrape, so starting the server
+    before the sweep begins is cheap and race-free.
+    """
+
+    PATHS = ["/metrics", "/progress", "/health"]
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        recorder: Optional[Any] = None,
+        monitor: Optional[Any] = None,
+    ) -> None:
+        self.recorder = recorder
+        self.monitor = monitor
+        self._started_s = time.monotonic()
+        self._httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.exporter = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_s
+
+    def progress_document(self) -> Dict[str, Any]:
+        """The ``/progress`` JSON body (monitor snapshot + stalls)."""
+        from .live import LIVE_SCHEMA_VERSION
+
+        document: Dict[str, Any] = {"live_schema_version": LIVE_SCHEMA_VERSION}
+        if self.monitor is None:
+            from .live import get_monitor
+
+            monitor = get_monitor()
+        else:
+            monitor = self.monitor
+        if monitor is None:
+            document["active"] = False
+            return document
+        document["active"] = True
+        document.update(monitor.snapshot())
+        document["stalls"] = [dict(report) for report in monitor.stall_reports]
+        return document
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False

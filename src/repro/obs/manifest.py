@@ -115,6 +115,12 @@ def build_manifest(
     empty sections); ``extra`` entries are merged under the ``"extra"``
     key verbatim.  ``parameters`` and ``extra`` must be JSON-native
     (``TypeError`` otherwise).
+
+    When a live monitor is active and its watchdog flagged stalls, the
+    structured stall reports are folded in under ``"stalls"`` — the
+    durable half of the live telemetry plane's stall story (the
+    transient half being the ``parallel.stalled_units`` counter and
+    the ``live.jsonl`` stall events).
     """
     if recorder is None:
         from . import get_recorder
@@ -140,6 +146,11 @@ def build_manifest(
         "timers": recorder.timer_summaries(),
         "spans": spans,
     }
+    from .live import get_monitor
+
+    monitor = get_monitor()
+    if monitor is not None and monitor.stall_reports:
+        manifest["stalls"] = [dict(report) for report in monitor.stall_reports]
     if extra:
         extra = dict(extra)
         ensure_json_native(extra, "extra")

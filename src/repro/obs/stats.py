@@ -6,6 +6,13 @@ and render the same aggregate tables the live recorder would print —
 spans by name (count/total/mean), counter totals, gauges, timer and
 histogram distributions, and the top keyed-counter entries.
 
+``live.jsonl`` streams written by ``--live-out`` (schema v1, see
+:mod:`repro.obs.live`) replay through the same command: their
+``unit``/``progress``/``stall``/``live_summary`` events render as a
+"Live progress" section (final progress snapshot, per-unit duration
+table, and any stall reports) next to whatever classic recorder
+events the file carries.
+
 Event files on disk are often imperfect — a run killed mid-write
 leaves a truncated last line — so the CLI path loads *tolerantly*:
 malformed lines are skipped and surfaced as a warning count rather
@@ -75,6 +82,7 @@ def render_stats(events: List[Dict[str, Any]], malformed: int = 0) -> str:
     from ..analysis.tables import render_table  # lazy: avoids an import cycle
 
     meta = next((e for e in events if e["type"] == "meta"), None)
+    live_meta = next((e for e in events if e["type"] == "live_meta"), None)
     spans = [e for e in events if e["type"] == "span"]
     counters = [e for e in events if e["type"] == "counter" and "key" not in e]
     keyed = [e for e in events if e["type"] == "counter" and "key" in e]
@@ -83,10 +91,18 @@ def render_stats(events: List[Dict[str, Any]], malformed: int = 0) -> str:
     histograms = [e for e in events if e["type"] == "hist"]
 
     parts: List[str] = []
-    version = meta["schema_version"] if meta else "unknown"
-    header = f"events: {len(events)}  schema_version: {version}" + (
-        "" if meta else f" (no meta line; writer predates v{SCHEMA_VERSION}?)"
-    )
+    if meta:
+        header = f"events: {len(events)}  schema_version: {meta['schema_version']}"
+    elif live_meta:
+        header = (
+            f"events: {len(events)}  live_schema_version: "
+            f"{live_meta['live_schema_version']}"
+        )
+    else:
+        header = (
+            f"events: {len(events)}  schema_version: unknown "
+            f"(no meta line; writer predates v{SCHEMA_VERSION}?)"
+        )
     if malformed:
         header += f"\nwarning: skipped {malformed} malformed line(s)"
     parts.append(header)
@@ -129,7 +145,98 @@ def render_stats(events: List[Dict[str, Any]], malformed: int = 0) -> str:
                 title=f"Keyed counters (top {min(len(keyed), 20)} of {len(keyed)})",
             )
         )
+    parts.extend(_render_live_sections(events, render_table))
     return "\n\n".join(parts)
+
+
+#: Progress fields shown when replaying a live.jsonl stream, in order.
+_LIVE_PROGRESS_FIELDS = (
+    "units_total",
+    "units_done",
+    "units_in_flight",
+    "units_cached",
+    "units_requeued",
+    "unit_ema_s",
+    "unit_peak_s",
+    "workers_alive",
+    "stalled_units",
+)
+
+
+def _render_live_sections(
+    events: List[Dict[str, Any]], render_table: Any
+) -> List[str]:
+    """Tables for live.jsonl (schema v1) events, if the file has any."""
+    live_meta = next((e for e in events if e["type"] == "live_meta"), None)
+    unit_events = [e for e in events if e["type"] == "unit"]
+    stalls = [e for e in events if e["type"] == "stall"]
+    summary = next(
+        (e for e in reversed(events) if e["type"] in ("live_summary", "progress")),
+        None,
+    )
+    if live_meta is None and summary is None and not unit_events:
+        return []
+    parts: List[str] = []
+    if summary is not None:
+        command = live_meta.get("command", "?") if live_meta else "?"
+        rows = [
+            [field, summary.get(field)]
+            for field in _LIVE_PROGRESS_FIELDS
+            if field in summary
+        ]
+        parts.append(
+            render_table(
+                ["progress", "value"],
+                rows,
+                title=f"Live progress ({command})",
+            )
+        )
+    finished = [
+        e
+        for e in unit_events
+        if e.get("status") in ("done", "requeued")
+        and e.get("duration_s") is not None
+    ]
+    if finished:
+        finished.sort(key=lambda e: -float(e["duration_s"]))
+        rows = [
+            [
+                e["uid"],
+                e["status"],
+                e.get("worker"),
+                round(float(e["duration_s"]) * 1000.0, 3),
+            ]
+            for e in finished[:20]
+        ]
+        parts.append(
+            render_table(
+                ["unit", "status", "worker", "ms"],
+                rows,
+                title=(
+                    f"Slowest units (top {min(len(finished), 20)} "
+                    f"of {len(finished)})"
+                ),
+            )
+        )
+    if stalls:
+        rows = [
+            [
+                e["uid"],
+                e.get("worker"),
+                e.get("waited_s"),
+                e.get("deadline_s"),
+                e.get("requeued"),
+            ]
+            for e in stalls
+        ]
+        parts.append(
+            render_table(
+                ["stalled unit", "worker", "waited s", "deadline s", "requeued"],
+                rows,
+                title="Stall reports",
+            )
+        )
+    return parts
 
 
 def render_stats_file(path: Union[str, pathlib.Path]) -> str:

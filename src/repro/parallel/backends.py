@@ -23,15 +23,38 @@ Chunking groups consecutive units into one IPC round-trip.  The default
 chunk size aims at ~4 chunks per worker so stragglers even out while
 per-chunk overhead stays amortized; pass ``chunk_size=1`` for maximal
 load balancing of coarse units.
+
+Live telemetry (``docs/OBSERVABILITY.md``, "Live monitoring"): both
+backends accept an optional :class:`~repro.obs.live.LiveMonitor`.
+The serial backend reports unit lifecycle inline; the process backend
+additionally opens a multiprocessing queue, initializes every worker
+with a heartbeat thread (:func:`repro.parallel.jobs.init_live_channel`),
+drains worker events on a parent-side thread, and **arms the stall
+watchdog**: a worker whose heartbeat lapses past the monitor's
+deadline has its in-flight units flagged, and — with requeue enabled —
+every unresolved unit is re-executed on the serial fallback in the
+parent, the wedged workers are killed, and the pool is abandoned, so
+one stuck process degrades the sweep to serial instead of hanging it.
+Requeued results are byte-identical to worker results because every
+job kind is a pure function of its payload.  The watchdog is never
+armed on the serial path.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import sys
+import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from .. import obs
 from . import jobs
+
+#: Seconds the live dispatch loop waits per ``wait()`` round before
+#: re-polling the watchdog.
+_LIVE_POLL_S = 0.1
 
 
 def chunked(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
@@ -57,9 +80,36 @@ class SerialBackend:
     name = "serial"
     workers = 1
 
-    def run(self, units: Sequence[Any], chunk_size: Optional[int] = None) -> List[Any]:
-        """Execute units one by one under the caller's recorder."""
-        return [jobs.execute_unit(unit.kind, unit.kwargs) for unit in units]
+    def run(
+        self,
+        units: Sequence[Any],
+        chunk_size: Optional[int] = None,
+        monitor: Optional[Any] = None,
+    ) -> List[Any]:
+        """Execute units one by one under the caller's recorder.
+
+        With a live monitor the same lifecycle events the process
+        backend ships over its queue are reported inline under this
+        process's own pid, so ``live.jsonl`` has one schema regardless
+        of backend.  The watchdog is never armed here: the lane doing
+        the work is the lane that would poll it.
+        """
+        results: List[Any] = []
+        for unit in units:
+            if monitor is not None:
+                from ..obs.live import serial_worker_id
+
+                worker = serial_worker_id()
+                monitor.unit_started(unit.uid, worker)
+                started_s = time.perf_counter()
+                result = jobs.execute_unit(unit.kind, unit.kwargs)
+                monitor.unit_finished(
+                    unit.uid, worker, time.perf_counter() - started_s
+                )
+            else:
+                result = jobs.execute_unit(unit.kind, unit.kwargs)
+            results.append(result)
+        return results
 
 
 class ProcessPoolBackend:
@@ -79,7 +129,12 @@ class ProcessPoolBackend:
         self.workers = workers
         self._mp_context = mp_context
 
-    def run(self, units: Sequence[Any], chunk_size: Optional[int] = None) -> List[Any]:
+    def run(
+        self,
+        units: Sequence[Any],
+        chunk_size: Optional[int] = None,
+        monitor: Optional[Any] = None,
+    ) -> List[Any]:
         """Execute units on the pool; fall back to serial if it won't start."""
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -92,6 +147,10 @@ class ProcessPoolBackend:
         chunks = chunked(payloads, size)
         results: Dict[int, Any] = {}
         snapshots: Dict[int, Dict[str, Any]] = {}
+        if monitor is not None:
+            return self._run_live(
+                units, chunks, record_obs, monitor, results, snapshots
+            )
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(chunks)),
@@ -111,15 +170,195 @@ class ProcessPoolBackend:
                     results[unit_index] = result
                     if snapshot is not None:
                         snapshots[unit_index] = snapshot
-        if record_obs:
-            recorder = obs.get_recorder()
-            for unit_index in sorted(snapshots):
-                # Tag grafted spans with the work-unit id (stable across
-                # scheduling) so trace export renders one track per unit.
-                recorder.merge_snapshot(
-                    snapshots[unit_index], track=units[unit_index].uid
-                )
+        self._merge_snapshots(units, snapshots, record_obs)
         return [results[index] for index in range(len(units))]
+
+    def _merge_snapshots(
+        self,
+        units: Sequence[Any],
+        snapshots: Dict[int, Dict[str, Any]],
+        record_obs: bool,
+    ) -> None:
+        if not record_obs:
+            return
+        recorder = obs.get_recorder()
+        for unit_index in sorted(snapshots):
+            # Tag grafted spans with the work-unit id (stable across
+            # scheduling) so trace export renders one track per unit.
+            recorder.merge_snapshot(
+                snapshots[unit_index], track=units[unit_index].uid
+            )
+
+    def _run_live(
+        self,
+        units: Sequence[Any],
+        chunks: List[List[jobs.Payload]],
+        record_obs: bool,
+        monitor: Any,
+        results: Dict[int, Any],
+        snapshots: Dict[int, Dict[str, Any]],
+    ) -> List[Any]:
+        """The monitored dispatch loop: heartbeats in, watchdog polled.
+
+        Differences from the plain path: workers are initialized with
+        the live channel, a drainer thread feeds worker events to the
+        monitor, and ``as_completed`` becomes a ``wait(timeout=...)``
+        loop so the watchdog is polled between completions.  A stall
+        with requeue enabled ends pool execution: every unit without a
+        merged result is recomputed serially in the parent (job kinds
+        are pure, so results match byte for byte), the wedged workers
+        are SIGKILLed, and the pool is abandoned without waiting.
+        """
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            import multiprocessing
+
+            context = self._mp_context or multiprocessing.get_context()
+            channel = context.Queue()
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                mp_context=self._mp_context,
+                initializer=jobs.init_live_channel,
+                initargs=(channel, monitor.heartbeat_interval_s),
+            )
+        except (OSError, ImportError, ValueError) as error:
+            print(
+                f"repro.parallel: process pool unavailable ({error}); "
+                "running serially",
+                file=sys.stderr,
+            )
+            return SerialBackend().run(units, monitor=monitor)
+
+        unit_uids = {index: unit.uid for index, unit in enumerate(units)}
+        done_uids: set = set()
+        drain_stop = threading.Event()
+
+        def _drain() -> None:
+            while True:
+                try:
+                    event = channel.get(timeout=0.05)
+                except Exception:
+                    if drain_stop.is_set():
+                        return
+                    continue
+                if not isinstance(event, dict):
+                    continue
+                if event.get("type") == "unit_done":
+                    done_uids.add(event.get("uid"))
+                try:
+                    monitor.handle_event(event)
+                except Exception:
+                    pass  # telemetry must never kill the dispatch loop
+
+        drainer = threading.Thread(
+            target=_drain, name="repro-live-drain", daemon=True
+        )
+        drainer.start()
+        monitor.arm_watchdog()
+        requeue_now = False
+        broken = False
+        try:
+            pending = {
+                pool.submit(jobs.execute_chunk, chunk, unit_uids)
+                for chunk in chunks
+            }
+            while pending:
+                done, pending = wait(
+                    pending, timeout=_LIVE_POLL_S, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        pending = set()
+                        break
+                    for unit_index, result, snapshot in outcomes:
+                        results.setdefault(unit_index, result)
+                        if snapshot is not None:
+                            snapshots.setdefault(unit_index, snapshot)
+                stalls = monitor.poll_watchdog()
+                if (stalls or broken) and monitor.requeue:
+                    requeue_now = True
+                    break
+                if broken:
+                    raise BrokenProcessPool(
+                        "a pool worker died mid-sweep; rerun with "
+                        "--watchdog-requeue to degrade to serial instead"
+                    )
+        finally:
+            monitor.disarm_watchdog()
+
+        if requeue_now:
+            # Stop draining first: a healthy worker finishing mid-requeue
+            # must not double-count a unit the parent is recomputing.
+            drain_stop.set()
+            drainer.join(timeout=1.0)
+            self._requeue_serially(units, results, monitor, done_uids)
+            stalled_pids = {
+                report["worker"] for report in monitor.stall_reports
+            }
+            monitor.mark_requeued(
+                [report["uid"] for report in monitor.stall_reports]
+            )
+            for pid in stalled_pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            pool.shutdown(wait=True)
+            # Give in-flight telemetry a moment to drain, then stop.
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline and len(done_uids) < len(results):
+                time.sleep(0.02)
+            drain_stop.set()
+            drainer.join(timeout=1.0)
+        try:
+            channel.close()
+            channel.cancel_join_thread()
+        except Exception:
+            pass
+        self._merge_snapshots(units, snapshots, record_obs)
+        return [results[index] for index in range(len(units))]
+
+    def _requeue_serially(
+        self,
+        units: Sequence[Any],
+        results: Dict[int, Any],
+        monitor: Any,
+        done_uids: set,
+    ) -> None:
+        """Recompute every unresolved unit inline (the serial fallback).
+
+        Runs directly under the parent's recorder, like the serial
+        backend — pure job kinds make the recomputed results identical
+        to what the wedged workers would have produced.  Units whose
+        ``unit_done`` event already arrived are recomputed for their
+        result (their chunk future never completed) but not re-counted
+        in the monitor's progress.
+        """
+        recorder = obs.get_recorder()
+        parent = os.getpid()
+        with recorder.span("parallel.requeue"):
+            for index, unit in enumerate(units):
+                if index in results:
+                    continue
+                already_counted = unit.uid in done_uids
+                started_s = time.perf_counter()
+                result = jobs.execute_unit(unit.kind, dict(unit.kwargs))
+                results[index] = result
+                if not already_counted:
+                    monitor.unit_finished(
+                        unit.uid,
+                        parent,
+                        time.perf_counter() - started_s,
+                        requeued=True,
+                    )
+                recorder.incr("parallel.requeued_units")
 
 
 def _multiprocessing_context() -> Any:

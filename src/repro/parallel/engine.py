@@ -66,8 +66,13 @@ def run_units(
     no multiprocessing at all, which also keeps its ``--profile``
     totals worker-count-invariant.
     """
+    from ..obs import live
+
     units = list(units)
     backend = resolve_backend(workers)
+    monitor = live.get_monitor()
+    if monitor is not None:
+        monitor.sweep_started(len(units))
     with _obs.span(
         "parallel.run",
         backend=backend.name,
@@ -76,10 +81,12 @@ def run_units(
     ):
         _obs.incr("parallel.units", len(units))
         cached, pending = _consult_store(units)
+        if monitor is not None and cached:
+            monitor.note_cached(len(cached))
         if not pending:
             return [value for _, value in sorted(cached.items())]
         computed = backend.run(
-            [unit for _, unit in pending], chunk_size=chunk_size
+            [unit for _, unit in pending], chunk_size=chunk_size, monitor=monitor
         )
         _write_back(pending, computed)
         results: List[Any] = [None] * len(units)

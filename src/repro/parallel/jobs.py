@@ -15,6 +15,16 @@ Job kinds
 ``quadratic_claim``  one named quadratic-construction claim verification
 ``maxis_weight``     exact MaxIS weight of one (gadget) graph
 ``probe``            trivial instrumented job used by the test suite
+``nap``              sleep-then-return job used by the live/watchdog tests
+
+Live telemetry contract: when the process backend runs with a live
+monitor, each worker is initialized with :func:`init_live_channel` —
+a multiprocessing queue plus a daemon heartbeat thread that announces
+the worker pid every ``heartbeat_interval_s`` for the parent's stall
+watchdog — and :func:`execute_chunk` sends ``unit_start``/
+``unit_done`` lifecycle events over the same queue.  Every send is
+best-effort: a parent that already tore the queue down must not crash
+a still-draining worker.
 
 Observability contract: when a payload's ``record_obs`` flag is set the
 worker records the unit under a fresh worker-local recorder and returns
@@ -29,6 +39,9 @@ must touch neither.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
@@ -38,6 +51,51 @@ Payload = Tuple[int, str, Dict[str, Any], bool]
 
 #: ``(unit index, result, snapshot-or-None)`` as shipped back.
 Outcome = Tuple[int, Any, Optional[Dict[str, Any]]]
+
+#: Worker-side live channel (a multiprocessing queue), set by
+#: :func:`init_live_channel` when the pool runs under a live monitor.
+_LIVE_CHANNEL: Optional[Any] = None
+
+
+def _channel_send(event: Dict[str, Any]) -> None:
+    """Best-effort put on the live channel; never raises."""
+    channel = _LIVE_CHANNEL
+    if channel is None:
+        return
+    try:
+        channel.put(event)
+    except Exception:  # parent gone / queue closed: telemetry only
+        pass
+
+
+def _heartbeat_loop(interval_s: float) -> None:
+    pid = os.getpid()
+    while True:
+        _channel_send({"type": "heartbeat", "worker": pid})
+        time.sleep(interval_s)
+
+
+def init_live_channel(channel: Any, heartbeat_interval_s: float) -> None:
+    """Pool-worker initializer: bind the live channel, start heartbeats.
+
+    Passed as ``ProcessPoolExecutor(initializer=...)`` so the queue
+    crosses the process boundary through process creation (inherited
+    under ``fork``, spawn-pickled otherwise) rather than through the
+    executor's call pipe, which multiprocessing queues refuse.  The
+    heartbeat thread is a daemon and keeps announcing this pid even
+    while the main thread grinds through a long unit — only a truly
+    wedged process (SIGSTOP, deadlock, death) goes silent, which is
+    exactly the signal the parent's watchdog keys on.
+    """
+    global _LIVE_CHANNEL
+    _LIVE_CHANNEL = channel
+    _channel_send({"type": "heartbeat", "worker": os.getpid()})
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(heartbeat_interval_s,),
+        name="repro-live-heartbeat",
+        daemon=True,
+    ).start()
 
 
 def _theorem1_point(t: int, num_samples: int, seed: int) -> Any:
@@ -89,6 +147,18 @@ def _maxis_weight(graph: Any) -> float:
     return max_independent_set_weight(graph)
 
 
+def _nap(seconds: float, value: float = 0.0) -> float:
+    """Sleep ``seconds`` then return ``value`` (live/watchdog tests).
+
+    The closest thing to a pure "long unit": deterministic result,
+    tunable wall time, no dependence on process state — which is what
+    the stall-watchdog tests need to SIGSTOP a worker mid-unit and
+    still compare merged results byte for byte.
+    """
+    time.sleep(seconds)
+    return value
+
+
 def _probe(x: float) -> float:
     """Square ``x`` while exercising every instrument kind (tests only)."""
     recorder = obs.get_recorder()
@@ -108,6 +178,7 @@ JOB_KINDS: Dict[str, Callable[..., Any]] = {
     "quadratic_claim": _quadratic_claim,
     "maxis_weight": _maxis_weight,
     "probe": _probe,
+    "nap": _nap,
 }
 
 
@@ -122,7 +193,10 @@ def execute_unit(kind: str, kwargs: Dict[str, Any]) -> Any:
     return fn(**kwargs)
 
 
-def execute_chunk(payloads: Sequence[Payload]) -> List[Outcome]:
+def execute_chunk(
+    payloads: Sequence[Payload],
+    unit_uids: Optional[Dict[int, str]] = None,
+) -> List[Outcome]:
     """Worker entry point: run a chunk of payloads, one recording each.
 
     Every unit that asks for observability runs under its own
@@ -130,11 +204,21 @@ def execute_chunk(payloads: Sequence[Payload]) -> List[Outcome]:
     snapshots are what lets the parent merge in unit order regardless
     of which worker finished first (deterministic, order-independent
     reduce).
+
+    ``unit_uids`` maps unit indices to their stable work-unit ids; when
+    a live channel is bound (:func:`init_live_channel`) each unit's
+    start and completion are announced on it under that id, which is
+    how the parent's monitor attributes in-flight units to worker pids.
     """
     recorder = obs.get_recorder()
     recorder.hard_reset()
+    pid = os.getpid()
+    uids = dict(unit_uids or {})
     outcomes: List[Outcome] = []
     for unit_index, kind, kwargs, record_obs in payloads:
+        uid = uids.get(unit_index, f"unit/{unit_index}")
+        _channel_send({"type": "unit_start", "uid": uid, "worker": pid})
+        started_s = time.perf_counter()
         snapshot: Optional[Dict[str, Any]] = None
         if record_obs:
             with obs.recording() as recorder:
@@ -143,5 +227,13 @@ def execute_chunk(payloads: Sequence[Payload]) -> List[Outcome]:
             recorder.hard_reset()
         else:
             result = execute_unit(kind, kwargs)
+        _channel_send(
+            {
+                "type": "unit_done",
+                "uid": uid,
+                "worker": pid,
+                "duration_s": time.perf_counter() - started_s,
+            }
+        )
         outcomes.append((unit_index, result, snapshot))
     return outcomes

@@ -209,6 +209,36 @@ def cache_totals(manifests: Dict[str, Dict[str, Any]]) -> Optional[Dict[str, Any
     }
 
 
+def stall_totals(
+    manifests: Dict[str, Dict[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """Aggregate watchdog stall evidence across all run manifests.
+
+    Sums the ``parallel.stalled_units`` counter and collects every
+    structured ``stalls`` report (see the "Live monitoring" section of
+    ``docs/OBSERVABILITY.md``), tagged with the manifest it came from.
+    ``None`` when no manifest recorded a stall — the common, healthy
+    case — so the dashboard can omit the section entirely.
+    """
+    stalled_units = 0
+    requeued_units = 0
+    reports: List[Dict[str, Any]] = []
+    for name, entry in sorted(manifests.items()):
+        manifest = entry["manifest"]
+        counters = manifest.get("counters") or {}
+        stalled_units += int(counters.get("parallel.stalled_units", 0))
+        requeued_units += int(counters.get("parallel.requeued_units", 0))
+        for report in manifest.get("stalls") or []:
+            reports.append(dict(report, manifest=name))
+    if not (stalled_units or reports):
+        return None
+    return {
+        "stalled_units": max(stalled_units, len(reports)),
+        "requeued_units": requeued_units,
+        "reports": reports,
+    }
+
+
 def collect_report(
     results_dir: pathlib.Path,
     seed: int = 0,
@@ -256,4 +286,5 @@ def collect_report(
         "trajectories": bench_trajectories(results_dir),
         "telemetry": telemetry,
         "cache": cache_totals(manifests),
+        "stalls": stall_totals(manifests),
     }

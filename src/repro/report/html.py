@@ -220,6 +220,44 @@ def _cache_section(data: Dict[str, Any]) -> List[str]:
     return out
 
 
+def _stall_section(data: Dict[str, Any]) -> List[str]:
+    """Watchdog stall reports folded in from run manifests, if any.
+
+    The healthy case renders nothing at all — stalls are exceptional,
+    and an always-empty section would train readers to skip it.
+    """
+    stalls = data.get("stalls")
+    if not stalls:
+        return []
+    out = ["<h2>Stall watchdog reports</h2>"]
+    out.append(
+        f'<p class="meta">{_badge("bad")} {stalls["stalled_units"]} stalled '
+        f'unit(s) across run manifests; {stalls["requeued_units"]} requeued '
+        "on the serial fallback (see the \"Live monitoring\" section of "
+        "docs/OBSERVABILITY.md).</p>"
+    )
+    if stalls["reports"]:
+        out.append("<table>")
+        out.append(
+            "<tr><th>manifest</th><th>unit</th><th>worker pid</th>"
+            "<th>waited</th><th>deadline</th><th>requeued</th></tr>"
+        )
+        for report in stalls["reports"]:
+            verdict = "ok" if report.get("requeued") else "bad"
+            out.append(
+                "<tr>"
+                f"<td><code>{_esc(report.get('manifest', '—'))}</code></td>"
+                f"<td><code>{_esc(report.get('uid', '—'))}</code></td>"
+                f"<td>{_esc(report.get('worker', '—'))}</td>"
+                f"<td>{_esc(report.get('waited_s', '—'))} s</td>"
+                f"<td>{_esc(report.get('deadline_s', '—'))} s</td>"
+                f"<td>{_badge(verdict)} {_esc(bool(report.get('requeued')))}</td>"
+                "</tr>"
+            )
+        out.append("</table>")
+    return out
+
+
 def _manifest_section(data: Dict[str, Any]) -> List[str]:
     out = ["<h2>Run manifest inventory</h2>"]
     manifests = data["manifests"]
@@ -276,6 +314,7 @@ def render_report(data: Dict[str, Any]) -> str:
     parts.extend(_trajectory_section(data))
     parts.extend(_telemetry_section(data))
     parts.extend(_cache_section(data))
+    parts.extend(_stall_section(data))
     parts.extend(_manifest_section(data))
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

@@ -209,21 +209,54 @@ class DiskBackend:
         return stats["entries"], stats["bytes"]
 
     def stats(self) -> Dict[str, Any]:
-        """Entry/byte totals, per job kind and overall."""
+        """Entry/byte totals, per job kind and overall.
+
+        ``put`` deliberately tolerates a failed index insert (the
+        payload stays useful; the next writer re-indexes it), so the
+        sqlite rows can lag the ``objects/`` tree.  Payload files with
+        no index row are therefore counted from disk under the
+        ``"(unindexed)"`` kind — totals reflect what the store really
+        occupies, not just what the index admits to.
+        """
         kinds: Dict[str, Dict[str, int]] = {}
         entries = 0
         total_bytes = 0
+        indexed_paths = set()
         try:
             with contextlib.closing(self._connect()) as connection:
                 rows = connection.execute(
                     "SELECT kind, COUNT(*), SUM(nbytes) FROM entries GROUP BY kind"
                 ).fetchall()
+                indexed_paths = {
+                    path
+                    for (path,) in connection.execute(
+                        "SELECT path FROM entries"
+                    ).fetchall()
+                }
         except sqlite3.Error:
             rows = []
         for kind, count, nbytes in rows:
             kinds[kind or "?"] = {"entries": int(count), "bytes": int(nbytes or 0)}
             entries += int(count)
             total_bytes += int(nbytes or 0)
+        unindexed = {"entries": 0, "bytes": 0}
+        for directory, _, filenames in os.walk(self.objects_dir):
+            for filename in filenames:
+                if not filename.endswith(".bin"):
+                    continue  # in-flight .tmp files are not payloads
+                full = pathlib.Path(directory) / filename
+                if str(full.relative_to(self.root)) in indexed_paths:
+                    continue
+                try:
+                    size = full.stat().st_size
+                except OSError:
+                    continue
+                unindexed["entries"] += 1
+                unindexed["bytes"] += size
+        if unindexed["entries"]:
+            kinds["(unindexed)"] = unindexed
+            entries += unindexed["entries"]
+            total_bytes += unindexed["bytes"]
         return {
             "backend": self.name,
             "entries": entries,

@@ -180,6 +180,49 @@ class TestTrajectoriesAndCache:
         manifests = {"a": {"path": "p", "manifest": _manifest("a")}}
         assert collect.cache_totals(manifests) is None
 
+    def test_stall_totals_none_when_healthy(self):
+        manifests = {"a": {"path": "p", "manifest": _manifest("a")}}
+        assert collect.stall_totals(manifests) is None
+
+    def test_stall_totals_merge_counters_and_reports(self):
+        stalled = dict(
+            _manifest(
+                "a",
+                counters={
+                    "parallel.stalled_units": 2,
+                    "parallel.requeued_units": 5,
+                },
+            ),
+            stalls=[
+                {"uid": "nap/0", "worker": 41, "waited_s": 0.6, "requeued": True}
+            ],
+        )
+        manifests = {
+            "a": {"path": "p", "manifest": stalled},
+            "b": {"path": "p", "manifest": _manifest("b")},
+        }
+        totals = collect.stall_totals(manifests)
+        assert totals["stalled_units"] == 2
+        assert totals["requeued_units"] == 5
+        assert totals["reports"] == [
+            {
+                "uid": "nap/0",
+                "worker": 41,
+                "waited_s": 0.6,
+                "requeued": True,
+                "manifest": "a",
+            }
+        ]
+
+    def test_stall_totals_reports_alone_imply_a_count(self):
+        # A manifest written by a run whose recorder was disabled still
+        # carries the structured reports; the totals must not read 0.
+        stalled = dict(
+            _manifest("a"), stalls=[{"uid": "u", "worker": 7, "waited_s": 1.0}]
+        )
+        manifests = {"a": {"path": "p", "manifest": stalled}}
+        assert collect.stall_totals(manifests)["stalled_units"] == 1
+
 
 class TestCollectReport:
     def test_model_shape_without_telemetry(self, tmp_path):

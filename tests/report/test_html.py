@@ -74,6 +74,32 @@ class TestRenderReport:
         model = _model(tmp_path)
         assert render_report(model) == render_report(model)
 
+    def test_healthy_runs_omit_the_stall_section(self, tmp_path):
+        html = render_report(_model(tmp_path))
+        assert "Stall watchdog reports" not in html
+
+    def test_stall_reports_render_a_table(self, tmp_path):
+        model = _model(tmp_path)
+        model["stalls"] = {
+            "stalled_units": 1,
+            "requeued_units": 1,
+            "reports": [
+                {
+                    "manifest": "theorem2_sweep",
+                    "uid": "theorem2/t=3",
+                    "worker": 4242,
+                    "waited_s": 30.5,
+                    "deadline_s": 30.0,
+                    "requeued": True,
+                }
+            ],
+        }
+        html = render_report(model)
+        assert "Stall watchdog reports" in html
+        assert "theorem2/t=3" in html
+        assert "4242" in html
+        assert "1 stalled" in html
+
 
 class TestBuildDashboard:
     def test_writes_report_html(self, tmp_path):

@@ -103,3 +103,33 @@ class TestDiskBackend:
         assert default_cache_dir() == str(tmp_path / "env-cache")
         monkeypatch.delenv("REPRO_CACHE_DIR")
         assert default_cache_dir() == ".repro-cache"
+
+    def test_stats_counts_unindexed_payloads_from_disk(self, tmp_path):
+        backend = DiskBackend(tmp_path / "cache")
+        backend.put("a" * 64, "json", b"xx", kind="alpha")
+        # Simulate an index insert that failed after the payload landed:
+        # drop the row but keep the payload file.
+        import contextlib
+        import sqlite3
+
+        with contextlib.closing(
+            sqlite3.connect(tmp_path / "cache" / "index.sqlite")
+        ) as connection:
+            connection.execute("DELETE FROM entries")
+            connection.commit()
+        orphan = tmp_path / "cache" / "objects" / "aa" / (("a" * 64) + ".bin")
+        assert orphan.is_file()
+        stats = backend.stats()
+        assert stats["kinds"]["(unindexed)"] == {"entries": 1, "bytes": 2}
+        assert stats["entries"] == 1
+        assert stats["bytes"] == 2
+
+    def test_stats_ignores_tmp_files_and_trusts_the_index(self, tmp_path):
+        backend = DiskBackend(tmp_path / "cache")
+        backend.put("a" * 64, "json", b"xx", kind="alpha")
+        # In-flight writes and indexed payloads are not "(unindexed)".
+        (tmp_path / "cache" / "objects" / "aa" / "partial.tmp").write_bytes(b"junk")
+        stats = backend.stats()
+        assert "(unindexed)" not in stats["kinds"]
+        assert stats["entries"] == 1
+        assert stats["bytes"] == 2
