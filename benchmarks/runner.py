@@ -21,7 +21,10 @@ one per hot path the reproduction leans on:
 Each bench is run ``warmup`` times untimed and ``repeats`` times timed
 with observability *off* (so the timings measure the hot path, not the
 recorder), then once more under ``obs.recording()`` to capture the
-counter/histogram/span manifest.  Wall times are summarized with
+counter/histogram/span manifest.  That manifest pass also runs under
+the :mod:`repro.obs.deepprof` sampling profiler, and each record keeps
+its top leaf-frame self-sample fractions (``frames``) so a
+``--compare`` regression names the frames that got slower.  Wall times are summarized with
 robust statistics in the pyperf spirit: median and IQR, with samples
 outside the Tukey fences (1.5 IQR beyond the quartiles) rejected from
 the mean/stdev and reported as outliers.
@@ -49,10 +52,16 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.analysis import render_table
+from repro.obs import deepprof
 from repro.obs.manifest import build_manifest, run_provenance
 from repro.obs.recorder import SCHEMA_VERSION
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Committed reference trajectories.  ``latest_trajectory`` falls back
+#: here when the results directory has no candidates, so a fresh clone
+#: can run ``repro bench --compare NEW`` against the checked-in seed.
+BASELINES_DIR = pathlib.Path(__file__).parent / "baselines"
 
 #: The trajectory record's own schema; bumped independently of the
 #: event schema when the BENCH_*.json shape changes.
@@ -370,7 +379,11 @@ def run_bench(
 
     Timed repeats run with observability off; a final extra run under
     ``obs.recording()`` supplies counters/histograms/spans, so the
-    wall-clock samples never pay recorder overhead.
+    wall-clock samples never pay recorder overhead.  The same manifest
+    pass runs under a sampling profiler, and the record keeps the
+    top leaf-frame self-sample fractions (``frames``) — the attribution
+    ``compare()`` uses to name the frames that got slower when a bench
+    regresses.
     """
     if repeats < 1:
         raise ValueError(f"need at least one timed repeat, got {repeats}")
@@ -382,13 +395,15 @@ def run_bench(
         spec.fn()
         samples.append(clock() - start)
     with obs.recording() as recorder:
-        spec.fn()
+        with deepprof.DeepProfiler(recorder=recorder) as profiler:
+            spec.fn()
     manifest = build_manifest(
         spec.name, parameters=spec.parameters, recorder=recorder
     )
     return {
         "parameters": manifest["parameters"],
         "wall": robust_stats(samples),
+        "frames": profiler.top_frames(limit=15),
         "counters": manifest["counters"],
         "gauges": manifest["gauges"],
         "histograms": manifest["histograms"],
@@ -506,6 +521,7 @@ def load_trajectory(path) -> Dict[str, Any]:
 
 def discover_trajectories(
     directory: Optional[pathlib.Path] = None,
+    require: bool = False,
 ) -> List[Tuple[pathlib.Path, Dict[str, Any]]]:
     """Every loadable ``BENCH_*.json`` under ``directory``, oldest first.
 
@@ -514,19 +530,29 @@ def discover_trajectories(
     sparklines walk.  Unparseable or non-trajectory ``BENCH_*`` files
     are skipped rather than raised: a half-written record from a
     crashed run must not take the whole report down.
+
+    ``require=True`` turns the empty result into a ``FileNotFoundError``
+    with an actionable message (how to record a trajectory, where the
+    committed baseline lives) instead of leaving callers to crash on an
+    empty list later.
     """
     directory = pathlib.Path(directory) if directory else RESULTS_DIR
-    if not directory.is_dir():
-        return []
     entries: List[Tuple[float, str, pathlib.Path]] = []
-    for path in directory.glob("BENCH_*.json"):
-        entries.append((path.stat().st_mtime, path.name, path))
+    if directory.is_dir():
+        for path in directory.glob("BENCH_*.json"):
+            entries.append((path.stat().st_mtime, path.name, path))
     found: List[Tuple[pathlib.Path, Dict[str, Any]]] = []
     for _, _, path in sorted(entries):
         try:
             found.append((path, load_trajectory(path)))
         except (ValueError, json.JSONDecodeError, OSError):
             continue
+    if require and not found:
+        raise FileNotFoundError(
+            f"no BENCH_*.json trajectory records found in {directory}; "
+            "run `python -m repro bench` to record one (a committed "
+            f"reference lives in {BASELINES_DIR})"
+        )
     return found
 
 
@@ -538,15 +564,58 @@ def latest_trajectory(
 
     ``exclude`` skips one path — ``repro bench --compare`` passes the
     record it just wrote so auto-discovery picks the previous run as
-    the baseline instead of comparing the new record to itself.
+    the baseline instead of comparing the new record to itself.  When
+    the directory holds no other candidates, the committed
+    ``benchmarks/baselines/`` seed is consulted, so a fresh clone can
+    compare its first run against the checked-in reference.
     """
     exclude = pathlib.Path(exclude).resolve() if exclude else None
-    candidates = [
-        path
-        for path, _ in discover_trajectories(directory)
-        if exclude is None or path.resolve() != exclude
-    ]
-    return candidates[-1] if candidates else None
+    for candidate_dir in (directory, BASELINES_DIR):
+        candidates = [
+            path
+            for path, _ in discover_trajectories(candidate_dir)
+            if exclude is None or path.resolve() != exclude
+        ]
+        if candidates:
+            return candidates[-1]
+    return None
+
+
+def frame_deltas(
+    old_bench: Dict[str, Any],
+    new_bench: Dict[str, Any],
+    limit: int = 3,
+) -> List[Dict[str, Any]]:
+    """The frames whose estimated cost grew the most between two records.
+
+    Both records carry ``frames`` — leaf-frame self-sample fractions
+    from the manifest-pass sampler.  Multiplying each fraction by its
+    record's median wall time estimates the per-frame cost, and the
+    positive deltas (largest first, name as tiebreaker) name the frames
+    a regression actually landed in.  Empty when either side predates
+    the ``frames`` field.
+    """
+    old_frames = old_bench.get("frames") or {}
+    new_frames = new_bench.get("frames") or {}
+    if not old_frames or not new_frames:
+        return []
+    old_median = old_bench.get("wall", {}).get("median_s", 0.0)
+    new_median = new_bench.get("wall", {}).get("median_s", 0.0)
+    deltas = []
+    for label in set(old_frames) | set(new_frames):
+        old_est = old_frames.get(label, 0.0) * old_median
+        new_est = new_frames.get(label, 0.0) * new_median
+        if new_est > old_est:
+            deltas.append(
+                {
+                    "frame": label,
+                    "old_est_s": round(old_est, 6),
+                    "new_est_s": round(new_est, 6),
+                    "delta_s": round(new_est - old_est, 6),
+                }
+            )
+    deltas.sort(key=lambda entry: (-entry["delta_s"], entry["frame"]))
+    return deltas[:limit]
 
 
 def compare(
@@ -560,6 +629,8 @@ def compare(
     bench cannot regress on jitter alone and a fast bench cannot
     regress on an invisible absolute delta.  Improvement is symmetric.
     Benches present on only one side get verdict ``added``/``removed``.
+    Regressed verdicts additionally carry ``frame_deltas`` — the
+    per-frame attribution of where the slowdown landed.
     """
     verdicts: List[Dict[str, Any]] = []
     old_benches = old.get("benches", {})
@@ -584,16 +655,19 @@ def compare(
             verdict = "improved"
         else:
             verdict = "ok"
-        verdicts.append(
-            {
-                "bench": name,
-                "verdict": verdict,
-                "old_median_s": old_median,
-                "new_median_s": new_median,
-                "relative": relative,
-                "noise_s": noise,
-            }
-        )
+        entry = {
+            "bench": name,
+            "verdict": verdict,
+            "old_median_s": old_median,
+            "new_median_s": new_median,
+            "relative": relative,
+            "noise_s": noise,
+        }
+        if verdict == "regressed":
+            entry["frame_deltas"] = frame_deltas(
+                old_benches[name], new_benches[name]
+            )
+        verdicts.append(entry)
     return verdicts
 
 
@@ -633,9 +707,22 @@ def compare_files(
             ),
         )
     )
-    regressions = [e["bench"] for e in verdicts if e["verdict"] == "regressed"]
+    regressions = [e for e in verdicts if e["verdict"] == "regressed"]
     if regressions:
-        print(f"\nREGRESSED: {', '.join(regressions)}")
+        print(f"\nREGRESSED: {', '.join(e['bench'] for e in regressions)}")
+        for entry in regressions:
+            attributed = entry.get("frame_deltas") or []
+            if not attributed:
+                print(
+                    f"  {entry['bench']}: no frame attribution "
+                    "(record predates the `frames` field)"
+                )
+                continue
+            slower = ", ".join(
+                f"{frame['frame']} (+{frame['delta_s'] * 1000:.1f}ms est)"
+                for frame in attributed
+            )
+            print(f"  {entry['bench']} slower frames: {slower}")
         return 0 if warn_only else 1
     print("\nno regressions beyond the noise threshold")
     return 0

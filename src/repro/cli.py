@@ -12,6 +12,7 @@ Commands
 ``export``     write DOT/JSON snapshots of the constructions
 ``report``     run the full reproduction suite
 ``stats``      summarize a JSONL observability event file
+``flame``      render an inline-SVG flamegraph from deep-profile output
 ``telemetry``  per-round CONGEST traffic distributions vs the Theorem 5 bound
 ``bench``      run the curated bench suite / compare BENCH_*.json records
 ``cache``      manage the result store: ``stats`` / ``clear`` / ``warm``
@@ -37,7 +38,18 @@ counter totals after the run, ``--profile-json PATH`` to also stream
 the events to a JSONL file that ``stats`` can replay later, and
 ``--trace-out PATH`` to export the recorded span tree as Chrome-trace
 JSON for chrome://tracing or https://ui.perfetto.dev (``stats`` can
-produce the same trace from a recorded JSONL file).  The bench runner
+produce the same trace from a recorded JSONL file).
+
+Deep profiling (the "Deep profiling" section of
+``docs/OBSERVABILITY.md``): ``claims``, ``theorem1``, ``theorem2``,
+and ``bench`` accept ``--deep-profile [HZ]`` (background sampling
+profiler attributing collapsed stacks to the open span tree; writes
+``DEEPPROF_<cmd>.json`` + ``<cmd>.folded`` + ``<cmd>.speedscope.json``
+and prints the critical-path "where did the time go" table) and
+``--mem-profile`` (tracemalloc peaks per span + top allocation sites);
+``repro flame`` renders any of those outputs — or a profiled
+``events.jsonl`` — as a self-contained SVG flamegraph the dashboard
+also embeds.  The bench runner
 and the ``BENCH_*.json`` trajectory schema are documented in
 ``docs/BENCHMARKS.md``; the dashboard in ``docs/DASHBOARD.md``.
 
@@ -139,6 +151,31 @@ def _cached(args: argparse.Namespace) -> Iterator[None]:
         yield
 
 
+@contextlib.contextmanager
+def _recording_enabled() -> Iterator[object]:
+    """The single recorder-enablement path every CLI plane shares.
+
+    ``--profile``, ``--live``, and ``--deep-profile`` can appear in any
+    combination; whichever plane enters first resets and enables the
+    process-wide recorder, and every later plane sees it already
+    enabled and leaves it alone.  This is what guarantees one recorder
+    setup (and hence one manifest / one ``meta`` line per JSONL sink)
+    no matter how the flags are combined.
+    """
+    from . import obs
+
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        yield recorder
+        return
+    recorder.reset()
+    recorder.enabled = True
+    try:
+        yield recorder
+    finally:
+        recorder.enabled = False
+
+
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -180,7 +217,12 @@ def _profiled(args: argparse.Namespace) -> Iterator[Optional[object]]:
         return
     from . import obs
 
-    with obs.recording(jsonl_path=jsonl_path) as recorder:
+    # An outer plane (--deep-profile / --live) may already have enabled
+    # and reset the recorder through _recording_enabled; resetting again
+    # here would be the double-enable path this helper layering removes.
+    with obs.recording(
+        jsonl_path=jsonl_path, reset=not obs.is_enabled()
+    ) as recorder:
         with recorder.span(args.command):
             yield recorder
     print()
@@ -265,32 +307,27 @@ def _live(args: argparse.Namespace) -> Iterator[Optional[object]]:
         return
     from . import obs
 
-    recorder = obs.get_recorder()
-    was_enabled = recorder.enabled
-    if not was_enabled:
-        recorder.reset()
-        recorder.enabled = True
-    monitor = obs.LiveMonitor(
-        command=args.command,
-        render=getattr(args, "live", False),
-        jsonl_path=live_out,
-        watchdog_deadline_s=getattr(args, "watchdog_deadline", 30.0),
-        requeue=getattr(args, "watchdog_requeue", False),
-    )
-    server = None
-    try:
-        if metrics_port is not None:
-            server = obs.MetricsServer(port=metrics_port, monitor=monitor)
-            print(f"[live metrics: {server.url}]", file=sys.stderr, flush=True)
-        with obs.using_monitor(monitor):
-            yield monitor
-    finally:
-        if server is not None:
-            server.close()
-        monitor.close()
-        recorder.enabled = was_enabled
-        if live_out:
-            print(f"[live events written to {live_out}]", file=sys.stderr)
+    with _recording_enabled():
+        monitor = obs.LiveMonitor(
+            command=args.command,
+            render=getattr(args, "live", False),
+            jsonl_path=live_out,
+            watchdog_deadline_s=getattr(args, "watchdog_deadline", 30.0),
+            requeue=getattr(args, "watchdog_requeue", False),
+        )
+        server = None
+        try:
+            if metrics_port is not None:
+                server = obs.MetricsServer(port=metrics_port, monitor=monitor)
+                print(f"[live metrics: {server.url}]", file=sys.stderr, flush=True)
+            with obs.using_monitor(monitor):
+                yield monitor
+        finally:
+            if server is not None:
+                server.close()
+            monitor.close()
+            if live_out:
+                print(f"[live events written to {live_out}]", file=sys.stderr)
 
 
 def _live_recorder(
@@ -307,6 +344,105 @@ def _live_recorder(
     from . import obs
 
     return obs.get_recorder() if obs.is_enabled() else None
+
+
+def _add_deepprof_args(parser: argparse.ArgumentParser) -> None:
+    from .obs.deepprof import DEFAULT_HZ
+
+    parser.add_argument(
+        "--deep-profile",
+        nargs="?",
+        type=float,
+        const=DEFAULT_HZ,
+        default=None,
+        metavar="HZ",
+        help=(
+            "run a background sampling profiler and write folded stacks "
+            f"+ speedscope JSON (default {DEFAULT_HZ:g} Hz; see the "
+            '"Deep profiling" section of docs/OBSERVABILITY.md)'
+        ),
+    )
+    parser.add_argument(
+        "--mem-profile",
+        action="store_true",
+        help=(
+            "track tracemalloc memory telemetry: peak/current per span "
+            "and the top allocation sites"
+        ),
+    )
+    parser.add_argument(
+        "--deep-profile-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for DEEPPROF_<cmd>.json / <cmd>.folded / "
+            "<cmd>.speedscope.json (default benchmarks/results so the "
+            "dashboard picks them up)"
+        ),
+    )
+
+
+def _deepprof_out_dir(args: argparse.Namespace) -> pathlib.Path:
+    out = getattr(args, "deep_profile_out", None)
+    if out:
+        return pathlib.Path(out)
+    default = pathlib.Path("benchmarks") / "results"
+    return default if default.parent.is_dir() else pathlib.Path(".")
+
+
+@contextlib.contextmanager
+def _deep_profiled(args: argparse.Namespace) -> Iterator[Optional[object]]:
+    """Run the deep-profile plane around a command body.
+
+    Active when ``--deep-profile`` and/or ``--mem-profile`` is given:
+    enables the recorder (samples attribute to the open span path),
+    installs the profiler as the ambient one (so the process backend
+    arms per-worker samplers and merges their aggregates back), and on
+    success writes the three artifacts and prints the "where did the
+    time go" critical-path table plus top frames / memory summaries.
+
+    Sits *outside* ``_profiled`` in the with-chain so the command span
+    is already closed — and therefore on the critical path — by the
+    time this exits.
+    """
+    hz = getattr(args, "deep_profile", None)
+    memory = getattr(args, "mem_profile", False)
+    if hz is None and not memory:
+        yield None
+        return
+    from .obs import deepprof
+
+    with contextlib.ExitStack() as stack:
+        recorder = stack.enter_context(_recording_enabled())
+        profiler = deepprof.DeepProfiler(
+            hz=hz if hz is not None else deepprof.DEFAULT_HZ,
+            sample_stacks=hz is not None,
+            memory=memory,
+            recorder=recorder,
+        )
+        stack.enter_context(deepprof.using_profiler(profiler))
+        profiler.start()
+        try:
+            yield profiler
+        finally:
+            profiler.stop()
+        paths = deepprof.write_artifacts(
+            args.command, profiler, _deepprof_out_dir(args), spans=recorder.spans
+        )
+        print()
+        print("DEEP PROFILE")
+        print("============")
+        print("where did the time go (critical path):")
+        print(deepprof.render_critical_path(recorder.spans))
+        if profiler.sample_stacks:
+            print()
+            print(deepprof.render_top_frames(profiler))
+        if profiler.memory:
+            print()
+            print(deepprof.render_memory(profiler))
+        print(f"\n[deep profile written to {paths['document']}]")
+        print(f"[folded stacks written to {paths['folded']}]")
+        print(f"[speedscope profile written to {paths['speedscope']}]")
 
 
 def _profile_simulation_phase(recorder: Optional[object], seed: int) -> None:
@@ -356,7 +492,7 @@ def cmd_claims(args: argparse.Namespace) -> int:
     from .parallel import claims_checks
 
     params = _params(args)
-    with _cached(args), _live(args):
+    with _cached(args), _deep_profiled(args), _live(args):
         checks = claims_checks(
             params,
             num_samples=args.samples,
@@ -385,7 +521,9 @@ def cmd_theorem1(args: argparse.Namespace) -> int:
 
     rows = []
     exit_code = 0
-    with _cached(args), _profiled(args) as recorder, _live(args) as monitor:
+    with _cached(args), _deep_profiled(args), _profiled(
+        args
+    ) as recorder, _live(args) as monitor:
         recorder = _live_recorder(recorder, monitor)
         if monitor is not None:
             # Run the CONGEST simulation *before* the sweep in live mode
@@ -432,7 +570,9 @@ def cmd_theorem2(args: argparse.Namespace) -> int:
 
     rows = []
     exit_code = 0
-    with _cached(args), _profiled(args) as recorder, _live(args) as monitor:
+    with _cached(args), _deep_profiled(args), _profiled(
+        args
+    ) as recorder, _live(args) as monitor:
         recorder = _live_recorder(recorder, monitor)
         if monitor is not None:
             _profile_simulation_phase(recorder, args.seed)
@@ -719,7 +859,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             if old_path is None:
                 print(
                     "repro bench --compare: no baseline BENCH_*.json found "
-                    f"in {results_dir or runner.RESULTS_DIR}",
+                    f"in {results_dir or runner.RESULTS_DIR} or "
+                    f"{runner.BASELINES_DIR}; run `python -m repro bench` "
+                    "to record one",
                     file=sys.stderr,
                 )
                 return 2
@@ -731,16 +873,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        return runner.compare_files(
-            old_path,
-            new_path,
-            threshold=args.threshold,
-            warn_only=args.warn_only,
-        )
+        try:
+            return runner.compare_files(
+                old_path,
+                new_path,
+                threshold=args.threshold,
+                warn_only=args.warn_only,
+            )
+        except (FileNotFoundError, ValueError) as error:
+            print(f"repro bench --compare: {error}", file=sys.stderr)
+            return 2
     warmup, repeats = args.warmup, args.repeats
     if args.fast:
         warmup, repeats = 1, 3
-    with _cached(args), _live(args):
+    with _cached(args), _deep_profiled(args), _live(args):
         path, trajectory = runner.run_suite(
             warmup=warmup,
             repeats=repeats,
@@ -833,19 +979,79 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    from .obs.stats import render_stats_file
+    from .obs.stats import load_events_tolerant, render_stats_file
 
+    path = pathlib.Path(args.events)
+    # A run that recorded nothing (or was pointed at a path it never
+    # wrote) is not an error worth a stack trace: say so and exit 0.
+    if not path.is_file() or path.stat().st_size == 0:
+        print(
+            f"no events recorded in {path} — run a command with "
+            "--profile-json or --live-out to produce one"
+        )
+        return 0
+    events, _ = load_events_tolerant(str(path))
+    if not events:
+        print(f"no events recorded in {path} (no parseable event lines)")
+        return 0
     print(render_stats_file(args.events))
     if args.trace_out:
         from .obs.export import write_chrome_trace
-        from .obs.stats import load_events_tolerant
 
-        events, _ = load_events_tolerant(args.events)
         spans = [event for event in events if event.get("type") == "span"]
         write_chrome_trace(
             args.trace_out, spans, trace_name=pathlib.Path(args.events).stem
         )
         print(f"\n[Chrome trace written to {args.trace_out}]")
+    return 0
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    """Render a dependency-free inline-SVG flamegraph.
+
+    Accepts any of the three stack sources the observability planes
+    produce: an ``events.jsonl`` (span self-times, µs weights), a
+    ``<name>.folded`` collapsed-stack file, or a ``DEEPPROF_<name>.json``
+    deep-profile document (sample counts).
+    """
+    from .obs import flame
+
+    path = pathlib.Path(args.input)
+    if not path.is_file():
+        print(f"repro flame: {path} not found", file=sys.stderr)
+        return 2
+    try:
+        if path.suffix == ".jsonl":
+            from .obs.stats import load_events_tolerant
+
+            events, _ = load_events_tolerant(str(path))
+            spans = [event for event in events if event.get("type") == "span"]
+            samples = flame.folded_from_spans(spans)
+        elif path.suffix == ".json":
+            document = json.loads(path.read_text())
+            samples = {
+                str(key): int(value)
+                for key, value in (document.get("samples") or {}).items()
+            }
+        else:
+            samples = flame.parse_folded(path.read_text())
+    except (ValueError, OSError) as error:
+        print(f"repro flame: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    if not samples:
+        print(
+            f"repro flame: no stack samples in {path} — profile a run "
+            "with --deep-profile (or --profile-json for span self-times)",
+            file=sys.stderr,
+        )
+        return 2
+    out = pathlib.Path(args.out) if args.out else path.with_suffix(".svg")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    svg = flame.flamegraph_svg(
+        samples, title=args.title or path.stem, width=args.width
+    )
+    out.write_text(svg)
+    print(f"[flamegraph written to {out}]")
     return 0
 
 
@@ -958,6 +1164,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers_arg(claims)
     _add_cache_args(claims)
     _add_live_args(claims)
+    _add_deepprof_args(claims)
     claims.set_defaults(func=cmd_claims)
 
     theorem1 = subparsers.add_parser("theorem1", help="run the Theorem 1 sweep")
@@ -969,6 +1176,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_args(theorem1)
     _add_cache_args(theorem1)
     _add_live_args(theorem1)
+    _add_deepprof_args(theorem1)
     theorem1.set_defaults(func=cmd_theorem1)
 
     theorem2 = subparsers.add_parser("theorem2", help="run the Theorem 2 sweep")
@@ -980,6 +1188,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_args(theorem2)
     _add_cache_args(theorem2)
     _add_live_args(theorem2)
+    _add_deepprof_args(theorem2)
     theorem2.set_defaults(func=cmd_theorem2)
 
     simulate = subparsers.add_parser(
@@ -1027,6 +1236,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also export the recorded spans as Chrome-trace JSON",
     )
     stats.set_defaults(func=cmd_stats)
+
+    flame = subparsers.add_parser(
+        "flame",
+        help="render an inline-SVG flamegraph from deep-profile output",
+    )
+    flame.add_argument(
+        "input",
+        help=(
+            "stack source: events.jsonl (--profile-json), <name>.folded, "
+            "or DEEPPROF_<name>.json (--deep-profile)"
+        ),
+    )
+    flame.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output SVG path (default: input path with .svg suffix)",
+    )
+    flame.add_argument(
+        "--title", default=None, help="flamegraph title (default: input stem)"
+    )
+    flame.add_argument(
+        "--width", type=int, default=1200, help="SVG width in pixels"
+    )
+    flame.set_defaults(func=cmd_flame)
 
     telemetry = subparsers.add_parser(
         "telemetry",
@@ -1095,6 +1329,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_args(bench)
     _add_live_args(bench)
+    _add_deepprof_args(bench)
     bench.set_defaults(func=cmd_bench)
 
     dashboard = subparsers.add_parser(

@@ -37,6 +37,22 @@ import contextlib
 import pathlib
 from typing import Iterator, Optional, Union
 
+from .deepprof import (
+    DEEPPROF_SCHEMA_VERSION,
+    DEFAULT_HZ,
+    DeepProfiler,
+    _clear_ambient_profiler,
+    critical_path,
+    dump_speedscope,
+    folded_lines,
+    get_profiler,
+    render_critical_path,
+    span_folded,
+    speedscope_document,
+    structural_span_keys,
+    using_profiler,
+    write_artifacts,
+)
 from .export import (
     chrome_trace,
     trace_events,
@@ -44,6 +60,7 @@ from .export import (
     trace_from_recorder,
     write_chrome_trace,
 )
+from .flame import flamegraph_svg, folded_from_spans, parse_folded
 from .httpexp import MetricsServer, render_prometheus, sanitize_metric_name
 from .live import (
     LIVE_SCHEMA_VERSION,
@@ -79,6 +96,11 @@ _RECORDER = Recorder()
 # jsonl handle and threads belong to the parent, so a worker's
 # hard_reset must drop the reference along with the recorder state.
 register_hard_reset_hook(_clear_ambient_monitor)
+
+# Same story for the ambient deep profiler: its sampling thread did
+# not survive the fork, and workers run their own per-unit profilers
+# armed through the pool initializer instead.
+register_hard_reset_hook(_clear_ambient_profiler)
 
 
 def get_recorder() -> Recorder:
@@ -136,6 +158,9 @@ def recording(
 
 
 __all__ = [
+    "DEEPPROF_SCHEMA_VERSION",
+    "DEFAULT_HZ",
+    "DeepProfiler",
     "Histogram",
     "InMemorySink",
     "JsonlSink",
@@ -150,27 +175,40 @@ __all__ = [
     "build_manifest",
     "chrome_trace",
     "counter_events",
+    "critical_path",
     "disable",
+    "dump_speedscope",
     "enable",
     "ensure_json_native",
+    "flamegraph_svg",
+    "folded_from_spans",
+    "folded_lines",
     "get_monitor",
+    "get_profiler",
     "get_recorder",
     "is_enabled",
     "load_events",
     "load_events_tolerant",
     "load_manifest",
+    "parse_folded",
     "recording",
     "register_hard_reset_hook",
+    "render_critical_path",
     "render_prometheus",
     "render_stats",
     "render_stats_file",
     "run_provenance",
     "sanitize_metric_name",
+    "span_folded",
+    "speedscope_document",
+    "structural_span_keys",
     "summarize",
     "trace_events",
     "trace_from_events",
     "trace_from_recorder",
     "using_monitor",
+    "using_profiler",
+    "write_artifacts",
     "write_chrome_trace",
     "write_manifest",
 ]

@@ -132,6 +132,14 @@ def render_prometheus(
                 f'{metric}{{key="{_escape_label_value(str(key))}"}} '
                 f"{_format_value(value)}"
             )
+        dropped = top[MAX_KEYED_SERIES:]
+        if dropped:
+            # The cap is lossy: surface the tail as one marker series
+            # (count of dropped keys) so a scrape can tell "50 keys
+            # exist" from "50 shown of many".
+            lines.append(
+                f'{metric}{{key="_truncated"}} {_format_value(len(dropped))}'
+            )
     for name, summary in sorted(recorder.histogram_summaries().items()):
         _summary_lines(sanitize_metric_name(name), summary, lines)
     for name, summary in sorted(recorder.timer_summaries().items()):

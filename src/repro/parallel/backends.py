@@ -42,6 +42,7 @@ armed on the serial path.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import signal
 import sys
@@ -50,11 +51,24 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from .. import obs
+from ..obs import deepprof
 from . import jobs
 
 #: Seconds the live dispatch loop waits per ``wait()`` round before
 #: re-polling the watchdog.
 _LIVE_POLL_S = 0.1
+
+
+def _parent_sampler_paused() -> Any:
+    """Pause the ambient deep profiler while a pool runs.
+
+    The parent thread only waits on futures then; its wall time is the
+    workers' busy time, and the workers' own samplers account for it.
+    Sampling the wait too would add pool-plumbing keys a serial run
+    does not have.
+    """
+    profiler = deepprof.get_profiler()
+    return profiler.paused() if profiler is not None else contextlib.nullcontext()
 
 
 def chunked(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
@@ -155,6 +169,8 @@ class ProcessPoolBackend:
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(chunks)),
                 mp_context=self._mp_context,
+                initializer=jobs.init_worker,
+                initargs=(None, 0.0, deepprof.ambient_config()),
             )
         except (OSError, ImportError, ValueError) as error:
             print(
@@ -163,7 +179,10 @@ class ProcessPoolBackend:
                 file=sys.stderr,
             )
             return SerialBackend().run(units)
-        with pool:
+        # Pause outside the pool CM: contexts unwind inner-first, so the
+        # pool's shutdown join is still covered by the pause (sampling
+        # it would leak Executor.__exit__ frames into the profile).
+        with _parent_sampler_paused(), pool:
             futures = [pool.submit(jobs.execute_chunk, chunk) for chunk in chunks]
             for future in as_completed(futures):
                 for unit_index, result, snapshot in future.result():
@@ -182,12 +201,22 @@ class ProcessPoolBackend:
         if not record_obs:
             return
         recorder = obs.get_recorder()
+        profiler = deepprof.get_profiler()
+        # Worker deep-profile aggregates graft at the same point the
+        # spans do: the parent's currently-open span path.  That makes
+        # a merged 2-worker folded key set structurally identical to a
+        # serial run's (frames above execute_unit are trimmed on both
+        # sides) — the worker-count-invariance the tests pin down.
+        span_prefix = [record.name for record in recorder._stack]
         for unit_index in sorted(snapshots):
             # Tag grafted spans with the work-unit id (stable across
             # scheduling) so trace export renders one track per unit.
             recorder.merge_snapshot(
                 snapshots[unit_index], track=units[unit_index].uid
             )
+            state = snapshots[unit_index].get("deepprof")
+            if profiler is not None and state:
+                profiler.absorb(state, span_prefix=span_prefix)
 
     def _run_live(
         self,
@@ -220,8 +249,12 @@ class ProcessPoolBackend:
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(chunks)),
                 mp_context=self._mp_context,
-                initializer=jobs.init_live_channel,
-                initargs=(channel, monitor.heartbeat_interval_s),
+                initializer=jobs.init_worker,
+                initargs=(
+                    channel,
+                    monitor.heartbeat_interval_s,
+                    deepprof.ambient_config(),
+                ),
             )
         except (OSError, ImportError, ValueError) as error:
             print(
@@ -260,6 +293,8 @@ class ProcessPoolBackend:
         requeue_now = False
         broken = False
         try:
+            dispatch_pause = contextlib.ExitStack()
+            dispatch_pause.enter_context(_parent_sampler_paused())
             pending = {
                 pool.submit(jobs.execute_chunk, chunk, unit_uids)
                 for chunk in chunks
@@ -289,6 +324,10 @@ class ProcessPoolBackend:
                         "--watchdog-requeue to degrade to serial instead"
                     )
         finally:
+            # Resume parent sampling before any serial requeue below:
+            # requeued units run in this process and should be sampled
+            # exactly like serial-backend units.
+            dispatch_pause.close()
             monitor.disarm_watchdog()
 
         if requeue_now:
@@ -310,13 +349,17 @@ class ProcessPoolBackend:
                     pass
             pool.shutdown(wait=False, cancel_futures=True)
         else:
-            pool.shutdown(wait=True)
-            # Give in-flight telemetry a moment to drain, then stop.
-            deadline = time.monotonic() + 1.0
-            while time.monotonic() < deadline and len(done_uids) < len(results):
-                time.sleep(0.02)
-            drain_stop.set()
-            drainer.join(timeout=1.0)
+            # Re-pause around the shutdown join and telemetry drain:
+            # both are parent-side waiting a serial run never has, and
+            # sampling them would leak pool-plumbing frames.
+            with _parent_sampler_paused():
+                pool.shutdown(wait=True)
+                # Give in-flight telemetry a moment to drain, then stop.
+                deadline = time.monotonic() + 1.0
+                while time.monotonic() < deadline and len(done_uids) < len(results):
+                    time.sleep(0.02)
+                drain_stop.set()
+                drainer.join(timeout=1.0)
         try:
             channel.close()
             channel.cancel_join_thread()

@@ -99,9 +99,41 @@ class TestRenderPrometheus:
             for line in text.splitlines()
             if line.startswith("congest_edge_bits_total{")
         ]
-        assert len(labeled) == httpexp.MAX_KEYED_SERIES
+        # The cap, plus one marker series carrying the dropped count.
+        assert len(labeled) == httpexp.MAX_KEYED_SERIES + 1
         # Largest-valued keys survive the cap.
         assert 'key="edge-059"' in text
+        assert 'congest_edge_bits_total{key="_truncated"} 10' in text
+
+    def test_truncation_marker_counts_every_dropped_key(self):
+        from repro.obs import httpexp
+
+        recorder = fresh_recorder()
+        for index in range(httpexp.MAX_KEYED_SERIES * 2):
+            recorder.incr_keyed("big.bucket", f"k{index:03d}", index + 1)
+        samples = parse_exposition(render_prometheus(recorder=recorder))
+        assert samples['big_bucket_total{key="_truncated"}'] == str(
+            httpexp.MAX_KEYED_SERIES
+        )
+
+    def test_no_truncation_marker_at_or_under_the_cap(self):
+        from repro.obs import httpexp
+
+        recorder = fresh_recorder()
+        for index in range(httpexp.MAX_KEYED_SERIES):
+            recorder.incr_keyed("at.cap", f"k{index:03d}")
+        recorder.incr_keyed("under.cap", "only")
+        text = render_prometheus(recorder=recorder)
+        assert "_truncated" not in text
+        assert (
+            len([l for l in text.splitlines() if l.startswith("at_cap_total{")])
+            == httpexp.MAX_KEYED_SERIES
+        )
+
+    def test_empty_recorder_renders_build_info_only(self):
+        text = render_prometheus(recorder=fresh_recorder())
+        samples = parse_exposition(text)
+        assert all(name.startswith("repro_build_info") for name in samples)
 
     def test_label_values_escaped(self):
         recorder = fresh_recorder()

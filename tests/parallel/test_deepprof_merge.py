@@ -1,0 +1,128 @@
+"""Worker-side deep profiling and the parent-side merge contract.
+
+The headline invariant: the span-level folded signature of a deep
+profile is the same whether a sweep ran serially or on a process pool
+— worker stacks are trimmed at ``execute_unit`` and grafted under the
+parent's open span path, and the parent's own sampler is paused while
+the pool runs so future-waiting never shows up as samples.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import deepprof
+from repro.obs.deepprof import DeepProfiler
+from repro.parallel import ProcessPoolBackend, SerialBackend, WorkUnit
+from repro.parallel import backends as backends_module
+from repro.parallel import jobs
+
+NAP_KEY = "span:parallel.run;repro.parallel.jobs:_nap"
+
+
+@pytest.fixture(autouse=True)
+def _reset_worker_config():
+    yield
+    jobs.init_deepprof(None)
+
+
+def _significant(samples, floor=3):
+    """Drop sub-noise keys (spans shorter than a sampling interval)."""
+    return {key for key, count in samples.items() if count >= floor}
+
+
+class TestWorkerConfigPlumbing:
+    def test_init_deepprof_sets_and_clears_the_config(self):
+        config = DeepProfiler(hz=50.0).config()
+        jobs.init_deepprof(config)
+        assert jobs._DEEPPROF_CONFIG == config
+        jobs.init_deepprof(None)
+        assert jobs._DEEPPROF_CONFIG is None
+
+    def test_init_worker_passes_the_config_through(self):
+        config = DeepProfiler(hz=50.0, memory=True).config()
+        jobs.init_worker(None, 0.0, config)
+        assert jobs._DEEPPROF_CONFIG == config
+
+    def test_ambient_config_mirrors_the_active_profiler(self):
+        assert deepprof.ambient_config() is None
+        profiler = DeepProfiler(hz=42.0)
+        with deepprof.using_profiler(profiler):
+            assert deepprof.ambient_config() == profiler.config()
+        assert deepprof.ambient_config() is None
+
+
+class TestExecuteChunk:
+    def test_attaches_deepprof_state_when_armed(self):
+        jobs.init_deepprof(DeepProfiler(hz=250.0).config())
+        outcomes = jobs.execute_chunk(
+            [(0, "nap", {"seconds": 0.15, "value": 7.0}, True)]
+        )
+        unit_index, result, snapshot = outcomes[0]
+        assert (unit_index, result) == (0, 7.0)
+        state = snapshot["deepprof"]
+        assert state["schema_version"] == deepprof.DEEPPROF_SCHEMA_VERSION
+        assert state["total_samples"] > 0
+        # Stacks are trimmed at execute_unit: the unit body is the key.
+        assert "repro.parallel.jobs:_nap" in _significant(state["samples"])
+
+    def test_no_state_without_config(self):
+        jobs.init_deepprof(None)
+        outcomes = jobs.execute_chunk([(0, "probe", {"x": 3.0}, True)])
+        _, result, snapshot = outcomes[0]
+        assert result == 9.0
+        assert snapshot is not None
+        assert "deepprof" not in snapshot
+
+    def test_no_snapshot_at_all_without_record_obs(self):
+        jobs.init_deepprof(DeepProfiler(hz=250.0).config())
+        outcomes = jobs.execute_chunk([(0, "probe", {"x": 2.0}, False)])
+        _, result, snapshot = outcomes[0]
+        assert result == 4.0
+        assert snapshot is None
+
+
+def _run_profiled(backend, hz=150.0):
+    """Run two nap units under a deep profile; return the profiler."""
+    units = [
+        WorkUnit(uid=f"nap/{i}", kind="nap", kwargs={"seconds": 0.3, "value": float(i)})
+        for i in range(2)
+    ]
+    with obs.recording() as recorder:
+        profiler = DeepProfiler(hz=hz, recorder=recorder)
+        with deepprof.using_profiler(profiler):
+            profiler.start()
+            try:
+                with recorder.span("parallel.run"):
+                    results = backend.run(units, chunk_size=1)
+            finally:
+                profiler.stop()
+    assert results == [0.0, 1.0]
+    return profiler
+
+
+class TestWorkerCountInvariance:
+    def test_serial_attributes_naps_under_the_open_span(self):
+        profiler = _run_profiled(SerialBackend())
+        assert NAP_KEY in _significant(profiler.samples)
+        assert profiler.merged_profiles == 0
+
+    def test_pool_merges_to_the_same_folded_keys_as_serial(self):
+        if backends_module._multiprocessing_context() is None:
+            pytest.skip("multiprocessing unavailable on this platform")
+        serial = _run_profiled(SerialBackend())
+        pooled = _run_profiled(ProcessPoolBackend(2))
+        assert _significant(serial.samples) == _significant(pooled.samples)
+        assert deepprof.structural_span_keys(
+            serial.samples
+        ) == deepprof.structural_span_keys(pooled.samples)
+        # One worker aggregate absorbed per unit.
+        assert pooled.merged_profiles == 2
+
+    def test_pool_profile_has_no_pool_plumbing_frames(self):
+        if backends_module._multiprocessing_context() is None:
+            pytest.skip("multiprocessing unavailable on this platform")
+        pooled = _run_profiled(ProcessPoolBackend(2))
+        assert pooled.samples, "workers should have shipped samples"
+        for key in pooled.samples:
+            assert "multiprocessing" not in key
+            assert "concurrent.futures" not in key

@@ -292,7 +292,27 @@ class TestBenchCompareAutoDiscovery:
         assert "auto-discovered baseline" in out
         assert "BENCH_old.json" in out
 
-    def test_single_path_without_baseline_is_a_usage_error(self, tmp_path, capsys):
+    def test_single_path_falls_back_to_the_committed_baseline(
+        self, tmp_path, capsys
+    ):
+        # The only record in its own directory: auto-discovery consults
+        # benchmarks/baselines/, so a fresh clone's first run compares
+        # against the checked-in seed.
+        new = self._write_trajectory(tmp_path, "BENCH_only.json", 1.0, "one")
+        code = main(["bench", "--compare", str(new), "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "auto-discovered baseline" in out
+        assert "baselines" in out
+
+    def test_single_path_without_any_baseline_is_a_usage_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from benchmarks import runner
+
+        monkeypatch.setattr(
+            runner, "BASELINES_DIR", tmp_path / "no-baselines"
+        )
         new = self._write_trajectory(tmp_path, "BENCH_only.json", 1.0, "one")
         code = main(["bench", "--compare", str(new), "--out", str(tmp_path)])
         assert code == 2
