@@ -2,7 +2,9 @@
 
 The exact solver is what makes every upper-bound claim verifiable; this
 bench times it on the gadget shape (dense, clique-structured) and on
-G(n, p) instances, and charts how far the greedy heuristics fall short.
+G(n, p) instances, charts how far the greedy heuristics fall short, and
+compares the kernelized default against the ``--no-kernel`` raw path
+(see ``docs/SOLVER.md``).
 """
 
 import random
@@ -14,6 +16,7 @@ from repro.maxis import (
     BranchAndBoundStats,
     best_greedy,
     brute_force_max_weight_independent_set,
+    kernelize,
     max_weight_independent_set,
 )
 from repro.analysis import render_table
@@ -29,10 +32,58 @@ def test_bench_exact_solver_on_gadget(benchmark):
     assert result.weight > 0
 
 
+def test_bench_exact_solver_no_kernel_on_gadget(benchmark):
+    """The same instance through the raw branch-and-bound path."""
+    construction = LinearConstruction(GadgetParameters(ell=6, alpha=1, t=5))
+    result = benchmark(
+        max_weight_independent_set, construction.graph, kernel=False
+    )
+    assert result.weight == max_weight_independent_set(construction.graph).weight
+
+
 def test_bench_exact_solver_on_random(benchmark):
     graph = random_graph(40, 0.3, rng=random.Random(5), weight_range=(1, 9))
     result = benchmark(max_weight_independent_set, graph)
     assert result.weight > 0
+
+
+def _reducible_path(n=60):
+    from repro.graphs import WeightedGraph
+
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_node(i, weight=1 + (i * 7) % 5)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def test_bench_kernelize_reducible(benchmark):
+    """Time one cold kernelization of a fully-reducible 60-node path.
+
+    The kernelization is memoized per graph object, so the bench
+    rebuilds the graph inside the timed thunk; construction is a small
+    constant next to the fold cascade being measured.
+    """
+
+    def kernelize_cold():
+        return kernelize(_reducible_path())
+
+    kern = benchmark(kernelize_cold)
+    assert kern.num_reduced_nodes == 0
+    assert kern.stats.removed_nodes == 60
+
+
+def test_bench_kernel_on_vs_off_reducible(benchmark):
+    """Kernel-on solve of the reducible path (compare with _no_kernel twin)."""
+
+    def solve_on():
+        return max_weight_independent_set(_reducible_path(), kernel=True)
+
+    result = benchmark(solve_on)
+    assert result.weight == max_weight_independent_set(
+        _reducible_path(), kernel=False
+    ).weight
 
 
 def test_bench_brute_force_oracle(benchmark):

@@ -2,12 +2,16 @@
 
 ``pytest benchmarks/`` regenerates the paper's figures; *this* module
 answers a different question — are the hot paths getting faster or
-quietly regressing?  It keeps a small curated suite of seven benches,
+quietly regressing?  It keeps a small curated suite of eight benches,
 one per hot path the reproduction leans on:
 
 * ``construction_build`` — gadget graph construction (linear + quadratic);
 * ``gf_arithmetic``      — finite-field/Reed–Solomon encode + decode;
 * ``maxis_exact``        — branch-and-bound exact MaxIS on a gadget instance;
+* ``kernel_reduction``   — the MaxIS kernelization front-end over a
+  reducible family plus the gadget instance, with the nodes-removed
+  ratio and the kernel-on vs kernel-off solve speedup recorded as
+  gauges in the trajectory record;
 * ``congest_trace``      — ExecutionTrace round loop driving Luby's MIS;
 * ``theorem5_simulation`` — the full Theorem 5 player simulation;
 * ``sweep_parallel``     — the repro.parallel engine's scaling: one
@@ -119,7 +123,7 @@ def _fixture(key: str, build: Callable[[], Any]) -> Any:
 
 
 # ----------------------------------------------------------------------
-# The seven benches
+# The eight benches
 # ----------------------------------------------------------------------
 
 
@@ -176,6 +180,84 @@ def bench_maxis_exact():
 
     graph = _fixture("gadget_instance", _gadget_instance)
     return max_independent_set_weight(graph)
+
+
+def _kernel_reduction_instances():
+    """Fresh graphs for the kernelization bench, reducible to identity.
+
+    Rebuilt on every call: the kernelization is memoized per graph
+    object, so timing reduction requires cold graphs.  Three shapes:
+    a union of cliques (collapsed entirely by the twin rule), a long
+    weighted path (consumed by the degree-1/2 fold rules), and the
+    standard 40-node gadget instance (irreducible — the identity-kernel
+    fast path).
+    """
+    from repro.graphs import WeightedGraph
+
+    graphs = []
+    cliques = WeightedGraph()
+    label = 0
+    for _ in range(6):
+        members = list(range(label, label + 5))
+        label += 5
+        for m in members:
+            cliques.add_node(m, weight=1 + (m % 4))
+        for i in range(5):
+            for j in range(i + 1, 5):
+                cliques.add_edge(members[i], members[j])
+    graphs.append(cliques)
+    path = WeightedGraph()
+    for i in range(60):
+        path.add_node(i, weight=1 + (i * 7) % 5)
+    for i in range(59):
+        path.add_edge(i, i + 1)
+    graphs.append(path)
+    graphs.append(_gadget_instance())
+    return graphs
+
+
+@bench("kernel_reduction", cliques=6, clique_size=5, path_nodes=60, ell=3, t=2)
+def bench_kernel_reduction():
+    """Kernelize + solve a reducible family, kernel on vs off.
+
+    Each invocation rebuilds the instances cold, kernelizes them, and
+    solves every instance both ways, asserting the optima agree.  The
+    timed samples cover the whole cycle; the manifest-pass gauges expose
+    what the kernel buys: ``kernel.removed_ratio`` (nodes removed /
+    initial nodes over the family) and ``kernel.speedup_x``
+    (kernel-off / kernel-on solve wall time on the same instances).
+    """
+    from repro import obs
+    from repro.maxis import kernelize, max_weight_independent_set
+
+    instances_on = _kernel_reduction_instances()
+    instances_off = _kernel_reduction_instances()
+    initial = removed = 0
+    for graph in instances_on:
+        stats = kernelize(graph).stats
+        initial += stats.initial_nodes
+        removed += stats.removed_nodes
+    start = time.perf_counter()
+    optima_on = [
+        max_weight_independent_set(g, kernel=True).weight for g in instances_on
+    ]
+    on_s = time.perf_counter() - start
+    start = time.perf_counter()
+    optima_off = [
+        max_weight_independent_set(g, kernel=False).weight
+        for g in instances_off
+    ]
+    off_s = time.perf_counter() - start
+    if optima_on != optima_off:
+        raise AssertionError("kernel-on and kernel-off optima disagree")
+    recorder = obs.get_recorder()
+    recorder.gauge("kernel.initial_nodes", initial)
+    recorder.gauge("kernel.removed_nodes", removed)
+    recorder.gauge("kernel.removed_ratio", removed / initial if initial else 0.0)
+    recorder.gauge("kernel.on_s", on_s)
+    recorder.gauge("kernel.off_s", off_s)
+    recorder.gauge("kernel.speedup_x", off_s / on_s if on_s else 0.0)
+    return removed
 
 
 @bench("congest_trace", ell=3, alpha=1, t=2, algorithm="LubyMIS")

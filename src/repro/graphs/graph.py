@@ -49,7 +49,7 @@ class WeightedGraph:
         already present are added with weight 1.
     """
 
-    __slots__ = ("_adj", "_weights")
+    __slots__ = ("_adj", "_weights", "_derived_cache")
 
     def __init__(
         self,
@@ -58,6 +58,7 @@ class WeightedGraph:
     ) -> None:
         self._adj: Dict[Node, Set[Node]] = {}
         self._weights: Dict[Node, Weight] = {}
+        self._derived_cache: Optional[Dict[str, object]] = None
         if nodes is not None:
             if isinstance(nodes, Mapping):
                 for node, weight in nodes.items():
@@ -84,9 +85,11 @@ class WeightedGraph:
             if not exist_ok:
                 raise DuplicateNodeError(node)
             self._weights[node] = weight
+            self._derived_cache = None
             return
         self._adj[node] = set()
         self._weights[node] = weight
+        self._derived_cache = None
 
     def add_nodes(self, nodes: Iterable[Node], weight: Weight = 1) -> None:
         """Add every node in ``nodes`` with a common weight."""
@@ -101,6 +104,7 @@ class WeightedGraph:
             self._adj[neighbor].discard(node)
         del self._adj[node]
         del self._weights[node]
+        self._derived_cache = None
 
     def has_node(self, node: Node) -> bool:
         """Return whether ``node`` is in the graph."""
@@ -148,6 +152,7 @@ class WeightedGraph:
         if node not in self._weights:
             raise NodeNotFoundError(node)
         self._weights[node] = weight
+        self._derived_cache = None
 
     def weights(self) -> Dict[Node, Weight]:
         """Return a copy of the node-weight mapping."""
@@ -184,6 +189,7 @@ class WeightedGraph:
             self.add_node(v)
         self._adj[u].add(v)
         self._adj[v].add(u)
+        self._derived_cache = None
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Add every edge in ``edges``."""
@@ -200,6 +206,7 @@ class WeightedGraph:
             raise EdgeNotFoundError(u, v)
         self._adj[u].discard(v)
         self._adj[v].discard(u)
+        self._derived_cache = None
 
     def has_edge(self, u: Node, v: Node) -> bool:
         """Return whether the edge ``{u, v}`` exists."""
@@ -242,6 +249,20 @@ class WeightedGraph:
         if not self._adj:
             return 0
         return max(len(neighbors) for neighbors in self._adj.values())
+
+    def nodes_by_degree(self) -> Dict[int, List[Node]]:
+        """Return degree buckets: ``degree -> nodes of that degree``.
+
+        Buckets preserve insertion order within a degree, and the dict
+        itself is keyed in ascending degree, so iterating the buckets
+        visits low-degree nodes first — the processing order the MaxIS
+        kernelization wants (degree-0/1/2 rules fire before anything
+        else).
+        """
+        buckets: Dict[int, List[Node]] = {}
+        for node, neighbors in self._adj.items():
+            buckets.setdefault(len(neighbors), []).append(node)
+        return {degree: buckets[degree] for degree in sorted(buckets)}
 
     # ------------------------------------------------------------------
     # Structural predicates
@@ -435,6 +456,18 @@ class WeightedGraph:
         """Return a cheap (nodes, edges, total weight) fingerprint."""
         return (self.num_nodes, self.num_edges, int(self.total_weight()))
 
+    def __getstate__(self) -> Tuple[Dict[Node, Set[Node]], Dict[Node, Weight]]:
+        # The derived cache is rebuildable scratch state: drop it from
+        # pickles so payloads stay small and cache objects never travel
+        # between processes.
+        return (self._adj, self._weights)
+
+    def __setstate__(
+        self, state: Tuple[Dict[Node, Set[Node]], Dict[Node, Weight]]
+    ) -> None:
+        self._adj, self._weights = state
+        self._derived_cache = None
+
     def __repr__(self) -> str:
         return (
             f"WeightedGraph(num_nodes={self.num_nodes}, "
@@ -445,13 +478,27 @@ class WeightedGraph:
     # Dense exports (for solvers)
     # ------------------------------------------------------------------
 
-    def to_index_form(self) -> Tuple[List[Node], List[Weight], List[int]]:
+    def to_index_form(
+        self, order: Optional[Iterable[Node]] = None
+    ) -> Tuple[List[Node], List[Weight], List[int]]:
         """Export as (nodes, weights, adjacency bitmasks).
 
         ``masks[i]`` has bit ``j`` set iff nodes ``i`` and ``j`` are
         adjacent.  This is the input format for the bitset MaxIS solver.
+
+        ``order``, when given, must be a permutation of the node set and
+        fixes the index assignment.  Building the bitmasks directly in
+        the requested order is how the solver avoids remapping adjacency
+        masks bit by bit after sorting.
         """
-        node_list = list(self._adj)
+        if order is None:
+            node_list = list(self._adj)
+        else:
+            node_list = list(order)
+            if len(node_list) != len(self._adj) or any(
+                node not in self._adj for node in node_list
+            ) or len(set(node_list)) != len(node_list):
+                raise ValueError("order must be a permutation of the node set")
         index = {node: i for i, node in enumerate(node_list)}
         weights = [self._weights[node] for node in node_list]
         masks = [0] * len(node_list)
@@ -460,3 +507,51 @@ class WeightedGraph:
             masks[i] |= 1 << j
             masks[j] |= 1 << i
         return node_list, weights, masks
+
+    def derived_cache(self) -> Dict[str, object]:
+        """Scratch cache for structures derived from the graph.
+
+        The dict is dropped wholesale on *any* mutation (node/edge/weight
+        change), so entries can never go stale; callers key their own
+        namespaced entries (e.g. ``"maxis.kernelization"``) and must
+        treat cached values as immutable.  It never pickles
+        (:meth:`__getstate__` drops it).
+        """
+        cache = self._derived_cache
+        if cache is None:
+            cache = self._derived_cache = {}
+        return cache
+
+    def solver_index_form(
+        self,
+    ) -> Tuple[List[Node], List[Weight], List[int], Dict[Node, int]]:
+        """Weight-ordered index form for the MaxIS solver, cached.
+
+        Returns ``(order, weights, masks, index)``: nodes heaviest-first
+        (ties broken by descending degree, then insertion order — the
+        solver's branching order), their weights and adjacency bitmasks
+        in that order, and the node → position map.  Building the masks
+        directly in branching order replaces the seed solver's per-bit
+        adjacency remap.  The tuple is cached via :meth:`derived_cache`
+        until the graph mutates; callers must not modify the lists.
+        """
+        cache = self.derived_cache()
+        form = cache.get("graph.solver_index_form")
+        if form is None:
+            adj = self._adj
+            wmap = self._weights
+            order = sorted(
+                adj, key=lambda node: (-wmap[node], -len(adj[node]))
+            )
+            index = {node: i for i, node in enumerate(order)}
+            weights = [wmap[node] for node in order]
+            masks = []
+            append = masks.append
+            for node in order:
+                mask = 0
+                for neighbor in adj[node]:
+                    mask |= 1 << index[neighbor]
+                append(mask)
+            form = (order, weights, masks, index)
+            cache["graph.solver_index_form"] = form
+        return form

@@ -19,6 +19,15 @@ from .exact import (
     max_weight_clique,
     max_weight_independent_set,
 )
+from .kernel import (
+    FoldedVertex,
+    Kernelization,
+    KernelStats,
+    kernel_default_enabled,
+    kernelize,
+    set_kernel_default,
+    using_kernel,
+)
 from .result import IndependentSetResult, approximation_ratio
 from .vertex_cover import (
     VertexCoverResult,
@@ -30,7 +39,10 @@ from .vertex_cover import (
 
 __all__ = [
     "BranchAndBoundStats",
+    "FoldedVertex",
     "IndependentSetResult",
+    "KernelStats",
+    "Kernelization",
     "VertexCoverResult",
     "approximation_ratio",
     "best_greedy",
@@ -42,6 +54,8 @@ __all__ = [
     "greedy_by_weight_degree_ratio",
     "improve_by_swaps",
     "is_vertex_cover",
+    "kernel_default_enabled",
+    "kernelize",
     "local_optima_over_partition",
     "matching_vertex_cover",
     "max_independent_set_weight",
@@ -49,4 +63,6 @@ __all__ = [
     "max_weight_independent_set",
     "min_weight_vertex_cover",
     "random_maximal_independent_set",
+    "set_kernel_default",
+    "using_kernel",
 ]

@@ -6,12 +6,18 @@ actually computing the optimum on concrete gadget instances, so the
 solver has to be exact, and fast on the gadget shape: dense graphs that
 are near-unions of cliques.
 
-The workhorse is a bitset branch-and-bound with a greedy weighted
-clique-cover upper bound.  A clique contributes at most its heaviest
-member to any independent set, so the cover bound collapses to almost
-the true optimum on clique-structured graphs — exactly our instances.
-A plain exponential brute force (:mod:`repro.maxis.brute_force`)
-cross-checks it in tests.
+The pipeline is kernelize-then-branch: :mod:`repro.maxis.kernel` shrinks
+the instance with exactness-preserving reduction rules (the witness is
+lifted back through the fold log afterwards), then a bitset
+branch-and-bound with a greedy weighted clique-cover upper bound solves
+the kernel.  A clique contributes at most its heaviest member to any
+independent set, so the cover bound collapses to almost the true optimum
+on clique-structured graphs — exactly our instances.  Covers are
+*inherited* down the search tree and rebuilt only once the candidate set
+has shrunk enough for a fresh cover to pay for itself.  A plain
+exponential brute force (:mod:`repro.maxis.brute_force`) cross-checks
+everything in tests, and ``--no-kernel`` (or ``kernel=False``) falls
+back to branch-and-bound on the raw graph.
 """
 
 from __future__ import annotations
@@ -20,9 +26,17 @@ from typing import List, Optional, Tuple
 
 from ..graphs import Node, WeightedGraph
 from ..obs import get_recorder
+from .kernel import kernel_default_enabled, kernelize
 from .result import IndependentSetResult
 
 _obs = get_recorder()
+
+#: A search node rebuilds the clique cover once its candidate set has
+#: shrunk below this fraction of the size at the last build.  1.0 would
+#: rebuild at every node (tight bounds, high constant cost), 0.0 would
+#: keep the root cover forever (cheap, but stale bounds blow up the tree
+#: on larger gadgets); 0.5 measured best across the bench instances.
+_COVER_REBUILD_RATIO = 0.5
 
 
 class BranchAndBoundStats:
@@ -41,9 +55,18 @@ class BranchAndBoundStats:
         )
 
 
+def _validate_weights(graph: WeightedGraph) -> None:
+    # Validated straight off the weight map, before any index-form or
+    # kernel structure is built or touched.
+    for weight in graph.weights().values():
+        if weight < 0:
+            raise ValueError("negative node weights are not supported")
+
+
 def max_weight_independent_set(
     graph: WeightedGraph,
     stats: Optional[BranchAndBoundStats] = None,
+    kernel: Optional[bool] = None,
 ) -> IndependentSetResult:
     """Return a maximum-weight independent set of ``graph``.
 
@@ -51,129 +74,217 @@ def max_weight_independent_set(
     are dense (the gadget regime); see the solver bench for measured
     scaling.
 
+    ``kernel`` selects the kernelized path (reduction rules + fold-log
+    witness lifting, see :mod:`repro.maxis.kernel`); it defaults to the
+    ambient kernel switch (on unless ``--no-kernel`` /
+    :func:`repro.maxis.kernel.using_kernel` turned it off).  Both paths
+    return the same optimum; the witness *node set* is deterministic per
+    path (fixed branching order, strict-improvement updates), and on
+    instances the kernel leaves untouched the two paths run the
+    identical search, so their witnesses coincide exactly — the
+    regression pins compare sorted witness lists kernel-on vs -off.
+
     Optima are memoized as witness node sets under ``maxis.solution``
-    when the result store is configured.  A cached witness is re-wrapped
-    in :class:`IndependentSetResult`, whose constructor re-validates
-    independence and recomputes the weight against the *live* graph, so
-    a hit can never return an invalid set — at worst a stale entry falls
-    through to a fresh solve.
+    when the result store is configured.  The key covers the kernel flag
+    and fingerprints the kernel module, so cached witnesses can never
+    alias across kernel on/off or across kernel-rule changes.  A cached
+    witness is re-wrapped in :class:`IndependentSetResult`, whose
+    constructor re-validates independence and recomputes the weight
+    against the *live* graph, so a hit can never return an invalid set —
+    at worst a stale entry falls through to a fresh solve.
     """
     from ..store import MAXIS_MODULES, MISS, get_store
 
+    use_kernel = kernel_default_enabled() if kernel is None else bool(kernel)
     store = get_store()
     if store is None:
-        return _branch_and_bound(graph, stats)
-    key = store.key_for("maxis.solution", {"graph": graph}, MAXIS_MODULES)
+        return _solve(graph, stats, use_kernel)
+    key = store.key_for(
+        "maxis.solution", {"graph": graph, "kernel": use_kernel}, MAXIS_MODULES
+    )
     nodes = store.get(key)
     if nodes is not MISS:
         try:
             return IndependentSetResult(graph, nodes)
         except (KeyError, ValueError):
             pass  # witness doesn't fit this graph: recompute below
-    result = _branch_and_bound(graph, stats)
+    result = _solve(graph, stats, use_kernel)
     store.put(key, "maxis.solution", "node_list", list(result.nodes))
     return result
+
+
+def _solve(
+    graph: WeightedGraph,
+    stats: Optional[BranchAndBoundStats],
+    use_kernel: bool,
+) -> IndependentSetResult:
+    _validate_weights(graph)
+    if use_kernel:
+        return _kernelized_branch_and_bound(graph, stats)
+    return _branch_and_bound(graph, stats)
+
+
+def _kernelized_branch_and_bound(
+    graph: WeightedGraph,
+    stats: Optional[BranchAndBoundStats] = None,
+) -> IndependentSetResult:
+    kern = kernelize(graph)
+    labels, weights, masks = kern.reduced_index_form()
+    stats = stats or BranchAndBoundStats()
+    with _obs.span("maxis.exact.search", n=len(labels)):
+        best_weight, best_set = _solve_ordered_masks(weights, masks, stats)
+    _record_solve(stats)
+    reduced_chosen = [
+        labels[pos] for pos in range(len(labels)) if (best_set >> pos) & 1
+    ]
+    if kern.is_identity:
+        # No rule fired: the "kernel witness" already names original
+        # nodes; skip replaying the (empty) fold log.
+        return IndependentSetResult(graph, reduced_chosen)
+    return IndependentSetResult(graph, kern.lift(reduced_chosen))
 
 
 def _branch_and_bound(
     graph: WeightedGraph,
     stats: Optional[BranchAndBoundStats] = None,
 ) -> IndependentSetResult:
-    node_list, weights, masks = graph.to_index_form()
+    # The cached solver index form is already in branching order
+    # (descending weight, then degree) with masks built against it — no
+    # per-bit remap pass, and repeat solves on the same graph skip the
+    # build entirely.
+    node_list, weights, masks, _ = graph.solver_index_form()
     n = len(node_list)
     if n == 0:
         return IndependentSetResult(graph, [])
-    for weight in weights:
-        if weight < 0:
-            raise ValueError("negative node weights are not supported")
-
-    # Order vertices by descending weight, then descending degree; the
-    # heaviest/most-constrained vertices are branched on first.
-    order = sorted(
-        range(n), key=lambda i: (-weights[i], -bin(masks[i]).count("1"))
-    )
-    position = [0] * n
-    for pos, original in enumerate(order):
-        position[original] = pos
-    # Re-index into branching order.
-    new_weights = [weights[i] for i in order]
-    new_masks = [0] * n
-    for pos, original in enumerate(order):
-        mask = masks[original]
-        remapped = 0
-        while mask:
-            low = mask & -mask
-            remapped |= 1 << position[low.bit_length() - 1]
-            mask ^= low
-        new_masks[pos] = remapped
-
     stats = stats or BranchAndBoundStats()
-    best_weight = -1
-    best_set = 0
-    full_mask = (1 << n) - 1
-
-    def clique_cover_bound(candidates: int) -> float:
-        """Greedy weighted clique cover of the candidate set.
-
-        Partition candidates into cliques; each clique can contribute at
-        most its maximum weight.  Vertices are visited heaviest-first
-        (the branching order is weight-sorted), so each clique's first
-        member is its heaviest and the bound is the sum of first-member
-        weights.
-        """
-        cliques: List[int] = []  # clique bitmasks
-        bound = 0.0
-        remaining = candidates
-        while remaining:
-            low = remaining & -remaining
-            v = low.bit_length() - 1
-            remaining ^= low
-            placed = False
-            adjacency = new_masks[v]
-            for idx, clique_mask in enumerate(cliques):
-                if clique_mask & ~adjacency:
-                    continue  # v is not adjacent to the whole clique
-                cliques[idx] = clique_mask | low
-                placed = True
-                break
-            if not placed:
-                cliques.append(low)
-                bound += new_weights[v]
-        return bound
-
-    def search(candidates: int, current_weight: float, current_set: int) -> None:
-        nonlocal best_weight, best_set
-        stats.nodes_expanded += 1
-        if not candidates:
-            if current_weight > best_weight:
-                best_weight = current_weight
-                best_set = current_set
-            return
-        if current_weight + clique_cover_bound(candidates) <= best_weight:
-            stats.bound_prunes += 1
-            return
-        low = candidates & -candidates
-        v = low.bit_length() - 1
-        # Branch 1: include v (drop v and its neighbors from candidates).
-        search(
-            candidates & ~(low | new_masks[v]),
-            current_weight + new_weights[v],
-            current_set | low,
-        )
-        # Branch 2: exclude v.
-        search(candidates & ~low, current_weight, current_set)
-
     with _obs.span("maxis.exact.search", n=n):
-        search(full_mask, 0.0, 0)
+        best_weight, best_set = _solve_ordered_masks(weights, masks, stats)
+    _record_solve(stats)
+    return IndependentSetResult(
+        graph, [node_list[pos] for pos in range(n) if (best_set >> pos) & 1]
+    )
+
+
+def _record_solve(stats: BranchAndBoundStats) -> None:
     if _obs.enabled:
         _obs.incr("maxis.exact.solves")
         _obs.incr("maxis.exact.nodes_expanded", stats.nodes_expanded)
         _obs.incr("maxis.exact.bound_prunes", stats.bound_prunes)
 
-    chosen = [
-        node_list[order[pos]] for pos in range(n) if (best_set >> pos) & 1
-    ]
-    return IndependentSetResult(graph, chosen)
+
+def _solve_ordered_masks(
+    weights: List[float],
+    masks: List[int],
+    stats: BranchAndBoundStats,
+) -> Tuple[float, int]:
+    """Branch and bound over a *pre-ordered* index form.
+
+    Precondition: ``weights`` is non-increasing.  The greedy clique
+    cover visits candidates lowest-index-first, so each clique's first
+    member is its heaviest and the cover bound is a first-member weight
+    sum; when the cover is reused to bound a *subset* of the set it was
+    built for, ``(clique & subset) & -(clique & subset)`` picks the
+    heaviest surviving member.  That reuse is the core of the cost
+    model: a cover is built at the root and *inherited* down the tree,
+    rebuilt at a node only once the candidate set has shrunk below
+    ``_COVER_REBUILD_RATIO`` of its size at the previous build.  Fresh
+    covers prune at rebuild nodes; inherited covers bound children with
+    an early-exit scan that stops as soon as the bound clears the
+    pruning threshold.
+
+    Returns ``(best_weight, best_set_bitmask)``.  ``best_set`` is the
+    first optimum in DFS order (include branch first); because updates
+    happen only on strict improvement, any *sound* pruning strategy —
+    however strong — leaves it unchanged, so tuning the rebuild ratio
+    can never change a witness.  The kernel-on/off determinism pins
+    rely on this.
+    """
+    n = len(weights)
+    if n == 0:
+        return 0.0, 0
+    best_weight = -1.0
+    best_set = 0
+    nodes_expanded = 0
+    bound_prunes = 0
+
+    def search(
+        candidates: int,
+        current_weight: float,
+        current_set: int,
+        cliques: List[int],
+        built_at: float,
+    ) -> None:
+        nonlocal best_weight, best_set, nodes_expanded, bound_prunes
+        nodes_expanded += 1
+        if candidates.bit_count() <= built_at:
+            # Rebuild: greedy weighted clique cover of the candidate set.
+            cliques = []
+            bound = 0.0
+            remaining = candidates
+            clique_append = cliques.append
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                adjacency = masks[low.bit_length() - 1]
+                for idx in range(len(cliques)):
+                    if cliques[idx] & ~adjacency:
+                        continue  # not adjacent to the whole clique
+                    cliques[idx] |= low
+                    break
+                else:
+                    clique_append(low)
+                    bound += weights[low.bit_length() - 1]
+            if current_weight + bound <= best_weight:
+                bound_prunes += 1
+                return
+            built_at = candidates.bit_count() * _COVER_REBUILD_RATIO
+        low = candidates & -candidates
+        v = low.bit_length() - 1
+        # Branch 1: include v (drop v and its neighbors from candidates).
+        child = candidates & ~(low | masks[v])
+        child_weight = current_weight + weights[v]
+        if not child:
+            if child_weight > best_weight:
+                best_weight = child_weight
+                best_set = current_set | low
+        else:
+            need = best_weight - child_weight
+            bound = 0.0
+            for clique_mask in cliques:
+                alive = clique_mask & child
+                if alive:
+                    bound += weights[(alive & -alive).bit_length() - 1]
+                    if bound > need:
+                        break
+            if bound > need:
+                search(child, child_weight, current_set | low, cliques, built_at)
+            else:
+                bound_prunes += 1
+        # Branch 2: exclude v.
+        child = candidates ^ low
+        if not child:
+            if current_weight > best_weight:
+                best_weight = current_weight
+                best_set = current_set
+        else:
+            need = best_weight - current_weight
+            bound = 0.0
+            for clique_mask in cliques:
+                alive = clique_mask & child
+                if alive:
+                    bound += weights[(alive & -alive).bit_length() - 1]
+                    if bound > need:
+                        break
+            if bound > need:
+                search(child, current_weight, current_set, cliques, built_at)
+            else:
+                bound_prunes += 1
+
+    # built_at = n forces a cover build at the root.
+    search((1 << n) - 1, 0.0, 0, [], float(n))
+    stats.nodes_expanded += nodes_expanded
+    stats.bound_prunes += bound_prunes
+    return best_weight, best_set
 
 
 def max_independent_set_weight(graph: WeightedGraph) -> float:

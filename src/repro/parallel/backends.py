@@ -51,6 +51,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from .. import obs
+from ..maxis.kernel import kernel_default_enabled
 from ..obs import deepprof
 from . import jobs
 
@@ -170,7 +171,12 @@ class ProcessPoolBackend:
                 max_workers=min(self.workers, len(chunks)),
                 mp_context=self._mp_context,
                 initializer=jobs.init_worker,
-                initargs=(None, 0.0, deepprof.ambient_config()),
+                initargs=(
+                    None,
+                    0.0,
+                    deepprof.ambient_config(),
+                    kernel_default_enabled(),
+                ),
             )
         except (OSError, ImportError, ValueError) as error:
             print(
@@ -254,6 +260,7 @@ class ProcessPoolBackend:
                     channel,
                     monitor.heartbeat_interval_s,
                     deepprof.ambient_config(),
+                    kernel_default_enabled(),
                 ),
             )
         except (OSError, ImportError, ValueError) as error:

@@ -317,3 +317,79 @@ class TestDerivedGraphs:
             assert masks[index[u]] >> index[v] & 1
             assert masks[index[v]] >> index[u] & 1
         assert weights[index["a"]] == 3
+
+    def test_to_index_form_with_order(self, triangle):
+        nodes, weights, masks = triangle.to_index_form(order=["c", "a", "b"])
+        assert nodes == ["c", "a", "b"]
+        assert weights == [2, 3, 1]
+        # Triangle: every pair adjacent; masks reflect the given order.
+        assert masks == [0b110, 0b101, 0b011]
+
+    @pytest.mark.parametrize(
+        "order",
+        [["a", "b"], ["a", "b", "c", "d"], ["a", "b", "x"], ["a", "b", "b"]],
+    )
+    def test_to_index_form_rejects_non_permutation(self, triangle, order):
+        with pytest.raises(ValueError):
+            triangle.to_index_form(order=order)
+
+
+class TestDegreeBuckets:
+    def test_nodes_by_degree_ascending_keys(self):
+        graph = WeightedGraph(nodes={"iso": 1, "leaf": 1, "hub": 1, "mid": 1})
+        graph.add_edge("leaf", "hub")
+        graph.add_edge("hub", "mid")
+        buckets = graph.nodes_by_degree()
+        assert list(buckets) == [0, 1, 2]
+        assert buckets[0] == ["iso"]
+        assert buckets[2] == ["hub"]
+
+    def test_nodes_by_degree_insertion_order_within_bucket(self):
+        graph = WeightedGraph(nodes={n: 1 for n in "dcba"})
+        buckets = graph.nodes_by_degree()
+        assert buckets[0] == ["d", "c", "b", "a"]
+
+    def test_nodes_by_degree_empty(self):
+        assert WeightedGraph().nodes_by_degree() == {}
+
+
+class TestDerivedCache:
+    def test_solver_index_form_cached(self, triangle):
+        assert triangle.solver_index_form() is triangle.solver_index_form()
+
+    def test_solver_index_form_branching_order(self, triangle):
+        order, weights, masks, index = triangle.solver_index_form()
+        assert order == ["a", "c", "b"]  # heaviest first: 3, 2, 1
+        assert weights == [3, 2, 1]
+        assert [index[n] for n in order] == [0, 1, 2]
+        assert masks == [0b110, 0b101, 0b011]
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda g: g.add_node("z"),
+            lambda g: g.remove_node("a"),
+            lambda g: g.set_weight("b", 9),
+            lambda g: g.add_edge("a", "d"),
+            lambda g: g.remove_edge("a", "b"),
+        ],
+    )
+    def test_every_mutator_invalidates_cache(self, triangle, mutate):
+        triangle.add_node("d")  # spare node so add_edge has a target
+        first = triangle.solver_index_form()
+        mutate(triangle)
+        assert triangle.solver_index_form() is not first
+
+    def test_derived_cache_entries_survive_reads(self, triangle):
+        triangle.derived_cache()["test.entry"] = "payload"
+        triangle.degree("a")
+        triangle.is_independent_set(["a"])
+        assert triangle.derived_cache()["test.entry"] == "payload"
+
+    def test_pickle_drops_derived_cache(self, triangle):
+        import pickle
+
+        triangle.derived_cache()["test.entry"] = object()
+        clone = pickle.loads(pickle.dumps(triangle))
+        assert clone == triangle
+        assert "test.entry" not in clone.derived_cache()

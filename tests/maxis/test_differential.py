@@ -6,19 +6,28 @@ and bound pruning paths.  The oracles cross-check each other:
 
 * ``brute_force_max_weight_independent_set`` enumerates all subsets and
   is the ground truth;
-* ``max_weight_independent_set`` (branch and bound) must match it;
+* ``max_weight_independent_set`` (branch and bound) must match it, with
+  the kernelization front-end on AND off — the four-way matrix
+  ``exact(kernel) == exact(no kernel) == brute force == total − minVC``
+  runs on every instance;
 * ``max_weight_clique`` on the complement graph must match it (an
   independent set is a clique in the complement);
-* the complement identity ``total == maxIS + minVC`` must hold;
 * no approximation may ever beat the optimum.
+
+The adversarial families below aim at the kernel's soft spots: unions
+of cliques (the twin rule must collapse them entirely), complete
+bipartite graphs minus a perfect matching (dense, domination-heavy),
+paths and cycles (pure fold-rule cascades), and all-equal-weight ties
+(every tie-break branch).
 """
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graphs import random_graph
+from repro.graphs import WeightedGraph, random_graph, union_of_cliques
 from repro.maxis import (
     best_greedy,
     brute_force_max_weight_independent_set,
@@ -31,6 +40,18 @@ from repro.maxis import (
     min_weight_vertex_cover,
     random_maximal_independent_set,
 )
+
+
+def assert_four_way_agreement(graph):
+    """exact(kernel) == exact(no kernel) == brute force == total − minVC."""
+    kernel_on = max_weight_independent_set(graph, kernel=True)
+    kernel_off = max_weight_independent_set(graph, kernel=False)
+    brute = brute_force_max_weight_independent_set(graph)
+    min_vc = min_weight_vertex_cover(graph).weight
+    assert kernel_on.weight == kernel_off.weight == brute.weight
+    assert brute.weight == graph.total_weight() - min_vc
+    assert graph.is_independent_set(kernel_on.nodes)
+    assert graph.is_independent_set(kernel_off.nodes)
 
 
 @st.composite
@@ -53,11 +74,8 @@ def small_random_graph(draw):
 class TestExactSolversAgree:
     @settings(max_examples=60)
     @given(small_random_graph())
-    def test_branch_and_bound_matches_brute_force(self, graph):
-        exact = max_weight_independent_set(graph)
-        brute = brute_force_max_weight_independent_set(graph)
-        assert exact.weight == brute.weight
-        assert graph.is_independent_set(exact.nodes)
+    def test_four_way_matrix_on_random_graphs(self, graph):
+        assert_four_way_agreement(graph)
 
     @settings(max_examples=40)
     @given(small_random_graph())
@@ -75,6 +93,61 @@ class TestExactSolversAgree:
         cover = min_weight_vertex_cover(graph)
         assert cover.weight == min_vc
         assert is_vertex_cover(graph, cover.nodes)
+
+
+class TestAdversarialFamilies:
+    """The four-way matrix on families aimed at specific kernel rules."""
+
+    @pytest.mark.parametrize("num_cliques,size", [(1, 1), (2, 3), (3, 4), (4, 2)])
+    def test_union_of_cliques(self, num_cliques, size):
+        groups = [
+            [(h, r) for r in range(size)] for h in range(num_cliques)
+        ]
+        graph = union_of_cliques(groups)
+        # Vary weights within each clique so twin tie-breaks matter.
+        for h in range(num_cliques):
+            for r in range(size):
+                graph.set_weight((h, r), 1 + (h + r) % 3)
+        assert_four_way_agreement(graph)
+
+    @pytest.mark.parametrize("side", [2, 3, 4])
+    def test_complete_bipartite_minus_matching(self, side):
+        graph = WeightedGraph()
+        for i in range(side):
+            graph.add_node(("L", i), weight=1 + i)
+            graph.add_node(("R", i), weight=side - i)
+        for i in range(side):
+            for j in range(side):
+                if i != j:  # remove the perfect matching (L_i, R_i)
+                    graph.add_edge(("L", i), ("R", j))
+        assert_four_way_agreement(graph)
+
+    @pytest.mark.parametrize("length", [1, 2, 3, 5, 8, 12])
+    def test_paths(self, length):
+        graph = WeightedGraph()
+        for i in range(length):
+            graph.add_node(i, weight=1 + (i * 3) % 5)
+        for i in range(length - 1):
+            graph.add_edge(i, i + 1)
+        assert_four_way_agreement(graph)
+
+    @pytest.mark.parametrize("length", [3, 4, 5, 6, 9, 13])
+    def test_cycles(self, length):
+        graph = WeightedGraph()
+        for i in range(length):
+            graph.add_node(i, weight=1 + (i * 7) % 4)
+        for i in range(length):
+            graph.add_edge(i, (i + 1) % length)
+        assert_four_way_agreement(graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_equal_weight_ties(self, seed):
+        # Uniform weights force every tie-break path: include-vs-fold in
+        # the degree-1 rule, twin keep-heaviest, domination equality.
+        graph = random_graph(
+            12, 0.3, rng=random.Random(seed), weight_range=(1, 1)
+        )
+        assert_four_way_agreement(graph)
 
 
 class TestApproximationsNeverBeatOptimum:

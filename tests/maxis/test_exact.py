@@ -76,15 +76,44 @@ class TestSmallGraphs:
         with pytest.raises(ValueError):
             max_weight_independent_set(graph)
 
+    @pytest.mark.parametrize("kernel", [True, False])
+    def test_negative_weight_rejected_before_indexing(self, kernel):
+        """Weight validation must precede index-form construction.
+
+        The tripwire subclass makes any attempt to build an index form
+        explode; the solver must still raise ValueError (not
+        RuntimeError) on a negatively-weighted graph, proving the
+        validation runs first on both the kernel and raw paths.
+        """
+
+        class TripwireGraph(WeightedGraph):
+            __slots__ = ()
+
+            def to_index_form(self, order=None):
+                raise RuntimeError("index form built before validation")
+
+            def solver_index_form(self):
+                raise RuntimeError("index form built before validation")
+
+        graph = TripwireGraph(nodes={"a": 1, "b": -2})
+        graph.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            max_weight_independent_set(graph, kernel=kernel)
+
     def test_weight_helper(self):
         graph = clique(["a", "b"], weight=4)
         assert max_independent_set_weight(graph) == 4
 
     def test_stats_populated(self):
-        stats = BranchAndBoundStats()
+        # With the kernel on, this instance may reduce to nothing and
+        # expand zero nodes; the raw path must still count expansions.
         graph = random_graph(12, 0.4, rng=random.Random(0))
-        max_weight_independent_set(graph, stats=stats)
+        stats = BranchAndBoundStats()
+        max_weight_independent_set(graph, stats=stats, kernel=False)
         assert stats.nodes_expanded > 0
+        kernel_stats = BranchAndBoundStats()
+        max_weight_independent_set(graph, stats=kernel_stats, kernel=True)
+        assert kernel_stats.nodes_expanded <= stats.nodes_expanded
 
     def test_result_is_independent(self):
         graph = random_graph(15, 0.5, rng=random.Random(1), weight_range=(1, 9))

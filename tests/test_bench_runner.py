@@ -46,12 +46,13 @@ def _trajectory(medians, iqr=0.001, sha="aaa", frames=None):
 
 
 class TestDiscovery:
-    def test_registry_holds_the_seven_benches(self):
+    def test_registry_holds_the_eight_benches(self):
         names = [spec.name for spec in runner.discover()]
         assert names == [
             "construction_build",
             "gf_arithmetic",
             "maxis_exact",
+            "kernel_reduction",
             "congest_trace",
             "theorem5_simulation",
             "sweep_parallel",

@@ -6,11 +6,15 @@ alters semantics will trip one of them.  Update deliberately, never
 casually.
 """
 
+import random
+
 import pytest
 
 from repro.core import LinearLowerBoundExperiment, QuadraticLowerBoundExperiment
 from repro.framework import cut_size
 from repro.gadgets import GadgetParameters, LinearConstruction, QuadraticConstruction
+from repro.graphs import random_graph
+from repro.maxis import BranchAndBoundStats, max_weight_independent_set
 
 
 class TestStructuralPins:
@@ -29,6 +33,45 @@ class TestStructuralPins:
         construction = LinearConstruction(GadgetParameters(ell=4, alpha=1, t=3))
         assert construction.graph.structural_signature() == (90, 780, 90)
         assert cut_size(construction.graph, construction.partition()) == 300
+
+
+class TestSolverPins:
+    """The kernelization must not change *which* witness is reported.
+
+    On gadget instances the kernel is the identity (3-regular-or-denser,
+    twin-free interiors), so the kernel-on path must hand the exact same
+    index form to the exact same search — byte-identical witnesses, and
+    never more expanded nodes than the raw path.
+    """
+
+    @pytest.mark.parametrize("ell,t", [(3, 2), (4, 3)])
+    def test_gadget_witness_identical_kernel_on_off(self, ell, t):
+        graph = LinearConstruction(GadgetParameters(ell=ell, alpha=1, t=t)).graph
+        on = max_weight_independent_set(graph, kernel=True)
+        off = max_weight_independent_set(graph, kernel=False)
+        assert on.weight == off.weight
+        assert sorted(on.nodes) == sorted(off.nodes)
+
+    @pytest.mark.parametrize(
+        "ell,t,optimum,expanded",
+        [(3, 2, 10, 10), (4, 3, 18, 18)],
+    )
+    def test_gadget_kernel_never_expands_more(self, ell, t, optimum, expanded):
+        graph = LinearConstruction(GadgetParameters(ell=ell, alpha=1, t=t)).graph
+        stats_on, stats_off = BranchAndBoundStats(), BranchAndBoundStats()
+        on = max_weight_independent_set(graph, stats=stats_on, kernel=True)
+        off = max_weight_independent_set(graph, stats=stats_off, kernel=False)
+        assert on.weight == off.weight == optimum
+        assert stats_on.nodes_expanded <= stats_off.nodes_expanded
+        assert stats_off.nodes_expanded == expanded
+
+    def test_random_seed41_witness_pinned(self):
+        graph = random_graph(20, 0.3, rng=random.Random(41), weight_range=(1, 9))
+        on = max_weight_independent_set(graph, kernel=True)
+        off = max_weight_independent_set(graph, kernel=False)
+        assert on.weight == off.weight == 47
+        assert sorted(on.nodes) == sorted(off.nodes)
+        assert sorted(on.nodes) == [1, 3, 5, 6, 8, 12, 15, 16]
 
 
 class TestExperimentPins:
