@@ -1,0 +1,298 @@
+"""Load generator for the serve subsystem (``docs/SERVE.md``).
+
+Drives an in-process :class:`repro.serve.BackgroundServer` with a
+deterministic mixed request plan — gadget builds, claim checks, MaxIS
+solves, and health/metrics scrapes, with deliberate duplicates so the
+single-flight map and the result store both see realistic traffic — and
+measures what the service promises: request latency (p50/p99),
+throughput, and how duplicate work was disposed of (``computed`` vs
+``cache_hit`` vs ``coalesced``).
+
+Three entry points share the machinery:
+
+* ``test_bench_serve_load`` — the pytest-benchmark shape every other
+  ``bench_*.py`` module here uses (``pytest benchmarks/bench_serve.py``),
+  publishing a ``serve_load`` manifest via :func:`benchmarks._util.publish`;
+* ``bench_pass()`` — the cold-vs-warm double pass behind the
+  ``sweep_serve`` spec in :mod:`benchmarks.runner`, whose gauges land in
+  the ``BENCH_<sha>.json`` trajectory;
+* ``python -m benchmarks.bench_serve --requests 2000`` — a standalone
+  load run for interactive tuning (thousands of requests, JSON report).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs, store
+
+#: One plan entry: method, path, encoded body (``None`` for GETs).
+PlanEntry = Tuple[str, str, Optional[bytes]]
+
+DEFAULT_REQUESTS = 240
+DEFAULT_CONCURRENCY = 12
+
+#: The gadget every compute body derives from — small enough that a
+#: single unit computes in milliseconds, so the bench times the service
+#: plane (parsing, dispatch, coalescing, store round-trips), not the
+#: solver.
+_PARAMS = {"ell": 2, "alpha": 1, "t": 2}
+_PARAMS_B = {"ell": 2, "alpha": 1, "t": 3}
+
+
+def _request_pattern() -> List[PlanEntry]:
+    """The 12-entry cycle the plan repeats.
+
+    Duplicates are deliberate: entry pairs with identical bodies land on
+    different workers at nearly the same instant (the plan is dealt
+    round-robin), exercising the in-flight coalescing map on the cold
+    pass and the result store on every later occurrence.
+    """
+    from repro.core import linear_claim_names
+    from repro.gadgets import GadgetParameters
+    from repro.graphs.serialize import graph_to_dict
+    from repro.parallel.jobs import execute_unit
+
+    claim = linear_claim_names(GadgetParameters(**_PARAMS))[0]
+    graph = graph_to_dict(
+        execute_unit("gadget_graph", dict(_PARAMS, construction="linear", k=None))
+    )
+
+    def post(path: str, body: Dict[str, Any]) -> PlanEntry:
+        return ("POST", path, json.dumps(body).encode("utf-8"))
+
+    gadget_a = post("/v1/gadgets", {"construction": "linear", "params": _PARAMS})
+    gadget_b = post("/v1/gadgets", {"construction": "linear", "params": _PARAMS_B})
+    claim_a = post(
+        "/v1/claims",
+        {"family": "linear", "name": claim, "params": _PARAMS, "num_samples": 2},
+    )
+    maxis = post("/v1/maxis", {"graph": graph, "mode": "greedy"})
+    return [
+        gadget_a,
+        gadget_a,
+        claim_a,
+        gadget_b,
+        claim_a,
+        ("GET", "/health", None),
+        maxis,
+        gadget_a,
+        maxis,
+        claim_a,
+        ("GET", "/metrics", None),
+        gadget_b,
+    ]
+
+
+def build_plan(total: int) -> List[PlanEntry]:
+    """``total`` requests cycling the mixed pattern, deterministically."""
+    pattern = _request_pattern()
+    return [pattern[i % len(pattern)] for i in range(total)]
+
+
+class _WorkerLog:
+    """Per-worker samples, merged after join (no cross-thread sharing)."""
+
+    def __init__(self) -> None:
+        self.latencies_ms: List[float] = []
+        self.dispositions: Dict[str, int] = {}
+        self.statuses: Dict[int, int] = {}
+        self.errors = 0
+
+
+def _drive_worker(
+    host: str, port: int, entries: Sequence[PlanEntry], log: _WorkerLog
+) -> None:
+    connection = http.client.HTTPConnection(host, port, timeout=120)
+    try:
+        for method, path, payload in entries:
+            headers = {"Content-Type": "application/json"} if payload else {}
+            start = time.perf_counter()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, OSError):
+                log.errors += 1
+                connection.close()
+                connection = http.client.HTTPConnection(host, port, timeout=120)
+                continue
+            log.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            log.statuses[response.status] = log.statuses.get(response.status, 0) + 1
+            if method == "POST" and response.status == 200:
+                disposition = json.loads(raw)["disposition"]
+                log.dispositions[disposition] = (
+                    log.dispositions.get(disposition, 0) + 1
+                )
+    finally:
+        connection.close()
+
+
+def _quantile_ms(ordered: Sequence[float], q: float) -> float:
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def run_load(
+    host: str, port: int, plan: Sequence[PlanEntry], concurrency: int
+) -> Dict[str, Any]:
+    """Deal ``plan`` round-robin to ``concurrency`` workers; summarize."""
+    logs = [_WorkerLog() for _ in range(concurrency)]
+    threads = [
+        threading.Thread(
+            target=_drive_worker,
+            args=(host, port, plan[index::concurrency], logs[index]),
+            name=f"bench-serve-{index}",
+        )
+        for index in range(concurrency)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed_s = time.perf_counter() - start
+
+    latencies = sorted(x for log in logs for x in log.latencies_ms)
+    dispositions: Dict[str, int] = {}
+    statuses: Dict[int, int] = {}
+    for log in logs:
+        for key, count in log.dispositions.items():
+            dispositions[key] = dispositions.get(key, 0) + count
+        for status, count in log.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+    disposed = sum(dispositions.values())
+    coalesced = dispositions.get("coalesced", 0)
+    return {
+        "requests": len(plan),
+        "completed": len(latencies),
+        "errors": sum(log.errors for log in logs),
+        "shed": statuses.get(429, 0),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "dispositions": dict(sorted(dispositions.items())),
+        "coalesce_rate": coalesced / disposed if disposed else 0.0,
+        "elapsed_s": elapsed_s,
+        "throughput_rps": len(latencies) / elapsed_s if elapsed_s else 0.0,
+        "p50_ms": _quantile_ms(latencies, 0.50) if latencies else 0.0,
+        "p99_ms": _quantile_ms(latencies, 0.99) if latencies else 0.0,
+    }
+
+
+def drive_service(
+    requests: int = DEFAULT_REQUESTS,
+    concurrency: int = DEFAULT_CONCURRENCY,
+    cache: str = "disk",
+) -> Dict[str, Any]:
+    """Cold pass then warm pass against one service over a fresh store.
+
+    The cold pass pays every computation (and coalesces concurrent
+    duplicates); the warm pass replays the identical plan against the
+    now-populated store, so the two summaries bracket the service's
+    cache payoff the same way ``sweep_cache`` brackets the engine's.
+    """
+    from repro.serve import Application, BackgroundServer
+
+    plan = build_plan(requests)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        with store.using_store(cache, path=tmp):
+            app = Application()
+            server = BackgroundServer(app.dispatch).start()
+            try:
+                cold = run_load("127.0.0.1", server.port, plan, concurrency)
+                warm = run_load("127.0.0.1", server.port, plan, concurrency)
+            finally:
+                server.close()
+                app.close()
+    return {"cold": cold, "warm": warm}
+
+
+def bench_pass(
+    requests: int = DEFAULT_REQUESTS, concurrency: int = DEFAULT_CONCURRENCY
+) -> float:
+    """The ``sweep_serve`` body: drive, gauge, return warm throughput.
+
+    Gauges follow the ``sweep_cache`` convention — recorded on the
+    ambient recorder, so they are no-ops during the timed repeats and
+    land in the trajectory record during the manifest pass.
+    """
+    report = drive_service(requests=requests, concurrency=concurrency)
+    cold, warm = report["cold"], report["warm"]
+    if cold["errors"] or warm["errors"]:
+        raise AssertionError(f"load generator hit transport errors: {report}")
+    recorder = obs.get_recorder()
+    recorder.gauge("serve.p50_ms", warm["p50_ms"])
+    recorder.gauge("serve.p99_ms", warm["p99_ms"])
+    recorder.gauge("serve.throughput_rps", warm["throughput_rps"])
+    recorder.gauge("serve.coalesce_rate", cold["coalesce_rate"])
+    recorder.gauge("serve.cold_s", cold["elapsed_s"])
+    recorder.gauge("serve.warm_s", warm["elapsed_s"])
+    recorder.gauge(
+        "serve.warm_speedup_x",
+        cold["elapsed_s"] / warm["elapsed_s"] if warm["elapsed_s"] else 0.0,
+    )
+    return warm["throughput_rps"]
+
+
+def test_bench_serve_load(benchmark):
+    """One warm load pass through a live server, pytest-benchmark style."""
+    from benchmarks._util import publish
+    from repro.serve import Application, BackgroundServer
+
+    plan = build_plan(60)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        with store.using_store("disk", path=tmp):
+            app = Application()
+            server = BackgroundServer(app.dispatch).start()
+            try:
+                run_load("127.0.0.1", server.port, plan, 6)  # populate
+                summary = benchmark(
+                    run_load, "127.0.0.1", server.port, plan, 6
+                )
+            finally:
+                server.close()
+                app.close()
+    assert summary["errors"] == 0
+    assert summary["completed"] == len(plan)
+    publish(
+        "serve_load",
+        json.dumps(summary, indent=2, sort_keys=True),
+        parameters={"requests": len(plan), "concurrency": 6, "cache": "disk"},
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="drive a throwaway repro serve instance with mixed load"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=2000, help="total requests per pass"
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=32, help="concurrent client workers"
+    )
+    parser.add_argument(
+        "--cache",
+        choices=["disk", "memory"],
+        default="disk",
+        help="result-store tier backing the service",
+    )
+    args = parser.parse_args(argv)
+    report = drive_service(
+        requests=args.requests, concurrency=args.concurrency, cache=args.cache
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

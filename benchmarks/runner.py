@@ -2,7 +2,7 @@
 
 ``pytest benchmarks/`` regenerates the paper's figures; *this* module
 answers a different question — are the hot paths getting faster or
-quietly regressing?  It keeps a small curated suite of eight benches,
+quietly regressing?  It keeps a small curated suite of nine benches,
 one per hot path the reproduction leans on:
 
 * ``construction_build`` — gadget graph construction (linear + quadratic);
@@ -20,7 +20,12 @@ one per hot path the reproduction leans on:
 * ``sweep_cache``        — the repro.store result store's payoff: the
   same theorem sweep cold (empty disk store) vs warm (fully cached),
   with ``cache.cold_s``/``cache.warm_s``/``cache.speedup_x`` recorded
-  as gauges in the trajectory record.
+  as gauges in the trajectory record;
+* ``sweep_serve``        — the repro.serve service plane under mixed
+  concurrent load (the :mod:`benchmarks.bench_serve` generator): one
+  cold and one warm pass against a fresh disk store, with p50/p99
+  latency, throughput, the coalesce rate, and the cold-vs-warm wall
+  times recorded as ``serve.*`` gauges in the trajectory record.
 
 Each bench is run ``warmup`` times untimed and ``repeats`` times timed
 with observability *off* (so the timings measure the hot path, not the
@@ -123,7 +128,7 @@ def _fixture(key: str, build: Callable[[], Any]) -> Any:
 
 
 # ----------------------------------------------------------------------
-# The eight benches
+# The nine benches
 # ----------------------------------------------------------------------
 
 
@@ -395,6 +400,27 @@ def bench_sweep_cache():
     recorder.gauge("cache.warm_s", warm_s)
     recorder.gauge("cache.speedup_x", cold_s / warm_s if warm_s else 0.0)
     return cold_s / warm_s if warm_s else 0.0
+
+
+@bench("sweep_serve", requests=240, concurrency=12, cache="disk")
+def bench_sweep_serve():
+    """Mixed-load cold-vs-warm pass through the HTTP service.
+
+    The :mod:`benchmarks.bench_serve` load generator drives an
+    in-process :class:`repro.serve.BackgroundServer` with 240 mixed
+    requests (gadget builds, claim checks, MaxIS solves, health and
+    metrics scrapes, with deliberate duplicates) from 12 concurrent
+    client workers, twice against one fresh disk store: the cold pass
+    pays every computation and coalesces concurrent duplicates, the
+    warm pass answers from the store.  The timed samples cover the
+    whole double run; the manifest-pass gauges expose the service-plane
+    numbers the trajectory tracks: ``serve.p50_ms``, ``serve.p99_ms``,
+    ``serve.throughput_rps``, ``serve.coalesce_rate``,
+    ``serve.cold_s``/``serve.warm_s``, and ``serve.warm_speedup_x``.
+    """
+    from benchmarks.bench_serve import bench_pass
+
+    return bench_pass()
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ Commands
 ``bench``      run the curated bench suite / compare BENCH_*.json records
 ``cache``      manage the result store: ``stats`` / ``clear`` / ``warm``
 ``dashboard``  build the static HTML run report with the coverage matrix
+``serve``      run the async HTTP verification service (docs/SERVE.md)
 
 Parallelism (see ``docs/PARALLEL.md``): ``theorem1``, ``theorem2``, and
 ``claims`` accept ``--workers N`` to fan their independent work units
@@ -1172,6 +1173,44 @@ def cmd_cache_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async verification service (``docs/SERVE.md``).
+
+    Binds the asyncio HTTP front-end, announces the URL on stderr
+    (``[serve: http://...]`` — the CI smoke job and the bench load
+    generator parse this line), and serves until SIGINT/SIGTERM.
+    The metrics plane mounts inside the service's own event loop via
+    :class:`~repro.obs.httpexp.MetricsSuite` — ``repro serve`` never
+    starts a second metrics server.
+    """
+    from . import obs
+    from .obs.httpexp import MetricsSuite
+    from .serve import Application, Dispatcher
+    from .serve import run as serve_run
+
+    with _kernelled(args), _cached(args), _recording_enabled():
+        monitor = obs.LiveMonitor(command="serve", render=False)
+        dispatcher = Dispatcher(queue_limit=args.queue_limit)
+        app = Application(
+            dispatcher=dispatcher,
+            suite=MetricsSuite(monitor=monitor),
+            workers=args.workers,
+        )
+        try:
+            with obs.using_monitor(monitor):
+                return serve_run(
+                    app.dispatch,
+                    host=args.host,
+                    port=args.port,
+                    announce=lambda url: print(
+                        f"[serve: {url}]", file=sys.stderr, flush=True
+                    ),
+                )
+        finally:
+            app.close()
+            monitor.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1433,6 +1472,36 @@ def build_parser() -> argparse.ArgumentParser:
     cache_warm.add_argument("--seed", type=int, default=0)
     _add_workers_arg(cache_warm)
     cache_warm.set_defaults(func=cmd_cache_warm)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the async HTTP verification service (docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="port to bind (default 8421; 0 picks a free port)",
+    )
+    _add_workers_arg(serve)
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "maximum queued-plus-running dispatches before requests are "
+            "shed with 429 + Retry-After (default 64)"
+        ),
+    )
+    _add_cache_args(serve)
+    _add_kernel_arg(serve)
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -48,16 +48,33 @@ def decode_node(data: Any) -> Node:
 
 
 def graph_to_dict(graph: WeightedGraph) -> Dict[str, Any]:
-    """Flatten a graph to a JSON-safe dictionary."""
-    return {
-        "nodes": [
+    """Flatten a graph to a JSON-safe dictionary, canonically ordered.
+
+    Nodes and edges are sorted (and each edge oriented) by their encoded
+    ids, so the same graph built in any insertion order — or rebuilt
+    from a decoded payload — flattens to identical bytes.  The store's
+    graph codec and the serve responses rely on this: a warm cache hit
+    re-encodes to exactly the payload that was stored cold.
+    """
+
+    def sort_key(encoded: Any) -> str:
+        return json.dumps(encoded, sort_keys=True)
+
+    nodes = sorted(
+        (
             {"id": _encode_node(node), "weight": graph.weight(node)}
             for node in graph.nodes()
-        ],
-        "edges": [
-            [_encode_node(u), _encode_node(v)] for u, v in graph.edges()
-        ],
-    }
+        ),
+        key=lambda entry: sort_key(entry["id"]),
+    )
+    edges = []
+    for u, v in graph.edges():
+        left, right = _encode_node(u), _encode_node(v)
+        if sort_key(left) > sort_key(right):
+            left, right = right, left
+        edges.append([left, right])
+    edges.sort(key=lambda pair: (sort_key(pair[0]), sort_key(pair[1])))
+    return {"nodes": nodes, "edges": edges}
 
 
 def graph_from_dict(data: Dict[str, Any]) -> WeightedGraph:

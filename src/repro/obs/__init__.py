@@ -61,7 +61,12 @@ from .export import (
     write_chrome_trace,
 )
 from .flame import flamegraph_svg, folded_from_spans, parse_folded
-from .httpexp import MetricsServer, render_prometheus, sanitize_metric_name
+from .httpexp import (
+    MetricsServer,
+    MetricsSuite,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from .live import (
     LIVE_SCHEMA_VERSION,
     LiveMonitor,
@@ -167,6 +172,7 @@ __all__ = [
     "LIVE_SCHEMA_VERSION",
     "LiveMonitor",
     "MetricsServer",
+    "MetricsSuite",
     "NULL_SPAN",
     "Recorder",
     "SCHEMA_VERSION",

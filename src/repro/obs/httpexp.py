@@ -151,98 +151,27 @@ def render_prometheus(
     return "\n".join(lines) + "\n"
 
 
-class _MetricsHandler(BaseHTTPRequestHandler):
-    """Routes the three endpoints; everything else is a 404."""
+class MetricsSuite:
+    """The metrics plane as a transport-agnostic route table.
 
-    server_version = "repro-metrics/1"
-
-    def _respond(self, status: int, content_type: str, body: bytes) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        exporter: "MetricsServer" = self.server.exporter  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0]
-        try:
-            if path == "/metrics":
-                body = render_prometheus(
-                    recorder=exporter.recorder, monitor=exporter.monitor
-                ).encode("utf-8")
-                self._respond(
-                    200, "text/plain; version=0.0.4; charset=utf-8", body
-                )
-            elif path == "/progress":
-                body = json.dumps(
-                    exporter.progress_document(), sort_keys=True
-                ).encode("utf-8")
-                self._respond(200, "application/json", body)
-            elif path in ("/health", "/healthz"):
-                body = json.dumps(
-                    {"status": "ok", "uptime_s": round(exporter.uptime_s, 3)},
-                    sort_keys=True,
-                ).encode("utf-8")
-                self._respond(200, "application/json", body)
-            else:
-                self._respond(
-                    404,
-                    "application/json",
-                    json.dumps(
-                        {"error": "unknown path", "paths": exporter.PATHS}
-                    ).encode("utf-8"),
-                )
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # scraper went away mid-response
-
-    def log_message(self, format: str, *args: Any) -> None:
-        """Silence per-request logging; scrapes must not pollute output."""
-
-
-class MetricsServer:
-    """A background ``/metrics`` + ``/progress`` + ``/health`` server.
-
-    Binds immediately (``port=0`` picks an ephemeral port, exposed as
-    ``self.port``) and serves on a daemon thread until :meth:`close`.
-    The recorder/monitor are read per scrape, so starting the server
-    before the sweep begins is cheap and race-free.
+    Renders ``/metrics``, ``/progress``, and ``/health`` bodies from
+    the recorder/monitor state without owning a socket, so any HTTP
+    front-end can mount it: :class:`MetricsServer` wraps it in a
+    ThreadingHTTPServer for standalone sweeps, and ``repro serve``
+    mounts the *same* suite inside its asyncio event loop — one
+    ``/metrics`` per process, never a second server.
     """
 
     PATHS = ["/metrics", "/progress", "/health"]
 
     def __init__(
         self,
-        port: int = 0,
-        host: str = "127.0.0.1",
         recorder: Optional[Any] = None,
         monitor: Optional[Any] = None,
     ) -> None:
         self.recorder = recorder
         self.monitor = monitor
         self._started_s = time.monotonic()
-        self._httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
-        self._httpd.daemon_threads = True
-        self._httpd.exporter = self  # type: ignore[attr-defined]
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="repro-metrics-server",
-            daemon=True,
-        )
-        self._thread.start()
-
-    @property
-    def address(self) -> Tuple[str, int]:
-        return self._httpd.server_address[:2]
-
-    @property
-    def port(self) -> int:
-        return self._httpd.server_address[1]
-
-    @property
-    def url(self) -> str:
-        host, port = self.address
-        return f"http://{host}:{port}"
 
     @property
     def uptime_s(self) -> float:
@@ -266,6 +195,131 @@ class MetricsServer:
         document.update(monitor.snapshot())
         document["stalls"] = [dict(report) for report in monitor.stall_reports]
         return document
+
+    def health_document(self) -> Dict[str, Any]:
+        """The ``/health`` JSON body — a liveness probe."""
+        return {"status": "ok", "uptime_s": round(self.uptime_s, 3)}
+
+    def handle(self, path: str) -> Optional[Tuple[int, str, bytes]]:
+        """Resolve a GET path to ``(status, content_type, body)``.
+
+        Returns ``None`` for paths outside the suite so the mounting
+        server can route them elsewhere (or 404 in its own style).
+        """
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(
+                recorder=self.recorder, monitor=self.monitor
+            ).encode("utf-8")
+            return 200, "text/plain; version=0.0.4; charset=utf-8", body
+        if path == "/progress":
+            body = json.dumps(self.progress_document(), sort_keys=True).encode(
+                "utf-8"
+            )
+            return 200, "application/json", body
+        if path in ("/health", "/healthz"):
+            body = json.dumps(self.health_document(), sort_keys=True).encode(
+                "utf-8"
+            )
+            return 200, "application/json", body
+        return None
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Routes the suite's endpoints; everything else is a 404."""
+
+    server_version = "repro-metrics/1"
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        suite: MetricsSuite = self.server.suite  # type: ignore[attr-defined]
+        try:
+            resolved = suite.handle(self.path)
+            if resolved is None:
+                self._respond(
+                    404,
+                    "application/json",
+                    json.dumps(
+                        {"error": "unknown path", "paths": suite.PATHS}
+                    ).encode("utf-8"),
+                )
+            else:
+                self._respond(*resolved)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-response
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request logging; scrapes must not pollute output."""
+
+
+class MetricsServer:
+    """A background ``/metrics`` + ``/progress`` + ``/health`` server.
+
+    Binds immediately (``port=0`` picks an ephemeral port, exposed as
+    ``self.port``) and serves on a daemon thread until :meth:`close`.
+    The recorder/monitor are read per scrape, so starting the server
+    before the sweep begins is cheap and race-free.  All rendering
+    lives in the wrapped :class:`MetricsSuite`; this class only adds
+    the socket.
+    """
+
+    PATHS = MetricsSuite.PATHS
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        recorder: Optional[Any] = None,
+        monitor: Optional[Any] = None,
+        suite: Optional[MetricsSuite] = None,
+    ) -> None:
+        if suite is None:
+            suite = MetricsSuite(recorder=recorder, monitor=monitor)
+        self.suite = suite
+        self._httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.suite = suite  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def recorder(self) -> Optional[Any]:
+        return self.suite.recorder
+
+    @property
+    def monitor(self) -> Optional[Any]:
+        return self.suite.monitor
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def uptime_s(self) -> float:
+        return self.suite.uptime_s
+
+    def progress_document(self) -> Dict[str, Any]:
+        """The ``/progress`` JSON body (monitor snapshot + stalls)."""
+        return self.suite.progress_document()
 
     def close(self) -> None:
         """Stop serving and release the socket."""

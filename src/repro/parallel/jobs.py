@@ -14,6 +14,8 @@ Job kinds
 ``linear_claim``     one named linear-construction claim verification
 ``quadratic_claim``  one named quadratic-construction claim verification
 ``maxis_weight``     exact MaxIS weight of one (gadget) graph
+``gadget_graph``     build one linear/quadratic gadget graph
+``maxis_solve``      MaxIS weight + witness of one graph (exact or greedy)
 ``probe``            trivial instrumented job used by the test suite
 ``nap``              sleep-then-return job used by the live/watchdog tests
 
@@ -189,6 +191,48 @@ def _maxis_weight(graph: Any) -> float:
     return max_independent_set_weight(graph)
 
 
+def _gadget_graph(
+    construction: str, ell: int, alpha: int, t: int, k: Optional[int] = None
+) -> Any:
+    """Build one gadget graph (``linear`` or ``quadratic`` construction)."""
+    from ..gadgets import GadgetParameters, LinearConstruction, QuadraticConstruction
+
+    params = GadgetParameters(ell=ell, alpha=alpha, t=t, k=k)
+    if construction == "linear":
+        return LinearConstruction(params).graph
+    if construction == "quadratic":
+        return QuadraticConstruction(params).graph
+    raise ValueError(
+        f"unknown construction {construction!r}; expected linear|quadratic"
+    )
+
+
+def _maxis_solve(graph: Any, mode: str = "exact") -> Dict[str, Any]:
+    """Solve MaxIS on one graph, returning the weight and its witness.
+
+    ``mode`` picks the solver: ``exact`` (kernelized branch-and-bound
+    optimum) or ``greedy`` (the best greedy lower bound).  The witness
+    nodes are serialized and canonically sorted so the payload is
+    byte-deterministic under the json codec.
+    """
+    import json as _json
+
+    from ..graphs.serialize import encode_node
+    from ..maxis import best_greedy, max_weight_independent_set
+
+    if mode == "exact":
+        result = max_weight_independent_set(graph)
+    elif mode == "greedy":
+        result = best_greedy(graph)
+    else:
+        raise ValueError(f"unknown mode {mode!r}; expected exact|greedy")
+    witness = sorted(
+        (encode_node(node) for node in result.nodes),
+        key=lambda item: _json.dumps(item, sort_keys=True),
+    )
+    return {"mode": mode, "weight": result.weight, "witness": witness}
+
+
 def _nap(seconds: float, value: float = 0.0) -> float:
     """Sleep ``seconds`` then return ``value`` (live/watchdog tests).
 
@@ -219,6 +263,8 @@ JOB_KINDS: Dict[str, Callable[..., Any]] = {
     "linear_claim": _linear_claim,
     "quadratic_claim": _quadratic_claim,
     "maxis_weight": _maxis_weight,
+    "gadget_graph": _gadget_graph,
+    "maxis_solve": _maxis_solve,
     "probe": _probe,
     "nap": _nap,
 }

@@ -308,6 +308,51 @@ def _deepprof_section(data: Dict[str, Any]) -> List[str]:
     return out
 
 
+def _serve_section(data: Dict[str, Any]) -> List[str]:
+    """The serve subsystem's load-bench panel, when sweep_serve ran.
+
+    Renders the latest ``sweep_serve`` gauges collected from the bench
+    trajectory — the service-plane numbers docs/SERVE.md promises:
+    p50/p99 latency, throughput, coalesce rate, and the cold-vs-warm
+    wall times.  Omitted entirely when no trajectory ran the bench.
+    """
+    serve = data.get("serve")
+    if not serve:
+        return []
+    gauges = serve["gauges"]
+    out = ["<h2>Verification service (serve)</h2>"]
+    parameters = ", ".join(
+        f"{key}={value}" for key, value in sorted(serve["parameters"].items())
+    )
+    out.append(
+        f'<p class="meta">sweep_serve @ <code>{_esc(serve["git_sha"])}</code> '
+        f"({_esc(parameters)}) from "
+        f'<code>{_esc(serve["trajectory"])}</code> — see docs/SERVE.md.</p>'
+    )
+    rows = [
+        ("p50 latency", "serve.p50_ms", "{:.2f} ms"),
+        ("p99 latency", "serve.p99_ms", "{:.2f} ms"),
+        ("throughput", "serve.throughput_rps", "{:.0f} req/s"),
+        ("coalesce rate (cold pass)", "serve.coalesce_rate", "{:.1%}"),
+        ("cold pass wall", "serve.cold_s", "{:.3f} s"),
+        ("warm pass wall", "serve.warm_s", "{:.3f} s"),
+        ("warm speedup", "serve.warm_speedup_x", "{:.2f}×"),
+    ]
+    out.append("<table>")
+    out.append("<tr><th>measure</th><th>value</th></tr>")
+    for label, gauge, fmt in rows:
+        if gauge not in gauges:
+            continue
+        out.append(
+            "<tr>"
+            f"<td>{_esc(label)}</td>"
+            f"<td>{_esc(fmt.format(gauges[gauge]))}</td>"
+            "</tr>"
+        )
+    out.append("</table>")
+    return out
+
+
 def _stall_section(data: Dict[str, Any]) -> List[str]:
     """Watchdog stall reports folded in from run manifests, if any.
 
@@ -403,6 +448,7 @@ def render_report(data: Dict[str, Any]) -> str:
     parts.extend(_deepprof_section(data))
     parts.extend(_telemetry_section(data))
     parts.extend(_cache_section(data))
+    parts.extend(_serve_section(data))
     parts.extend(_stall_section(data))
     parts.extend(_manifest_section(data))
     parts.append("</body></html>")

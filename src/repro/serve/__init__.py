@@ -1,0 +1,56 @@
+"""repro.serve — the async verification service over the result store.
+
+The ROADMAP's north star made concrete: ``repro serve`` puts a
+stdlib-only asyncio HTTP/JSON front-end over the content-addressed
+store, turning the CLI's verification commands into service endpoints:
+
+``POST /v1/claims``
+    Verify one named linear/quadratic gadget claim.
+``POST /v1/gadgets``
+    Build one gadget graph (returned in the graph codec's shape).
+``POST /v1/maxis``
+    Solve MaxIS (exact or greedy) on a submitted graph.
+``POST /v1/sweeps`` + ``GET /v1/jobs/<id>``
+    Submit a Theorem 1/2 sweep asynchronously and poll its job handle.
+``GET /health`` / ``/progress`` / ``/metrics``
+    The observability plane, mounted from the same
+    :class:`~repro.obs.httpexp.MetricsSuite` the standalone exporter
+    uses — one ``/metrics`` per process.
+
+Three tiers answer every request (see ``docs/SERVE.md``): loop-confined
+coalescing of identical in-flight requests, the shared store as the
+cache tier, and the parallel engine behind a bounded dispatch queue
+that sheds overload as ``429 Retry-After``.
+"""
+
+from __future__ import annotations
+
+from .app import SERVE_SCHEMA_VERSION, Application, BadRequest
+from .dispatch import DEFAULT_QUEUE_LIMIT, Backpressure, Dispatcher
+from .http import (
+    MAX_BODY_BYTES,
+    BackgroundServer,
+    ProtocolError,
+    Request,
+    Response,
+    json_response,
+    run,
+    start_server,
+)
+
+__all__ = [
+    "Application",
+    "BackgroundServer",
+    "Backpressure",
+    "BadRequest",
+    "DEFAULT_QUEUE_LIMIT",
+    "Dispatcher",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "SERVE_SCHEMA_VERSION",
+    "json_response",
+    "run",
+    "start_server",
+]

@@ -62,6 +62,7 @@ from .specs import (
     MAXIS_MODULES,
     SWEEP_MODULES,
 )
+from .singleflight import SingleFlight
 from .store import MISS, ResultStore
 
 #: The process-global store; ``None`` means caching is off (default).
@@ -155,6 +156,7 @@ __all__ = [
     "MemoryBackend",
     "ResultStore",
     "STORE_SCHEMA_VERSION",
+    "SingleFlight",
     "SWEEP_MODULES",
     "canonical_graph_dict",
     "clear_fingerprint_cache",

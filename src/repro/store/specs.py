@@ -81,4 +81,6 @@ JOB_SPECS: Dict[str, JobCacheSpec] = {
     "linear_claim": JobCacheSpec("claim_check", SWEEP_MODULES),
     "quadratic_claim": JobCacheSpec("claim_check", SWEEP_MODULES),
     "maxis_weight": JobCacheSpec("json", MAXIS_MODULES),
+    "gadget_graph": JobCacheSpec("graph", GADGET_MODULES),
+    "maxis_solve": JobCacheSpec("json", MAXIS_MODULES),
 }

@@ -12,12 +12,13 @@ counts as a miss: the caller recomputes and overwrites the entry.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Optional
 
 from .. import obs
 from .codecs import get_codec
 from .fingerprint import combined_fingerprint
 from .keys import derive_key
+from .singleflight import SingleFlight
 
 _obs = obs.get_recorder()
 
@@ -25,12 +26,30 @@ _obs = obs.get_recorder()
 #: stays a cacheable value.
 MISS = object()
 
+#: Default-argument sentinel: distinguishes "build a fresh SingleFlight"
+#: (the default) from an explicit ``single_flight=None`` opt-out.
+_DEFAULT_SINGLE_FLIGHT = object()
+
 
 class ResultStore:
-    """Content-addressed lookups over one backend."""
+    """Content-addressed lookups over one backend.
 
-    def __init__(self, backend: Any) -> None:
+    Pass ``single_flight`` (or leave the default, which builds one) to
+    make :meth:`get_or_compute` stampede-proof: concurrent callers of
+    one key share a single computation instead of racing to recompute
+    the same entry.  Pass ``single_flight=None`` explicitly to opt out
+    and get the plain lookup-else-compute behavior.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        single_flight: Optional[SingleFlight] = _DEFAULT_SINGLE_FLIGHT,
+    ) -> None:
         self.backend = backend
+        if single_flight is _DEFAULT_SINGLE_FLIGHT:
+            single_flight = SingleFlight()
+        self.single_flight = single_flight
 
     @property
     def name(self) -> str:
@@ -72,11 +91,25 @@ class ResultStore:
         codec_name: str,
         compute: Callable[[], Any],
     ) -> Any:
-        """One-shot memoization: lookup, else compute and store."""
+        """One-shot memoization: lookup, else compute and store.
+
+        With single-flight enabled (the default), concurrent callers of
+        the same key coalesce onto one lookup-compute-store pass:
+        followers block until the leader finishes and receive its value
+        without ever touching the backend, so a stampede of N identical
+        calls costs exactly one ``cache.miss`` and one computation.
+        """
         key = self.key_for(kind, params, modules)
-        value = self.get(key)
-        if value is not MISS:
+
+        def supply() -> Any:
+            value = self.get(key)
+            if value is not MISS:
+                return value
+            value = compute()
+            self.put(key, kind, codec_name, value)
             return value
-        value = compute()
-        self.put(key, kind, codec_name, value)
+
+        if self.single_flight is None:
+            return supply()
+        value, _led = self.single_flight.do(key, supply)
         return value

@@ -1,0 +1,64 @@
+"""Shared fixtures: one in-process server + a tiny urllib client."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import Application, BackgroundServer, Dispatcher
+
+
+class Client:
+    """Blocking JSON client against one served application."""
+
+    def __init__(self, app, server):
+        self.app = app
+        self.server = server
+        self.url = server.url
+
+    def get(self, path, timeout=30):
+        try:
+            with urllib.request.urlopen(self.url + path, timeout=timeout) as r:
+                return r.status, r.read(), dict(r.headers)
+        except urllib.error.HTTPError as error:
+            return error.code, error.read(), dict(error.headers)
+
+    def get_json(self, path, timeout=30):
+        status, body, _ = self.get(path, timeout=timeout)
+        return status, json.loads(body)
+
+    def post(self, path, document, timeout=60, raw=None):
+        data = raw if raw is not None else json.dumps(document).encode()
+        request = urllib.request.Request(
+            self.url + path, data=data, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as r:
+                return r.status, json.loads(r.read()), dict(r.headers)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read()), dict(error.headers)
+
+
+@pytest.fixture
+def served():
+    """An Application served in-process on an ephemeral port."""
+    app = Application()
+    server = BackgroundServer(app.dispatch).start()
+    try:
+        yield Client(app, server)
+    finally:
+        server.close()
+        app.close()
+
+
+@pytest.fixture
+def served_tiny_queue():
+    """Same, but with a single-slot dispatch queue (backpressure tests)."""
+    app = Application(dispatcher=Dispatcher(queue_limit=1))
+    server = BackgroundServer(app.dispatch).start()
+    try:
+        yield Client(app, server)
+    finally:
+        server.close()
+        app.close()

@@ -1,0 +1,78 @@
+"""``repro serve`` as a subprocess: announce, serve, SIGINT, exit 0."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import urllib.request
+
+import pytest
+
+ANNOUNCE = re.compile(r"\[serve: (http://[^\]]+)\]")
+
+
+@pytest.fixture
+def server_process(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--cache",
+            "disk",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stderr.readline()
+        match = ANNOUNCE.search(line)
+        assert match, f"no announce line on stderr: {line!r}"
+        yield proc, match.group(1)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def post(url, path, document):
+    request = urllib.request.Request(
+        url + path, data=json.dumps(document).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+class TestCliServe:
+    def test_serve_lifecycle(self, server_process):
+        proc, url = server_process
+
+        with urllib.request.urlopen(url + "/health", timeout=30) as response:
+            health = json.loads(response.read())
+        assert health["status"] == "ok"
+        assert health["cache"] == "disk"
+
+        body = {"construction": "linear", "params": {"ell": 2, "alpha": 1, "t": 2}}
+        first = post(url, "/v1/gadgets", body)
+        second = post(url, "/v1/gadgets", body)
+        assert first["disposition"] == "computed"
+        assert second["disposition"] == "cache_hit"
+        assert first["result"] == second["result"]
+
+        with urllib.request.urlopen(url + "/metrics", timeout=30) as response:
+            exposition = response.read().decode()
+        assert "serve_cache_miss_total 1" in exposition
+        assert "serve_cache_hit_total 1" in exposition
+
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=15) == 0

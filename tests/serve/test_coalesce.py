@@ -1,0 +1,172 @@
+"""Coalescing: N identical concurrent requests, one computation.
+
+The acceptance criterion of the serve subsystem, proven with counter
+assertions: the first request of a key is the leader (``computed``,
+one ``serve.cache_miss``), every concurrent duplicate is a follower
+(``coalesced``) that never reaches the store or the dispatch queue.
+Determinism comes from gating the underlying job function on an event
+so all followers provably arrive while the leader is in flight.
+"""
+
+import concurrent.futures
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.parallel import jobs
+
+BODY = {"construction": "linear", "params": {"ell": 2, "alpha": 1, "t": 3}}
+
+
+class GatedJob:
+    """Wrap a job kind: count calls, block until released."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self, **kwargs):
+        self.calls += 1
+        self.started.set()
+        assert self.release.wait(timeout=30), "gate never released"
+        return self.fn(**kwargs)
+
+
+@pytest.fixture
+def gated_gadget(monkeypatch):
+    gate = GatedJob(jobs.JOB_KINDS["gadget_graph"])
+    monkeypatch.setitem(jobs.JOB_KINDS, "gadget_graph", gate)
+    return gate
+
+
+def post_many(client, path, body, n):
+    with concurrent.futures.ThreadPoolExecutor(n) as pool:
+        return list(pool.map(lambda _: client.post(path, body), range(n)))
+
+
+class TestCoalescing:
+    N = 8
+
+    def test_n_identical_requests_one_computation(self, served, gated_gadget):
+        with obs.recording() as recorder:
+            with concurrent.futures.ThreadPoolExecutor(self.N) as pool:
+                futures = [
+                    pool.submit(served.post, "/v1/gadgets", BODY)
+                    for _ in range(self.N)
+                ]
+                assert gated_gadget.started.wait(timeout=30)
+                # The leader is inside the gate; wait until every other
+                # request has registered as a follower, then release.
+                deadline = time.monotonic() + 30
+                while recorder.counters.get("serve.coalesced", 0) < self.N - 1:
+                    assert time.monotonic() < deadline, "followers never arrived"
+                    time.sleep(0.01)
+                gated_gadget.release.set()
+                results = [future.result() for future in futures]
+
+            assert gated_gadget.calls == 1
+            statuses = [status for status, _, _ in results]
+            assert statuses == [200] * self.N
+            dispositions = sorted(d["disposition"] for _, d, _ in results)
+            assert dispositions == ["coalesced"] * (self.N - 1) + ["computed"]
+            # All followers received the leader's exact payload.
+            payloads = {str(sorted(d["result"].items())) for _, d, _ in results}
+            assert len(payloads) == 1
+            keys = {d["key"] for _, d, _ in results}
+            assert len(keys) == 1
+
+            counters = recorder.counters
+            assert counters["serve.computed"] == 1
+            assert counters["serve.cache_miss"] == 1
+            assert counters["serve.coalesced"] == self.N - 1
+            assert counters.get("serve.cache_hit", 0) == 0
+
+    def test_distinct_requests_do_not_coalesce(self, served, gated_gadget):
+        gated_gadget.release.set()
+        other = {"construction": "linear", "params": {"ell": 2, "alpha": 1, "t": 2}}
+        with obs.recording() as recorder:
+            status_a, a, _ = served.post("/v1/gadgets", BODY)
+            status_b, b, _ = served.post("/v1/gadgets", other)
+            assert status_a == status_b == 200
+            assert a["key"] != b["key"]
+            assert recorder.counters["serve.computed"] == 2
+            assert recorder.counters.get("serve.coalesced", 0) == 0
+        assert gated_gadget.calls == 2
+
+    def test_sequential_duplicates_recompute_without_a_store(self, served, gated_gadget):
+        gated_gadget.release.set()
+        _, first, _ = served.post("/v1/gadgets", BODY)
+        _, second, _ = served.post("/v1/gadgets", BODY)
+        # No store configured: once the in-flight entry is gone the next
+        # request computes again (coalescing is not a cache).
+        assert first["disposition"] == second["disposition"] == "computed"
+        assert gated_gadget.calls == 2
+
+    def test_store_turns_late_duplicates_into_cache_hits(self, served, gated_gadget):
+        from repro import store
+
+        gated_gadget.release.set()
+        with store.using_store("memory"):
+            _, first, _ = served.post("/v1/gadgets", BODY)
+            _, second, _ = served.post("/v1/gadgets", BODY)
+        assert first["disposition"] == "computed"
+        assert second["disposition"] == "cache_hit"
+        assert first["result"] == second["result"]
+        assert gated_gadget.calls == 1
+
+    def test_leader_failure_propagates_to_followers(self, served, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def boom(**kwargs):
+            started.set()
+            assert release.wait(timeout=30)
+            raise RuntimeError("gadget exploded")
+
+        monkeypatch.setitem(jobs.JOB_KINDS, "gadget_graph", boom)
+        with concurrent.futures.ThreadPoolExecutor(4) as pool:
+            futures = [
+                pool.submit(served.post, "/v1/gadgets", BODY) for _ in range(4)
+            ]
+            assert started.wait(timeout=30)
+            time.sleep(0.2)  # let followers join the in-flight future
+            release.set()
+            results = [future.result() for future in futures]
+        for status, document, _ in results:
+            assert status == 500
+            assert document["error"] == "internal error"
+            assert "gadget exploded" in document["exception"]
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, served_tiny_queue):
+        client = served_tiny_queue
+        release = threading.Event()
+        client.app.dispatcher.submit(lambda: release.wait(timeout=30))
+        try:
+            with obs.recording() as recorder:
+                status, document, headers = client.post("/v1/gadgets", BODY)
+                assert status == 429
+                assert document["error"] == "dispatch queue full"
+                assert document["queue_limit"] == 1
+                assert document["retry_after_s"] >= 1.0
+                assert int(headers["Retry-After"]) >= 1
+                assert recorder.counters["serve.backpressure"] == 1
+        finally:
+            release.set()
+
+    def test_shed_request_succeeds_after_queue_drains(self, served_tiny_queue):
+        client = served_tiny_queue
+        release = threading.Event()
+        blocker = client.app.dispatcher.submit(lambda: release.wait(timeout=30))
+        status, _, _ = client.post("/v1/gadgets", BODY)
+        assert status == 429
+        release.set()
+        blocker.result(timeout=30)
+        status, document, _ = client.post("/v1/gadgets", BODY)
+        assert status == 200
+        assert document["disposition"] == "computed"

@@ -1,0 +1,104 @@
+"""The bounded dispatch queue: ordering, backpressure, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import Backpressure, Dispatcher
+
+
+@pytest.fixture
+def dispatcher():
+    d = Dispatcher(queue_limit=4)
+    yield d
+    d.close()
+
+
+class TestDispatcher:
+    def test_submit_runs_and_returns_result(self, dispatcher):
+        assert dispatcher.submit(lambda: 6 * 7).result(timeout=10) == 42
+
+    def test_exceptions_propagate_through_the_future(self, dispatcher):
+        def boom():
+            raise ValueError("unit failed")
+
+        future = dispatcher.submit(boom)
+        with pytest.raises(ValueError, match="unit failed"):
+            future.result(timeout=10)
+
+    def test_submissions_execute_in_order(self):
+        dispatcher = Dispatcher(queue_limit=16)
+        order = []
+        futures = [
+            dispatcher.submit(lambda i=i: order.append(i)) for i in range(10)
+        ]
+        for future in futures:
+            future.result(timeout=10)
+        dispatcher.close()
+        assert order == list(range(10))
+
+    def test_queue_limit_raises_backpressure(self):
+        with Dispatcher(queue_limit=2) as dispatcher:
+            release = threading.Event()
+            held = [
+                dispatcher.submit(lambda: release.wait(timeout=30))
+                for _ in range(2)
+            ]
+            with pytest.raises(Backpressure) as excinfo:
+                dispatcher.submit(lambda: None)
+            assert excinfo.value.pending == 2
+            assert excinfo.value.limit == 2
+            assert excinfo.value.retry_after_s >= 1.0
+            release.set()
+            for future in held:
+                future.result(timeout=30)
+            # Draining the queue restores admission.
+            assert dispatcher.submit(lambda: "ok").result(timeout=10) == "ok"
+
+    def test_stats_track_execution(self, dispatcher):
+        dispatcher.submit(lambda: None).result(timeout=10)
+        with pytest.raises(ZeroDivisionError):
+            dispatcher.submit(lambda: 1 / 0).result(timeout=10)
+        deadline = time.monotonic() + 10
+        while dispatcher.stats()["executed"] < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        stats = dispatcher.stats()
+        assert stats["executed"] == 2
+        assert stats["pending"] == 0
+        assert stats["rejected"] == 0
+        assert stats["queue_limit"] == 4
+        assert stats["ema_cost_s"] is not None
+
+    def test_rejections_are_counted(self):
+        with Dispatcher(queue_limit=1) as dispatcher:
+            release = threading.Event()
+            held = dispatcher.submit(lambda: release.wait(timeout=30))
+            for _ in range(3):
+                with pytest.raises(Backpressure):
+                    dispatcher.submit(lambda: None)
+            assert dispatcher.stats()["rejected"] == 3
+            release.set()
+            held.result(timeout=30)
+
+    def test_close_refuses_new_work(self):
+        dispatcher = Dispatcher(queue_limit=4)
+        dispatcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            dispatcher.submit(lambda: None)
+
+    def test_close_drains_queued_work(self):
+        dispatcher = Dispatcher(queue_limit=8)
+        done = []
+        futures = [
+            dispatcher.submit(lambda i=i: done.append(i)) for i in range(5)
+        ]
+        dispatcher.close()
+        for future in futures:
+            future.result(timeout=10)
+        assert done == list(range(5))
+
+    def test_invalid_queue_limit(self):
+        with pytest.raises(ValueError):
+            Dispatcher(queue_limit=0)
