@@ -208,10 +208,32 @@ def drive_service(
             try:
                 cold = run_load("127.0.0.1", server.port, plan, concurrency)
                 warm = run_load("127.0.0.1", server.port, plan, concurrency)
+                exemplars = _fetch_exemplars("127.0.0.1", server.port)
             finally:
                 server.close()
                 app.close()
-    return {"cold": cold, "warm": warm}
+    return {"cold": cold, "warm": warm, "exemplars": exemplars}
+
+
+def _fetch_exemplars(host: str, port: int) -> Dict[str, float]:
+    """Worst observed latency per endpoint from the service's SLO plane.
+
+    Read from ``/health`` (the SLO snapshot carries each endpoint's
+    worst request) after the load passes.  These become the
+    ``serve.exemplar_ms.<endpoint>`` gauges the dashboard's serve panel
+    renders as slow-request exemplars.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", "/health")
+        response = connection.getresponse()
+        document = json.loads(response.read())
+    finally:
+        connection.close()
+    return {
+        endpoint: float(state.get("worst_ms", 0.0))
+        for endpoint, state in (document.get("slo") or {}).items()
+    }
 
 
 def bench_pass(
@@ -238,6 +260,8 @@ def bench_pass(
         "serve.warm_speedup_x",
         cold["elapsed_s"] / warm["elapsed_s"] if warm["elapsed_s"] else 0.0,
     )
+    for endpoint, worst_ms in sorted(report.get("exemplars", {}).items()):
+        recorder.gauge(f"serve.exemplar_ms.{endpoint}", worst_ms)
     return warm["throughput_rps"]
 
 

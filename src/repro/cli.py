@@ -1185,9 +1185,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from . import obs
     from .obs.httpexp import MetricsSuite
-    from .serve import Application, Dispatcher
+    from .obs.reqtrace import TraceBuffer
+    from .serve import AccessLog, Application, Dispatcher, SLORegistry
+    from .serve import parse_slo_spec
     from .serve import run as serve_run
 
+    try:
+        slo = SLORegistry(
+            targets_ms=parse_slo_spec(args.slo or []),
+            objective=args.slo_objective,
+        )
+        traces = TraceBuffer(capacity=args.trace_buffer, slow_ms=args.slow_ms)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    access_log = None
+    if args.access_log:
+        access_log = AccessLog(pathlib.Path(args.access_log))
+        print(f"[access log: {access_log.path}]", file=sys.stderr, flush=True)
     with _kernelled(args), _cached(args), _recording_enabled():
         monitor = obs.LiveMonitor(command="serve", render=False)
         dispatcher = Dispatcher(queue_limit=args.queue_limit)
@@ -1195,6 +1210,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             dispatcher=dispatcher,
             suite=MetricsSuite(monitor=monitor),
             workers=args.workers,
+            traces=traces,
+            slo=slo,
+            access_log=access_log,
         )
         try:
             with obs.using_monitor(monitor):
@@ -1497,6 +1515,56 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "maximum queued-plus-running dispatches before requests are "
             "shed with 429 + Retry-After (default 64)"
+        ),
+    )
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append a structured JSONL access log (one line per request "
+            "with trace_id/status/disposition/timings; parent dirs are "
+            "created; replay with 'repro stats PATH')"
+        ),
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        metavar="ENDPOINT=MS",
+        help=(
+            "override a per-endpoint latency target, e.g. "
+            "--slo 'POST /v1/maxis=1500' (repeatable; defaults in "
+            "repro.serve.slo.DEFAULT_TARGETS_MS)"
+        ),
+    )
+    serve.add_argument(
+        "--slo-objective",
+        type=float,
+        default=0.99,
+        metavar="FRAC",
+        help=(
+            "fraction of requests that must meet their SLO target "
+            "(default 0.99; drives the error-budget-burn gauges)"
+        ),
+    )
+    serve.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "completed request traces retained per tier — routine and "
+            "slow/errored are bounded separately (default 256)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help=(
+            "tail-sampling threshold: requests at or over this duration "
+            "are retained as 'interesting' traces (default 500)"
         ),
     )
     _add_cache_args(serve)

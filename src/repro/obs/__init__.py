@@ -89,6 +89,20 @@ from .recorder import (
     SpanRecord,
     register_hard_reset_hook,
 )
+from .reqtrace import (
+    TRACE_SCHEMA_VERSION,
+    RequestTrace,
+    TraceBuffer,
+    TraceContext,
+    TraceSpan,
+    current_trace,
+    format_traceparent,
+    mint_span_id,
+    mint_trace_id,
+    parse_traceparent,
+    trace_region,
+    using_trace,
+)
 from .sinks import InMemorySink, JsonlSink, Sink, counter_events
 from .stats import load_events, load_events_tolerant, render_stats, render_stats_file
 
@@ -175,13 +189,19 @@ __all__ = [
     "MetricsSuite",
     "NULL_SPAN",
     "Recorder",
+    "RequestTrace",
     "SCHEMA_VERSION",
     "Sink",
     "SpanRecord",
+    "TRACE_SCHEMA_VERSION",
+    "TraceBuffer",
+    "TraceContext",
+    "TraceSpan",
     "build_manifest",
     "chrome_trace",
     "counter_events",
     "critical_path",
+    "current_trace",
     "disable",
     "dump_speedscope",
     "enable",
@@ -189,6 +209,7 @@ __all__ = [
     "flamegraph_svg",
     "folded_from_spans",
     "folded_lines",
+    "format_traceparent",
     "get_monitor",
     "get_profiler",
     "get_recorder",
@@ -196,7 +217,10 @@ __all__ = [
     "load_events",
     "load_events_tolerant",
     "load_manifest",
+    "mint_span_id",
+    "mint_trace_id",
     "parse_folded",
+    "parse_traceparent",
     "recording",
     "register_hard_reset_hook",
     "render_critical_path",
@@ -212,7 +236,9 @@ __all__ = [
     "trace_events",
     "trace_from_events",
     "trace_from_recorder",
+    "trace_region",
     "using_monitor",
+    "using_trace",
     "using_profiler",
     "write_artifacts",
     "write_chrome_trace",

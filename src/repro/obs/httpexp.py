@@ -172,6 +172,17 @@ class MetricsSuite:
         self.recorder = recorder
         self.monitor = monitor
         self._started_s = time.monotonic()
+        self._metrics_sources: List[Any] = []
+
+    def add_metrics_source(self, source: Any) -> None:
+        """Register a callable returning extra Prometheus lines.
+
+        Each source is invoked per ``/metrics`` scrape and must return
+        a list of exposition lines (``# TYPE`` + samples).  This is how
+        subsystems with their own state — the serve SLO registry — add
+        series without the renderer importing them.
+        """
+        self._metrics_sources.append(source)
 
     @property
     def uptime_s(self) -> float:
@@ -197,8 +208,20 @@ class MetricsSuite:
         return document
 
     def health_document(self) -> Dict[str, Any]:
-        """The ``/health`` JSON body — a liveness probe."""
-        return {"status": "ok", "uptime_s": round(self.uptime_s, 3)}
+        """The ``/health`` JSON body — liveness plus build provenance.
+
+        ``provenance`` carries the same ``git_sha``/``python_version``
+        that run manifests record and ``repro_build_info`` exposes on
+        ``/metrics``, so "which build answered this probe" has one
+        answer across all three surfaces (the parity test pins this).
+        """
+        from .manifest import run_provenance
+
+        return {
+            "status": "ok",
+            "uptime_s": round(self.uptime_s, 3),
+            "provenance": run_provenance(),
+        }
 
     def handle(self, path: str) -> Optional[Tuple[int, str, bytes]]:
         """Resolve a GET path to ``(status, content_type, body)``.
@@ -208,9 +231,15 @@ class MetricsSuite:
         """
         path = path.split("?", 1)[0]
         if path == "/metrics":
-            body = render_prometheus(
+            text = render_prometheus(
                 recorder=self.recorder, monitor=self.monitor
-            ).encode("utf-8")
+            )
+            extra: List[str] = []
+            for source in self._metrics_sources:
+                extra.extend(source())
+            if extra:
+                text += "\n".join(extra) + "\n"
+            body = text.encode("utf-8")
             return 200, "text/plain; version=0.0.4; charset=utf-8", body
         if path == "/progress":
             body = json.dumps(self.progress_document(), sort_keys=True).encode(

@@ -83,6 +83,7 @@ def render_stats(events: List[Dict[str, Any]], malformed: int = 0) -> str:
 
     meta = next((e for e in events if e["type"] == "meta"), None)
     live_meta = next((e for e in events if e["type"] == "live_meta"), None)
+    access_meta = next((e for e in events if e["type"] == "access_meta"), None)
     spans = [e for e in events if e["type"] == "span"]
     counters = [e for e in events if e["type"] == "counter" and "key" not in e]
     keyed = [e for e in events if e["type"] == "counter" and "key" in e]
@@ -97,6 +98,11 @@ def render_stats(events: List[Dict[str, Any]], malformed: int = 0) -> str:
         header = (
             f"events: {len(events)}  live_schema_version: "
             f"{live_meta['live_schema_version']}"
+        )
+    elif access_meta:
+        header = (
+            f"events: {len(events)}  access_schema_version: "
+            f"{access_meta['access_schema_version']}"
         )
     else:
         header = (
@@ -146,6 +152,7 @@ def render_stats(events: List[Dict[str, Any]], malformed: int = 0) -> str:
             )
         )
     parts.extend(_render_live_sections(events, render_table))
+    parts.extend(_render_access_sections(events, render_table))
     return "\n\n".join(parts)
 
 
@@ -236,6 +243,92 @@ def _render_live_sections(
                 title="Stall reports",
             )
         )
+    return parts
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _render_access_sections(
+    events: List[Dict[str, Any]], render_table: Any
+) -> List[str]:
+    """Tables for serve access-log (schema v1) events, if any.
+
+    Replays a ``--access-log`` file offline: per-endpoint request
+    counts and latency quantiles, status and disposition breakdowns,
+    and the slowest individual requests with their trace ids (the ids
+    key into ``GET /v1/traces/<id>`` while the service is still up).
+    """
+    accesses = [e for e in events if e.get("type") == "access"]
+    if not accesses:
+        return []
+    parts: List[str] = []
+    by_endpoint: Dict[str, List[Dict[str, Any]]] = {}
+    for event in accesses:
+        by_endpoint.setdefault(event.get("endpoint", "?"), []).append(event)
+    rows = []
+    for endpoint in sorted(by_endpoint):
+        group = by_endpoint[endpoint]
+        durations = sorted(float(e.get("duration_ms", 0.0)) for e in group)
+        errors = sum(1 for e in group if int(e.get("status", 0)) >= 500)
+        rows.append(
+            [
+                endpoint,
+                len(group),
+                errors,
+                round(_percentile(durations, 0.5), 3),
+                round(_percentile(durations, 0.99), 3),
+                round(durations[-1], 3),
+            ]
+        )
+    parts.append(
+        render_table(
+            ["endpoint", "requests", "5xx", "p50 ms", "p99 ms", "max ms"],
+            rows,
+            title=f"Access log ({len(accesses)} requests)",
+        )
+    )
+    breakdown: Dict[Tuple[Any, Any], int] = {}
+    for event in accesses:
+        key = (event.get("status"), event.get("disposition"))
+        breakdown[key] = breakdown.get(key, 0) + 1
+    rows = [
+        [status, disposition, count]
+        for (status, disposition), count in sorted(
+            breakdown.items(), key=lambda item: (-item[1], str(item[0]))
+        )
+    ]
+    parts.append(
+        render_table(
+            ["status", "disposition", "count"],
+            rows,
+            title="Dispositions",
+        )
+    )
+    slowest = sorted(
+        accesses, key=lambda e: -float(e.get("duration_ms", 0.0))
+    )[:10]
+    rows = [
+        [
+            e.get("trace_id"),
+            e.get("endpoint"),
+            e.get("status"),
+            e.get("queue_wait_ms"),
+            round(float(e.get("duration_ms", 0.0)), 3),
+        ]
+        for e in slowest
+    ]
+    parts.append(
+        render_table(
+            ["trace_id", "endpoint", "status", "queue wait ms", "total ms"],
+            rows,
+            title=f"Slowest requests (top {len(slowest)} of {len(accesses)})",
+        )
+    )
     return parts
 
 

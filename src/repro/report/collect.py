@@ -297,6 +297,19 @@ def serve_summary(results_dir: pathlib.Path) -> Optional[Dict[str, Any]]:
         gauges = entry.get("gauges") or {}
         if not gauges:
             continue
+        # Per-endpoint slow-request exemplars ride the bench gauges as
+        # ``serve.exemplar_ms.<endpoint>`` (the endpoint is a route
+        # template like ``POST /v1/maxis``); split them out so the
+        # dashboard can render them as their own sub-table.
+        exemplar_prefix = "serve.exemplar_ms."
+        exemplars = [
+            {
+                "endpoint": name[len(exemplar_prefix):],
+                "worst_ms": value,
+            }
+            for name, value in sorted(gauges.items())
+            if name.startswith(exemplar_prefix)
+        ]
         return {
             "git_sha": record.get("provenance", {}).get("git_sha", "unknown"),
             "trajectory": path.name,
@@ -305,7 +318,9 @@ def serve_summary(results_dir: pathlib.Path) -> Optional[Dict[str, Any]]:
                 name: value
                 for name, value in sorted(gauges.items())
                 if name.startswith("serve.")
+                and not name.startswith(exemplar_prefix)
             },
+            "exemplars": exemplars,
         }
     return None
 

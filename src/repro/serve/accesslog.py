@@ -1,0 +1,126 @@
+"""Structured JSONL access logging for ``repro serve``.
+
+One line per completed request, carrying exactly the fields needed to
+tie an access back to everything else the observability plane knows
+about it: the ``trace_id`` keys into ``GET /v1/traces/<id>`` (and the
+retained ring buffer), the ``disposition`` matches the response body's,
+and the timing split (queue wait vs. handler time vs. total) matches
+the request's span tree.
+
+The file opens in append mode with missing parent directories created
+(the PR 6 convention shared by ``--live-out``/``--trace-out``), starts
+with one ``access_meta`` header line identifying the schema and
+process, and flushes per request — an access log that loses its tail
+on crash is useless exactly when it matters.  ``repro stats`` replays
+the file offline (see :func:`repro.obs.stats.render_stats`).
+
+Schema (``access_schema_version`` 1), documented in
+``docs/OBSERVABILITY.md`` next to the live.jsonl schema:
+
+``{"type": "access_meta", "access_schema_version": 1, "command",
+"unix_s", "provenance"}``
+    First line: schema version plus the same build provenance the run
+    manifests record.
+
+``{"type": "access", "unix_s", "trace_id", "span_id", "method",
+"path", "endpoint", "status", "disposition", "queue_wait_ms",
+"handler_ms", "duration_ms", "error"}``
+    One per request.  ``endpoint`` is the normalized route template
+    (``GET /v1/jobs/<id>``); ``queue_wait_ms`` is ``null`` for
+    requests that never touched the dispatcher; ``disposition`` is
+    ``computed`` | ``cache_hit`` | ``coalesced`` | ``null``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO
+
+#: Version stamp on the meta line and every access record.
+ACCESS_SCHEMA_VERSION = 1
+
+
+class AccessLog:
+    """An append-only JSONL access log with a schema header line."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle: Optional[TextIO] = self.path.open("a", encoding="utf-8")
+        self._write(self._meta_line())
+        self.records_written = 0
+
+    def _meta_line(self) -> Dict[str, Any]:
+        from ..obs.manifest import run_provenance
+
+        return {
+            "type": "access_meta",
+            "access_schema_version": ACCESS_SCHEMA_VERSION,
+            "command": "serve",
+            "unix_s": round(time.time(), 3),
+            "provenance": run_provenance(),
+        }
+
+    def _write(self, document: Dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        line = json.dumps(document, sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def record(
+        self,
+        trace_id: str,
+        span_id: str,
+        method: str,
+        path: str,
+        endpoint: str,
+        status: int,
+        disposition: Optional[str],
+        queue_wait_ms: Optional[float],
+        handler_ms: float,
+        duration_ms: float,
+        error: Optional[str] = None,
+    ) -> None:
+        """Append one completed request."""
+        self._write(
+            {
+                "type": "access",
+                "access_schema_version": ACCESS_SCHEMA_VERSION,
+                "unix_s": round(time.time(), 3),
+                "trace_id": trace_id,
+                "span_id": span_id,
+                "method": method,
+                "path": path,
+                "endpoint": endpoint,
+                "status": status,
+                "disposition": disposition,
+                "queue_wait_ms": round(queue_wait_ms, 3)
+                if queue_wait_ms is not None
+                else None,
+                "handler_ms": round(handler_ms, 3),
+                "duration_ms": round(duration_ms, 3),
+                "error": error,
+            }
+        )
+        self.records_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False

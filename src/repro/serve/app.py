@@ -42,8 +42,18 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .. import obs
 from ..obs.httpexp import MetricsSuite
+from ..obs.reqtrace import (
+    RequestTrace,
+    TraceBuffer,
+    current_trace,
+    format_traceparent,
+    parse_traceparent,
+    using_trace,
+)
+from .accesslog import AccessLog
 from .dispatch import Backpressure, Dispatcher
 from .http import Request, Response, json_response
+from .slo import SLORegistry
 
 _obs = obs.get_recorder()
 
@@ -150,6 +160,40 @@ def _codec_document(codec_name: str, value: Any) -> Any:
     return json.loads(get_codec(codec_name).encode(value).decode("utf-8"))
 
 
+def endpoint_template(method: str, path: str) -> str:
+    """Normalize a request to its route template for SLO/log grouping.
+
+    Path parameters collapse (``GET /v1/jobs/job-3`` → ``GET
+    /v1/jobs/<id>``) so per-endpoint series stay bounded no matter how
+    many jobs or traces exist.
+    """
+    if path.startswith("/v1/jobs/") and path != "/v1/jobs/":
+        path = "/v1/jobs/<id>"
+    elif path.startswith("/v1/traces/") and path != "/v1/traces/":
+        path = "/v1/traces/<id>"
+    return f"{method} {path}"
+
+
+class _CaptureSink:
+    """A temporary recorder sink that collects closed spans as dicts.
+
+    Attached around one computation on the dispatcher thread (the only
+    thread that opens recorder spans in the service), so everything it
+    sees belongs to that computation.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def on_span(self, record: Any) -> None:
+        self.records.append(record.to_dict())
+
+    def on_flush(self, recorder: Any) -> None:
+        pass
+
+
 class Application:
     """Routing + coalescing over one dispatcher and one metrics suite."""
 
@@ -158,12 +202,29 @@ class Application:
         dispatcher: Optional[Dispatcher] = None,
         suite: Optional[MetricsSuite] = None,
         workers: int = 1,
+        traces: Optional[TraceBuffer] = None,
+        slo: Optional[SLORegistry] = None,
+        access_log: Optional[AccessLog] = None,
+        trim_recorder_spans: bool = True,
     ) -> None:
         self.dispatcher = dispatcher if dispatcher is not None else Dispatcher()
         self.suite = suite if suite is not None else MetricsSuite()
         self.workers = workers
+        #: Completed request traces, tail-sampled (slow/errored kept).
+        self.traces = traces if traces is not None else TraceBuffer()
+        #: Per-endpoint latency objectives; its gauges ride /metrics.
+        self.slo = slo if slo is not None else SLORegistry()
+        self.suite.add_metrics_source(self.slo.prometheus_lines)
+        #: Optional structured JSONL access log (one line per request).
+        self.access_log = access_log
+        #: Drop recorder spans captured per-request after grafting them
+        #: into the trace — without this, a long-running service grows
+        #: the process recorder's span list without bound.
+        self.trim_recorder_spans = trim_recorder_spans
         #: Loop-confined coalescing map: request key -> in-flight future.
         self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        #: Leader trace identity per in-flight key, for follower links.
+        self._inflight_traces: Dict[str, Tuple[str, str]] = {}
         #: The job table for async sweeps, insertion-ordered.
         self._jobs: Dict[str, Dict[str, Any]] = {}
         #: In-flight sweep coalescing: sweep key -> job id.
@@ -190,19 +251,94 @@ class Application:
     def _compute_sync(
         self, kind: str, kwargs: Dict[str, Any], key: str
     ) -> Tuple[Any, str]:
-        """Dispatcher-thread body: consult the store, else compute + put."""
-        from ..parallel.jobs import execute_unit
+        """Dispatcher-thread body: consult the store, else compute + put.
+
+        Runs inside the submitting request's context (the dispatcher
+        replays the captured context), so every phase lands as a span
+        on the ambient request trace: ``store.lookup`` (with its
+        hit/miss/off outcome — always emitted, so every trace tree has
+        the same shape), ``execute.<kind>``, and ``store.write``.
+        """
         from ..store import JOB_SPECS, MISS, get_store
 
+        trace = current_trace()
         store = get_store()
         if store is not None:
-            value = store.get(key)
+            if trace is not None:
+                with trace.span("store.lookup") as span:
+                    value = store.get(key)
+                    span.set(outcome="hit" if value is not MISS else "miss")
+            else:
+                value = store.get(key)
             if value is not MISS:
                 return value, "cache_hit"
-        value = execute_unit(kind, kwargs)
+        elif trace is not None:
+            trace.add_span(
+                "store.lookup",
+                start_s=time.perf_counter(),
+                duration_s=0.0,
+                attrs={"outcome": "off"},
+            )
+        value = self._execute_traced(kind, kwargs, trace)
         if store is not None:
-            store.put(key, f"parallel.{kind}", JOB_SPECS[kind].codec, value)
+            if trace is not None:
+                with trace.span("store.write"):
+                    store.put(
+                        key, f"parallel.{kind}", JOB_SPECS[kind].codec, value
+                    )
+            else:
+                store.put(key, f"parallel.{kind}", JOB_SPECS[kind].codec, value)
         return value, "computed"
+
+    def _execute_traced(
+        self, kind: str, kwargs: Dict[str, Any], trace: Optional[RequestTrace]
+    ) -> Any:
+        """Run one unit, mirroring its recorder spans onto the trace.
+
+        Always records an ``execute.<kind>`` span.  When the process
+        recorder is enabled (the ``repro serve`` CLI path), a temporary
+        sink captures the spans the computation closes — kernelization
+        phases, the solver itself — and grafts them under the execute
+        span, so ``GET /v1/traces/<id>`` shows where the solve's time
+        went, not just that it happened.  The captured spans are then
+        trimmed from the recorder (when ``trim_recorder_spans``) so a
+        long-running service's span list stays bounded; aggregate
+        counters/histograms are untouched.
+        """
+        from ..parallel.jobs import execute_unit
+
+        if trace is None:
+            return execute_unit(kind, kwargs)
+        with trace.span(f"execute.{kind}", kind=kind) as execute_span:
+            if not _obs.enabled:
+                return execute_unit(kind, kwargs)
+            wrapper_name = f"serve.{kind}"
+            base = len(_obs.spans)
+            capture = _CaptureSink()
+            _obs.add_sink(capture)
+            try:
+                with _obs.span(wrapper_name):
+                    value = execute_unit(kind, kwargs)
+            finally:
+                _obs.remove_sink(capture)
+            nested = [
+                record
+                for record in capture.records
+                if not (record["index"] == base and record["name"] == wrapper_name)
+            ]
+            grafted = trace.graft_recorder_spans(
+                nested, parent_id=execute_span.span_id
+            )
+            if grafted:
+                execute_span.set(recorder_spans=grafted)
+            if (
+                self.trim_recorder_spans
+                and len(_obs.spans) > base
+                and _obs.spans[base].name == wrapper_name
+                and not _obs._stack
+            ):
+                del _obs.spans[base:]
+            return value
 
     async def _coalesced_compute(
         self, kind: str, kwargs: Dict[str, Any]
@@ -214,14 +350,28 @@ class Application:
         so a stampede of N identical requests costs one submission.
         """
         key = self.request_key(kind, kwargs)
+        trace = current_trace()
         existing = self._inflight.get(key)
         if existing is not None:
             _obs.incr("serve.coalesced")
-            value, _ = await asyncio.shield(existing)
+            if trace is not None:
+                leader = self._inflight_traces.get(key)
+                with trace.span("serve.coalesced_wait", key=key) as span:
+                    if leader is not None:
+                        leader_trace_id, leader_span_id = leader
+                        trace.link(
+                            leader_trace_id, leader_span_id, "coalesced_with"
+                        )
+                        span.set(leader_trace_id=leader_trace_id)
+                    value, _ = await asyncio.shield(existing)
+            else:
+                value, _ = await asyncio.shield(existing)
             return value, key, "coalesced"
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Any]" = loop.create_future()
         self._inflight[key] = future
+        if trace is not None:
+            self._inflight_traces[key] = (trace.trace_id, trace.root_span_id)
         try:
             pending = self.dispatcher.submit(
                 lambda: self._compute_sync(kind, kwargs, key)
@@ -243,40 +393,93 @@ class Application:
             return value, key, disposition
         finally:
             self._inflight.pop(key, None)
+            self._inflight_traces.pop(key, None)
 
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
 
     async def dispatch(self, request: Request) -> Response:
-        """Route one request; every failure mode is a structured body."""
+        """Route one request; every failure mode is a structured body.
+
+        The tracing boundary.  Each request gets a :class:`RequestTrace`
+        — continuing the client's ``traceparent`` when it parses,
+        freshly minted otherwise (a malformed header must degrade to a
+        new trace, never to a 500) — bound as the ambient trace for the
+        whole handling path.  On completion the trace is finished,
+        admitted to the tail-sampling buffer, scored against the
+        endpoint's SLO, logged to the access log, and echoed back as a
+        ``traceparent`` response header.
+        """
         path = request.path.split("?", 1)[0]
+        endpoint = endpoint_template(request.method, path)
         _obs.incr_keyed("serve.requests", f"{request.method} {path}")
-        started_s = time.perf_counter()
-        try:
-            response = await self._route(request.method, path, request)
-        except BadRequest as error:
-            _obs.incr("serve.bad_request")
-            response = json_response(400, error.document())
-        except Backpressure as error:
-            response = json_response(
-                429,
-                {
-                    "error": "dispatch queue full",
-                    "pending": error.pending,
-                    "queue_limit": error.limit,
-                    "retry_after_s": error.retry_after_s,
-                },
-                headers={"Retry-After": str(int(error.retry_after_s + 0.5))},
-            )
-        except Exception as error:  # noqa: BLE001 — boundary: socket, not traceback
-            _obs.incr("serve.errors")
-            response = json_response(
-                500, {"error": "internal error", "exception": repr(error)}
-            )
-        _obs.observe(
-            "serve.request_ms", (time.perf_counter() - started_s) * 1000.0
+        remote = parse_traceparent(request.headers.get("traceparent"))
+        trace = RequestTrace(
+            trace_id=remote.trace_id if remote is not None else None,
+            endpoint=endpoint,
+            method=request.method,
+            path=request.path,
+            remote_context=remote,
+            received_s=request.received_s,
         )
+        error_text: Optional[str] = None
+        started_s = time.perf_counter()
+        with using_trace(trace):
+            try:
+                response = await self._route(request.method, path, request)
+            except BadRequest as error:
+                _obs.incr("serve.bad_request")
+                error_text = error.message
+                response = json_response(400, error.document())
+            except Backpressure as error:
+                error_text = "backpressure"
+                response = json_response(
+                    429,
+                    {
+                        "error": "dispatch queue full",
+                        "pending": error.pending,
+                        "queue_limit": error.limit,
+                        "retry_after_s": error.retry_after_s,
+                    },
+                    headers={"Retry-After": str(int(error.retry_after_s + 0.5))},
+                )
+            except Exception as error:  # noqa: BLE001 — boundary: socket, not traceback
+                _obs.incr("serve.errors")
+                error_text = repr(error)
+                response = json_response(
+                    500, {"error": "internal error", "exception": repr(error)}
+                )
+        handler_ms = (time.perf_counter() - started_s) * 1000.0
+        _obs.observe("serve.request_ms", handler_ms)
+        trace.finish(
+            status=response.status,
+            disposition=trace.disposition,
+            error=error_text,
+        )
+        response.headers["traceparent"] = format_traceparent(
+            trace.trace_id, trace.root_span_id
+        )
+        self.traces.admit(trace)
+        breached = self.slo.observe(
+            endpoint, trace.duration_ms, response.status, trace_id=trace.trace_id
+        )
+        if breached:
+            _obs.incr_keyed("serve.slo_breaches", endpoint)
+        if self.access_log is not None:
+            self.access_log.record(
+                trace_id=trace.trace_id,
+                span_id=trace.root_span_id,
+                method=request.method,
+                path=request.path,
+                endpoint=endpoint,
+                status=response.status,
+                disposition=trace.disposition,
+                queue_wait_ms=trace.span_total_ms("dispatch.queue"),
+                handler_ms=handler_ms,
+                duration_ms=trace.duration_ms,
+                error=error_text,
+            )
         return response
 
     async def _route(
@@ -309,6 +512,14 @@ class Application:
             if method != "GET":
                 return self._method_not_allowed(path, allowed="GET")
             return self._job(path[len("/v1/jobs/"):])
+        if path == "/v1/traces":
+            if method != "GET":
+                return self._method_not_allowed(path, allowed="GET")
+            return json_response(200, self._traces_document())
+        if path.startswith("/v1/traces/"):
+            if method != "GET":
+                return self._method_not_allowed(path, allowed="GET")
+            return self._trace(path[len("/v1/traces/"):], request)
         _obs.incr("serve.not_found")
         return json_response(
             404, {"error": "unknown path", "paths": self._known_paths()}
@@ -340,6 +551,8 @@ class Application:
             "/v1/jobs/<id>",
             "/v1/maxis",
             "/v1/sweeps",
+            "/v1/traces",
+            "/v1/traces/<id>",
         ]
 
     def _index_document(self) -> Dict[str, Any]:
@@ -353,6 +566,8 @@ class Application:
                 "POST /v1/sweeps": "submit an async sweep job",
                 "GET /v1/jobs": "list sweep jobs",
                 "GET /v1/jobs/<id>": "poll one sweep job",
+                "GET /v1/traces": "recent request-trace summaries",
+                "GET /v1/traces/<id>": "one trace's span tree (?format=chrome)",
                 "GET /health": "liveness + queue stats",
                 "GET /progress": "live monitor snapshot",
                 "GET /metrics": "Prometheus exposition",
@@ -375,7 +590,53 @@ class Application:
         from ..store import store_mode
 
         document["cache"] = store_mode()
+        document["traces"] = self.traces.stats()
+        document["slo"] = self.slo.snapshot()
         return document
+
+    # ------------------------------------------------------------------
+    # Trace endpoints
+    # ------------------------------------------------------------------
+
+    def _traces_document(self) -> Dict[str, Any]:
+        from ..obs.reqtrace import TRACE_SCHEMA_VERSION
+
+        return {
+            "serve_schema_version": SERVE_SCHEMA_VERSION,
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "buffer": self.traces.stats(),
+            "traces": self.traces.summaries(),
+        }
+
+    def _trace(self, rest: str, request: Request) -> Response:
+        trace_id, _, query = rest.partition("?")
+        trace = self.traces.get(trace_id)
+        if trace is None:
+            return json_response(
+                404,
+                {
+                    "error": f"unknown trace {trace_id!r}",
+                    "hint": "completed traces are retained in a bounded "
+                    "buffer; list recent ids at /v1/traces",
+                },
+            )
+        wants_chrome = "format=chrome" in query or "format=chrome" in (
+            request.path.partition("?")[2]
+        )
+        if wants_chrome:
+            from ..obs.export import chrome_trace, dump_trace
+
+            trace_document = chrome_trace(
+                trace.span_events(), trace_name=f"trace {trace.trace_id}"
+            )
+            return Response(
+                200,
+                "application/json",
+                dump_trace(trace_document).encode("utf-8"),
+            )
+        document = trace.to_document()
+        document["serve_schema_version"] = SERVE_SCHEMA_VERSION
+        return json_response(200, document)
 
     # ------------------------------------------------------------------
     # Compute endpoints
@@ -386,6 +647,9 @@ class Application:
     ) -> Response:
         from ..store import JOB_SPECS
 
+        trace = current_trace()
+        if trace is not None:
+            trace.disposition = disposition
         return json_response(
             200,
             {
@@ -509,8 +773,11 @@ class Application:
             "serve.sweep", sweep_params, combined_fingerprint(SWEEP_MODULES)
         )
         existing_id = self._sweeps_inflight.get(sweep_key)
+        trace = current_trace()
         if existing_id is not None:
             _obs.incr("serve.coalesced")
+            if trace is not None:
+                trace.disposition = "coalesced"
             job = self._jobs[existing_id]
             return json_response(
                 202, self._job_document(job, disposition="coalesced")
@@ -553,6 +820,8 @@ class Application:
             )
         )
         _obs.incr("serve.sweeps_submitted")
+        if trace is not None:
+            trace.disposition = "submitted"
         return json_response(202, self._job_document(job, disposition="submitted"))
 
     def _finish_job(
@@ -641,3 +910,5 @@ class Application:
     def close(self) -> None:
         """Release the dispatcher (the HTTP layer owns the sockets)."""
         self.dispatcher.close()
+        if self.access_log is not None:
+            self.access_log.close()

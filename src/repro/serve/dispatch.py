@@ -22,11 +22,14 @@ limit under overload.
 from __future__ import annotations
 
 import concurrent.futures
+import contextvars
 import queue
 import threading
+import time
 from typing import Any, Callable, Dict, Optional
 
 from .. import obs
+from ..obs.reqtrace import current_trace
 
 _obs = obs.get_recorder()
 
@@ -91,7 +94,11 @@ class Dispatcher:
                 )
             self._pending += 1
         future: "concurrent.futures.Future[Any]" = concurrent.futures.Future()
-        self._queue.put((fn, future))
+        # Capture the submitter's context (which carries the ambient
+        # request trace) so the drain thread computes *inside* it —
+        # ``current_trace()`` keeps working across the thread hop.
+        ctx = contextvars.copy_context()
+        self._queue.put((fn, future, ctx, time.perf_counter()))
         return future
 
     def _retry_after_locked(self) -> float:
@@ -99,20 +106,28 @@ class Dispatcher:
         return max(1.0, round(self._pending * cost, 1))
 
     def _drain(self) -> None:
-        import time
-
         while True:
             item = self._queue.get()
             if item is None:
                 return
-            fn, future = item
+            fn, future, ctx, enqueued_s = item
             if not future.set_running_or_notify_cancel():
                 with self._lock:
                     self._pending -= 1
                 continue
             started_s = time.perf_counter()
+            wait_s = started_s - enqueued_s
+            _obs.observe("serve.queue_wait_ms", wait_s * 1000.0)
+            trace = ctx.run(current_trace)
+            if trace is not None:
+                trace.add_span(
+                    "dispatch.queue",
+                    start_s=enqueued_s,
+                    duration_s=wait_s,
+                    attrs={"wait_ms": round(wait_s * 1000.0, 3)},
+                )
             try:
-                result = fn()
+                result = ctx.run(fn)
             except BaseException as error:
                 future.set_exception(error)
             else:

@@ -24,6 +24,7 @@ import contextlib
 import json
 import signal
 import threading
+import time
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 #: Hard caps that bound a single request's cost to parse.
@@ -33,17 +34,28 @@ MAX_BODY_BYTES = 8 << 20  # gadget graphs serialize small; 8 MiB is generous
 
 
 class Request:
-    """One parsed HTTP request."""
+    """One parsed HTTP request.
 
-    __slots__ = ("method", "path", "headers", "body")
+    ``received_s`` is the ``perf_counter`` timestamp taken as soon as
+    the request finished parsing — the zero point every request-trace
+    span and the access log's total duration measure from.
+    """
+
+    __slots__ = ("method", "path", "headers", "body", "received_s")
 
     def __init__(
-        self, method: str, path: str, headers: Dict[str, str], body: bytes
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+        received_s: Optional[float] = None,
     ) -> None:
         self.method = method
         self.path = path
         self.headers = headers
         self.body = body
+        self.received_s = received_s if received_s is not None else time.perf_counter()
 
 
 class Response:

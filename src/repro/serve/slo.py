@@ -1,0 +1,219 @@
+"""Per-endpoint SLOs: latency targets, attainment, error-budget burn.
+
+An SLO here is the service-level shape SRE practice standardizes: each
+endpoint has a latency *target* (milliseconds) and the service commits
+to an *objective* — a fraction of requests (default 99%) that must both
+succeed and finish under the target.  Every completed request is scored
+against its endpoint's target; a request *breaches* when it errors
+(status >= 500) or runs over the target.
+
+Two derived series per endpoint go to ``/metrics``:
+
+``repro_serve_slo_attainment``
+    ``1 - breaches/total`` — the fraction of requests meeting the SLO.
+    Healthy endpoints sit above the objective.
+
+``repro_serve_slo_error_budget_burn``
+    ``(breaches/total) / (1 - objective)`` — how fast the error budget
+    is being spent.  ``1.0`` means breaching at exactly the allowed
+    rate; above one, the budget runs out before the window does.  This
+    is the number alerting pages on.
+
+Alongside them: the configured target (``..._target_ms``), raw request
+and breach counts, and per-endpoint slow-request *exemplars* (the worst
+observed latency with its trace id) so a burning budget links straight
+to a retained trace in ``GET /v1/traces/<id>``.
+
+Endpoints are normalized route templates (``GET /v1/jobs/<id>``), not
+raw paths, so path parameters don't explode the series cardinality.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+#: Default latency targets (milliseconds) per normalized endpoint.
+#: Compute endpoints get looser targets than metadata lookups; anything
+#: unlisted falls back to ``DEFAULT_TARGET_MS``.
+DEFAULT_TARGETS_MS: Dict[str, float] = {
+    "POST /v1/claims": 2000.0,
+    "POST /v1/gadgets": 1000.0,
+    "POST /v1/maxis": 1000.0,
+    "POST /v1/sweeps": 500.0,
+}
+
+#: Target for endpoints without an explicit entry.
+DEFAULT_TARGET_MS = 250.0
+
+#: Default objective: the fraction of requests that must meet the SLO.
+DEFAULT_OBJECTIVE = 0.99
+
+
+class _EndpointWindow:
+    """Counters and the worst-case exemplar for one endpoint."""
+
+    __slots__ = ("total", "breaches", "errors", "slow", "worst_ms", "worst_trace_id")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.breaches = 0
+        self.errors = 0
+        self.slow = 0
+        self.worst_ms = 0.0
+        self.worst_trace_id: Optional[str] = None
+
+
+class SLORegistry:
+    """Thread-safe per-endpoint SLO accounting for the serve stack.
+
+    The event loop calls :meth:`observe` once per completed request;
+    ``/metrics`` scrapes call :meth:`prometheus_lines` from the metrics
+    suite's source hook.  Both sides touch one lock briefly, so the
+    registry adds no meaningful cost to either path.
+    """
+
+    def __init__(
+        self,
+        targets_ms: Optional[Dict[str, float]] = None,
+        objective: float = DEFAULT_OBJECTIVE,
+        default_target_ms: float = DEFAULT_TARGET_MS,
+    ) -> None:
+        if not (0.0 < objective < 1.0):
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        self.objective = objective
+        self.default_target_ms = default_target_ms
+        self._targets_ms = dict(DEFAULT_TARGETS_MS)
+        if targets_ms:
+            self._targets_ms.update(targets_ms)
+        self._lock = threading.Lock()
+        self._windows: Dict[str, _EndpointWindow] = {}
+
+    def target_ms(self, endpoint: str) -> float:
+        """The latency target for one normalized endpoint."""
+        return self._targets_ms.get(endpoint, self.default_target_ms)
+
+    def observe(
+        self,
+        endpoint: str,
+        duration_ms: float,
+        status: int,
+        trace_id: Optional[str] = None,
+    ) -> bool:
+        """Score one completed request; returns ``True`` on a breach."""
+        target = self.target_ms(endpoint)
+        error = status >= 500
+        slow = duration_ms > target
+        breach = error or slow
+        with self._lock:
+            window = self._windows.get(endpoint)
+            if window is None:
+                window = self._windows[endpoint] = _EndpointWindow()
+            window.total += 1
+            if error:
+                window.errors += 1
+            if slow:
+                window.slow += 1
+            if breach:
+                window.breaches += 1
+            if duration_ms >= window.worst_ms:
+                window.worst_ms = duration_ms
+                window.worst_trace_id = trace_id
+        return breach
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-endpoint SLO state for ``/health`` and the dashboard."""
+        with self._lock:
+            windows = {
+                endpoint: (
+                    window.total,
+                    window.breaches,
+                    window.errors,
+                    window.slow,
+                    window.worst_ms,
+                    window.worst_trace_id,
+                )
+                for endpoint, window in self._windows.items()
+            }
+        budget_rate = 1.0 - self.objective
+        document: Dict[str, Dict[str, Any]] = {}
+        for endpoint, (total, breaches, errors, slow, worst_ms, worst_id) in sorted(
+            windows.items()
+        ):
+            breach_rate = breaches / total if total else 0.0
+            document[endpoint] = {
+                "target_ms": self.target_ms(endpoint),
+                "objective": self.objective,
+                "requests": total,
+                "breaches": breaches,
+                "errors": errors,
+                "slow": slow,
+                "attainment": round(1.0 - breach_rate, 6),
+                "error_budget_burn": round(breach_rate / budget_rate, 6),
+                "worst_ms": round(worst_ms, 3),
+                "worst_trace_id": worst_id,
+            }
+        return document
+
+    def prometheus_lines(self) -> List[str]:
+        """The SLO plane as Prometheus exposition lines.
+
+        Shaped for :meth:`repro.obs.httpexp.MetricsSuite.
+        add_metrics_source`: one ``# TYPE`` header per metric, then a
+        labeled sample per endpoint, endpoints sorted so scrapes diff
+        cleanly.
+        """
+        from ..obs.httpexp import _escape_label_value, _format_value
+
+        snapshot = self.snapshot()
+        if not snapshot:
+            return []
+        series = [
+            ("repro_serve_slo_target_ms", "gauge", "target_ms"),
+            ("repro_serve_slo_objective", "gauge", "objective"),
+            ("repro_serve_slo_requests_total", "counter", "requests"),
+            ("repro_serve_slo_breaches_total", "counter", "breaches"),
+            ("repro_serve_slo_attainment", "gauge", "attainment"),
+            ("repro_serve_slo_error_budget_burn", "gauge", "error_budget_burn"),
+        ]
+        lines: List[str] = []
+        for metric, kind, field in series:
+            lines.append(f"# TYPE {metric} {kind}")
+            for endpoint, state in snapshot.items():
+                label = _escape_label_value(endpoint)
+                lines.append(
+                    f'{metric}{{endpoint="{label}"}} '
+                    f"{_format_value(state[field])}"
+                )
+        return lines
+
+
+def parse_slo_spec(specs: List[str]) -> Dict[str, float]:
+    """Parse CLI ``--slo 'POST /v1/maxis=1500'`` overrides.
+
+    Each spec is ``ENDPOINT=TARGET_MS``; the endpoint half may contain
+    spaces (method + route template), the target must parse as a
+    positive float.  Raises ``ValueError`` with a usable message on any
+    malformed spec — the CLI surfaces it as an argument error.
+    """
+    targets: Dict[str, float] = {}
+    for spec in specs:
+        endpoint, sep, raw_target = spec.rpartition("=")
+        if not sep or not endpoint.strip():
+            raise ValueError(
+                f"malformed SLO spec {spec!r}: expected 'ENDPOINT=TARGET_MS'"
+            )
+        try:
+            target_ms = float(raw_target)
+        except ValueError:
+            raise ValueError(
+                f"malformed SLO target in {spec!r}: {raw_target!r} is not a number"
+            ) from None
+        if target_ms <= 0:
+            raise ValueError(f"SLO target must be positive in {spec!r}")
+        targets[endpoint.strip()] = target_ms
+    return targets

@@ -28,22 +28,30 @@ write-backs, library users — shares one computation per key.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .. import obs
+from ..obs.reqtrace import current_trace
 
 _obs = obs.get_recorder()
 
 
 class _Call:
-    """One in-flight computation: its completion event and outcome."""
+    """One in-flight computation: its completion event and outcome.
 
-    __slots__ = ("done", "value", "error")
+    ``leader_trace`` remembers the leader's request-trace identity
+    (``(trace_id, span_id)``) when the leader ran inside a traced
+    request, so followers can *link* their traces to the computation
+    that actually served them.
+    """
+
+    __slots__ = ("done", "value", "error", "leader_trace")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.value: Any = None
         self.error: BaseException | None = None
+        self.leader_trace: Optional[Tuple[str, str]] = None
 
 
 class SingleFlight:
@@ -65,17 +73,30 @@ class SingleFlight:
         and ``False`` for coalesced followers.  The leader's exception
         (if any) is re-raised in every caller.
         """
+        trace = current_trace()
         with self._lock:
             call = self._inflight.get(key)
             if call is None:
                 call = _Call()
+                if trace is not None:
+                    call.leader_trace = (trace.trace_id, trace.root_span_id)
                 self._inflight[key] = call
                 leader = True
             else:
                 leader = False
         if not leader:
             _obs.incr("cache.coalesced")
-            call.done.wait()
+            if trace is not None:
+                with trace.span("store.coalesced_wait", key=key) as span:
+                    if call.leader_trace is not None:
+                        leader_trace_id, leader_span_id = call.leader_trace
+                        trace.link(
+                            leader_trace_id, leader_span_id, "coalesced_with"
+                        )
+                        span.set(leader_trace_id=leader_trace_id)
+                    call.done.wait()
+            else:
+                call.done.wait()
             if call.error is not None:
                 raise call.error
             return call.value, False

@@ -275,6 +275,30 @@ class TestServeSummary:
         # Only serve.* gauges belong to the panel.
         assert "unrelated.gauge" not in summary["gauges"]
 
+    def test_exemplar_gauges_split_out_of_the_gauge_table(self, tmp_path):
+        gauges = dict(
+            self.SWEEP_SERVE["gauges"],
+            **{
+                "serve.exemplar_ms.POST /v1/maxis": 812.25,
+                "serve.exemplar_ms.GET /health": 3.5,
+            },
+        )
+        _write(
+            tmp_path,
+            "BENCH_aaa",
+            _trajectory(
+                benches={"sweep_serve": dict(self.SWEEP_SERVE, gauges=gauges)}
+            ),
+        )
+        summary = collect.serve_summary(tmp_path)
+        assert summary["exemplars"] == [
+            {"endpoint": "GET /health", "worst_ms": 3.5},
+            {"endpoint": "POST /v1/maxis", "worst_ms": 812.25},
+        ]
+        assert not any(
+            name.startswith("serve.exemplar_ms.") for name in summary["gauges"]
+        )
+
     def test_in_the_report_model(self, tmp_path):
         _write(
             tmp_path,

@@ -17,21 +17,24 @@ class Client:
         self.server = server
         self.url = server.url
 
-    def get(self, path, timeout=30):
+    def get(self, path, timeout=30, headers=None):
+        request = urllib.request.Request(
+            self.url + path, headers=headers or {}, method="GET"
+        )
         try:
-            with urllib.request.urlopen(self.url + path, timeout=timeout) as r:
+            with urllib.request.urlopen(request, timeout=timeout) as r:
                 return r.status, r.read(), dict(r.headers)
         except urllib.error.HTTPError as error:
             return error.code, error.read(), dict(error.headers)
 
-    def get_json(self, path, timeout=30):
-        status, body, _ = self.get(path, timeout=timeout)
+    def get_json(self, path, timeout=30, headers=None):
+        status, body, _ = self.get(path, timeout=timeout, headers=headers)
         return status, json.loads(body)
 
-    def post(self, path, document, timeout=60, raw=None):
+    def post(self, path, document, timeout=60, raw=None, headers=None):
         data = raw if raw is not None else json.dumps(document).encode()
         request = urllib.request.Request(
-            self.url + path, data=data, method="POST"
+            self.url + path, data=data, headers=headers or {}, method="POST"
         )
         try:
             with urllib.request.urlopen(request, timeout=timeout) as r:

@@ -1,0 +1,151 @@
+"""Access log: schema, parent-dir creation, and ``repro stats`` replay."""
+
+import json
+
+import pytest
+
+from repro.serve import ACCESS_SCHEMA_VERSION, AccessLog
+from repro.serve import Application, BackgroundServer
+
+
+def _read_lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line
+    ]
+
+
+class TestAccessLog:
+    def test_meta_header_and_record_schema(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path) as log:
+            log.record(
+                trace_id="ab" * 16,
+                span_id="cd" * 8,
+                method="POST",
+                path="/v1/maxis",
+                endpoint="POST /v1/maxis",
+                status=200,
+                disposition="computed",
+                queue_wait_ms=1.234567,
+                handler_ms=10.0,
+                duration_ms=11.5,
+            )
+        lines = _read_lines(path)
+        assert len(lines) == 2
+        meta, record = lines
+        assert meta["type"] == "access_meta"
+        assert meta["access_schema_version"] == ACCESS_SCHEMA_VERSION
+        assert meta["command"] == "serve"
+        assert "git_sha" in meta["provenance"]
+        assert record["type"] == "access"
+        assert record["trace_id"] == "ab" * 16
+        assert record["endpoint"] == "POST /v1/maxis"
+        assert record["queue_wait_ms"] == 1.235  # rounded
+        assert record["error"] is None
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "dirs" / "access.jsonl"
+        assert not path.parent.exists()
+        with AccessLog(path) as log:
+            assert log.records_written == 0
+        assert path.exists()
+        assert _read_lines(path)[0]["type"] == "access_meta"
+
+    def test_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        for _ in range(2):
+            with AccessLog(path):
+                pass
+        metas = [l for l in _read_lines(path) if l["type"] == "access_meta"]
+        assert len(metas) == 2
+
+    def test_close_is_idempotent_and_silences_records(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path)
+        log.close()
+        log.close()
+        log.record(
+            trace_id="ab" * 16, span_id="cd" * 8, method="GET", path="/health",
+            endpoint="GET /health", status=200, disposition=None,
+            queue_wait_ms=None, handler_ms=0.1, duration_ms=0.2,
+        )
+        assert len(_read_lines(path)) == 1  # just the meta line
+
+
+class TestServedAccessLog:
+    def test_every_request_logged_with_trace_id(self, tmp_path):
+        from tests.serve.conftest import Client
+
+        path = tmp_path / "logs" / "access.jsonl"
+        app = Application(access_log=AccessLog(path))
+        server = BackgroundServer(app.dispatch).start()
+        try:
+            client = Client(app, server)
+            traceparent = f"00-{'ab' * 16}-{'cd' * 8}-01"
+            client.get("/health", headers={"traceparent": traceparent})
+            status, _, _ = client.post("/v1/gadgets", {"construction": "nope"})
+            assert status == 400
+        finally:
+            server.close()
+            app.close()
+        records = [l for l in _read_lines(path) if l["type"] == "access"]
+        assert len(records) == 2
+        health, bad = records
+        assert health["trace_id"] == "ab" * 16
+        assert health["endpoint"] == "GET /health"
+        assert health["status"] == 200
+        assert bad["status"] == 400
+        assert bad["error"]
+        assert bad["duration_ms"] >= bad["handler_ms"] >= 0.0
+
+
+class TestStatsReplay:
+    @pytest.fixture
+    def access_file(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with AccessLog(path) as log:
+            for index in range(5):
+                log.record(
+                    trace_id=format(index + 1, "02x") * 16,
+                    span_id="cd" * 8,
+                    method="POST",
+                    path="/v1/maxis",
+                    endpoint="POST /v1/maxis",
+                    status=200,
+                    disposition="computed",
+                    queue_wait_ms=0.5,
+                    handler_ms=float(index + 1),
+                    duration_ms=float(index + 1) + 0.5,
+                )
+            log.record(
+                trace_id="ee" * 16,
+                span_id="cd" * 8,
+                method="GET",
+                path="/health",
+                endpoint="GET /health",
+                status=500,
+                disposition=None,
+                queue_wait_ms=None,
+                handler_ms=0.1,
+                duration_ms=0.2,
+                error="boom",
+            )
+        return path
+
+    def test_render_stats_file_summarizes_endpoints(self, access_file):
+        from repro.obs.stats import render_stats_file
+
+        text = render_stats_file(access_file)
+        assert "access_meta" in text or "Access log" in text
+        assert "POST /v1/maxis" in text
+        assert "GET /health" in text
+        assert "ee" * 16 in text  # slowest-requests table keys by trace id
+
+    def test_cli_stats_replays_access_log(self, access_file, capsys):
+        from repro.cli import main
+
+        assert main(["stats", str(access_file)]) == 0
+        out = capsys.readouterr().out
+        assert "POST /v1/maxis" in out

@@ -1,0 +1,149 @@
+"""SLO plane: registry math, CLI spec parsing, /metrics integration."""
+
+import pytest
+
+from repro.serve import endpoint_template
+from repro.serve.slo import (
+    DEFAULT_OBJECTIVE,
+    DEFAULT_TARGET_MS,
+    DEFAULT_TARGETS_MS,
+    SLORegistry,
+    parse_slo_spec,
+)
+
+
+class TestEndpointTemplate:
+    @pytest.mark.parametrize(
+        ("method", "path", "expected"),
+        [
+            ("GET", "/health", "GET /health"),
+            ("POST", "/v1/maxis", "POST /v1/maxis"),
+            ("GET", "/v1/jobs/0123abcd", "GET /v1/jobs/<id>"),
+            ("GET", "/v1/traces/" + "ab" * 16, "GET /v1/traces/<id>"),
+            ("GET", "/v1/traces", "GET /v1/traces"),
+        ],
+    )
+    def test_path_parameters_collapse(self, method, path, expected):
+        assert endpoint_template(method, path) == expected
+
+
+class TestSLORegistry:
+    def test_targets_default_and_override(self):
+        registry = SLORegistry(targets_ms={"POST /v1/maxis": 50.0})
+        assert registry.target_ms("POST /v1/maxis") == 50.0
+        assert registry.target_ms("POST /v1/claims") == DEFAULT_TARGETS_MS[
+            "POST /v1/claims"
+        ]
+        assert registry.target_ms("GET /health") == DEFAULT_TARGET_MS
+
+    def test_objective_validated(self):
+        with pytest.raises(ValueError):
+            SLORegistry(objective=0.0)
+        with pytest.raises(ValueError):
+            SLORegistry(objective=1.0)
+
+    def test_breach_classification(self):
+        registry = SLORegistry(targets_ms={"GET /x": 100.0})
+        assert registry.observe("GET /x", 10.0, 200) is False
+        assert registry.observe("GET /x", 150.0, 200) is True  # slow
+        assert registry.observe("GET /x", 10.0, 500) is True  # errored
+        assert registry.observe("GET /x", 10.0, 404) is False  # 4xx is fine
+
+    def test_attainment_and_burn_math(self):
+        registry = SLORegistry(targets_ms={"GET /x": 100.0}, objective=0.9)
+        for _ in range(8):
+            registry.observe("GET /x", 1.0, 200)
+        registry.observe("GET /x", 500.0, 200)
+        registry.observe("GET /x", 1.0, 503)
+        state = registry.snapshot()["GET /x"]
+        assert state["requests"] == 10
+        assert state["breaches"] == 2
+        assert state["errors"] == 1
+        assert state["slow"] == 1
+        assert state["attainment"] == pytest.approx(0.8)
+        # breach rate 0.2 against a 0.1 budget: burning at 2x.
+        assert state["error_budget_burn"] == pytest.approx(2.0)
+
+    def test_worst_exemplar_tracks_trace_id(self):
+        registry = SLORegistry()
+        registry.observe("GET /x", 5.0, 200, trace_id="aa" * 16)
+        registry.observe("GET /x", 50.0, 200, trace_id="bb" * 16)
+        registry.observe("GET /x", 7.0, 200, trace_id="cc" * 16)
+        state = registry.snapshot()["GET /x"]
+        assert state["worst_ms"] == pytest.approx(50.0)
+        assert state["worst_trace_id"] == "bb" * 16
+
+    def test_prometheus_lines_shape(self):
+        registry = SLORegistry()
+        assert registry.prometheus_lines() == []
+        registry.observe("POST /v1/maxis", 12.0, 200)
+        lines = registry.prometheus_lines()
+        text = "\n".join(lines)
+        assert "# TYPE repro_serve_slo_attainment gauge" in text
+        assert (
+            'repro_serve_slo_requests_total{endpoint="POST /v1/maxis"} 1'
+            in text
+        )
+        assert (
+            'repro_serve_slo_objective{endpoint="POST /v1/maxis"} '
+            f"{DEFAULT_OBJECTIVE}" in text
+        )
+
+
+class TestParseSLOSpec:
+    def test_valid_specs(self):
+        assert parse_slo_spec(["POST /v1/maxis=1500"]) == {
+            "POST /v1/maxis": 1500.0
+        }
+        assert parse_slo_spec(["GET /health=5.5", "POST /v1/sweeps=100"]) == {
+            "GET /health": 5.5,
+            "POST /v1/sweeps": 100.0,
+        }
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["no-equals", "=100", "GET /x=", "GET /x=fast", "GET /x=-5", "GET /x=0"],
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_slo_spec([spec])
+
+
+class TestServedIntegration:
+    def test_metrics_expose_slo_series(self, served):
+        served.get("/health")
+        status, body, _ = served.get("/metrics")
+        assert status == 200
+        text = body.decode()
+        assert 'repro_serve_slo_attainment{endpoint="GET /health"}' in text
+        assert (
+            'repro_serve_slo_error_budget_burn{endpoint="GET /health"}' in text
+        )
+        assert text.endswith("\n")
+
+    def test_health_carries_slo_snapshot(self, served):
+        served.get("/health")
+        _, health = served.get_json("/health")
+        assert "GET /health" in health["slo"]
+        state = health["slo"]["GET /health"]
+        assert state["objective"] == DEFAULT_OBJECTIVE
+        assert state["requests"] >= 1
+        assert "traces" in health and health["traces"]["capacity"] >= 1
+
+    def test_breach_increments_recorder_counter(self, served):
+        from repro import obs
+        from repro.serve import Application, BackgroundServer, SLORegistry
+        from tests.serve.conftest import Client
+
+        app = Application(slo=SLORegistry(default_target_ms=0.001))
+        server = BackgroundServer(app.dispatch).start()
+        try:
+            client = Client(app, server)
+            with obs.recording() as recorder:
+                client.get("/health")
+            assert recorder.keyed_counters["serve.slo_breaches"][
+                "GET /health"
+            ] >= 1
+        finally:
+            server.close()
+            app.close()
